@@ -1,0 +1,109 @@
+// Command monitor checks execution traces against a previously learned
+// model (the runtime-verification application that motivates the
+// paper's RT-Linux benchmark): it loads a model saved by `t2m -save`,
+// abstracts the trace with the same predicate generator the model was
+// learned with, and reports the first behaviour the model does not
+// explain.
+//
+// Usage:
+//
+//	monitor -model system.t2m -in trace.csv [-informat csv|events|ftrace] [-task comm-pid]
+//
+// Exit status: 0 when the trace conforms, 1 on a violation, 2 on error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "model file written by t2m -save (required)")
+		in        = flag.String("in", "", "trace file to check (required; - for stdin)")
+		informat  = flag.String("informat", "", "input format: csv, events, ftrace (default by extension)")
+		task      = flag.String("task", "", "ftrace: task to analyse (comm-pid)")
+		quiet     = flag.Bool("q", false, "suppress the conforming-trace message")
+	)
+	flag.Parse()
+	code, err := run(*modelPath, *in, *informat, *task, *quiet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "monitor:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(modelPath, in, informat, task string, quiet bool) (int, error) {
+	if modelPath == "" || in == "" {
+		return 2, fmt.Errorf("both -model and -in are required")
+	}
+	mf, err := os.Open(modelPath)
+	if err != nil {
+		return 2, err
+	}
+	model, err := repro.LoadModel(mf)
+	mf.Close()
+	if err != nil {
+		return 2, err
+	}
+
+	tr, err := readTrace(in, informat, task)
+	if err != nil {
+		return 2, err
+	}
+
+	violation, err := model.Check(tr)
+	if err != nil {
+		return 2, err
+	}
+	if violation == nil {
+		if !quiet {
+			fmt.Printf("ok: model explains all %d observations\n", tr.Len())
+		}
+		return 0, nil
+	}
+	fmt.Println(violation)
+	return 1, nil
+}
+
+func readTrace(in, informat, task string) (*trace.Trace, error) {
+	f := os.Stdin
+	if in != "-" {
+		var err error
+		f, err = os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+	}
+	if informat == "" {
+		switch filepath.Ext(in) {
+		case ".csv":
+			informat = "csv"
+		case ".ftrace", ".trace":
+			informat = "ftrace"
+		default:
+			informat = "events"
+		}
+	}
+	switch informat {
+	case "csv":
+		return trace.ReadCSV(f)
+	case "events":
+		return trace.ReadEvents(f)
+	case "ftrace":
+		evs, err := trace.ParseFtrace(f)
+		if err != nil {
+			return nil, err
+		}
+		return trace.FtraceToTrace(evs, task, nil), nil
+	default:
+		return nil, fmt.Errorf("unknown input format %q", informat)
+	}
+}

@@ -1,0 +1,160 @@
+// Command t2m (trace-to-model) learns a concise automaton from an
+// execution trace file, running the paper's full pipeline: transition-
+// predicate synthesis over sliding windows, then SAT-based minimal
+// model construction with segmentation and compliance refinement.
+//
+// Usage:
+//
+//	t2m -in trace.csv [flags]
+//
+// Input formats (selected by -informat, default by extension):
+//
+//	csv     header "name:type,…" (types int, bool, sym), one
+//	        observation per row
+//	events  one event name per line
+//	ftrace  ftrace text log; use -task to select the thread under
+//	        analysis
+//
+// Output is a summary plus the learned automaton, as text or Graphviz
+// DOT (-dot FILE).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input trace file (required; - for stdin)")
+		informat  = flag.String("informat", "", "input format: csv, events, ftrace, vcd (default by extension)")
+		task      = flag.String("task", "", "ftrace: task to analyse (comm-pid); empty keeps all events")
+		signals   = flag.String("signals", "", "vcd: comma-separated signal names to observe (empty = all)")
+		dotOut    = flag.String("dot", "", "write the learned automaton as Graphviz DOT to this file")
+		saveOut   = flag.String("save", "", "write the learned model (for cmd/monitor) to this file")
+		predW     = flag.Int("pw", 0, "predicate window size (0 = schema default)")
+		segW      = flag.Int("w", 0, "segmentation window size (0 = 3, the paper's default)")
+		compliL   = flag.Int("l", 0, "compliance-check length (0 = 2, the paper's default)")
+		maxStates = flag.Int("max-states", 0, "state-count cap (0 = 64)")
+		noSeg     = flag.Bool("no-segmentation", false, "disable segmentation (full-trace mode)")
+		timeout   = flag.Duration("timeout", 0, "search timeout (0 = none)")
+		quiet     = flag.Bool("q", false, "print only the automaton")
+	)
+	flag.Parse()
+	if err := run(*in, *informat, *task, *signals, *dotOut, *saveOut, *predW, *segW, *compliL, *maxStates, *noSeg, *timeout, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "t2m:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, informat, task, signals, dotOut, saveOut string, predW, segW, compliL, maxStates int, noSeg bool, timeout time.Duration, quiet bool) error {
+	if in == "" {
+		return fmt.Errorf("missing -in")
+	}
+	tr, err := readTrace(in, informat, task, signals)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	model, err := repro.Learn(tr, repro.LearnOptions{
+		PredicateWindow: predW,
+		SegmentWindow:   segW,
+		ComplianceLen:   compliL,
+		MaxStates:       maxStates,
+		NonSegmented:    noSeg,
+		Timeout:         timeout,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if !quiet {
+		fmt.Printf("trace: %d observations over %d variables\n", tr.Len(), tr.Schema().Len())
+		fmt.Printf("predicate sequence: %d symbols, alphabet %d\n", len(model.P), len(model.Alphabet))
+		fmt.Printf("segments: %d, solver calls: %d, refinements: %d+%d\n",
+			model.LearnStats.Segments, model.LearnStats.SolverCalls,
+			model.LearnStats.Refinements, model.LearnStats.AcceptRefinements)
+		fmt.Printf("learned %d-state automaton in %s\n\n", model.States, elapsed.Round(time.Millisecond))
+	}
+	fmt.Print(model.Automaton.String())
+
+	if dotOut != "" {
+		name := filepath.Base(in)
+		if err := os.WriteFile(dotOut, []byte(model.Automaton.DOT(name)), 0o644); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("\nDOT written to %s\n", dotOut)
+		}
+	}
+	if saveOut != "" {
+		f, err := os.Create(saveOut)
+		if err != nil {
+			return err
+		}
+		if err := repro.SaveModel(f, model); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("model written to %s\n", saveOut)
+		}
+	}
+	return nil
+}
+
+func readTrace(in, informat, task, signals string) (*trace.Trace, error) {
+	f := os.Stdin
+	if in != "-" {
+		var err error
+		f, err = os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+	}
+	if informat == "" {
+		switch filepath.Ext(in) {
+		case ".csv":
+			informat = "csv"
+		case ".ftrace", ".trace":
+			informat = "ftrace"
+		case ".vcd":
+			informat = "vcd"
+		default:
+			informat = "events"
+		}
+	}
+	switch informat {
+	case "csv":
+		return trace.ReadCSV(f)
+	case "events":
+		return trace.ReadEvents(f)
+	case "ftrace":
+		evs, err := trace.ParseFtrace(f)
+		if err != nil {
+			return nil, err
+		}
+		return trace.FtraceToTrace(evs, task, nil), nil
+	case "vcd":
+		var names []string
+		if signals != "" {
+			names = strings.Split(signals, ",")
+		}
+		return trace.ReadVCD(f, names)
+	default:
+		return nil, fmt.Errorf("unknown input format %q", informat)
+	}
+}

@@ -1,0 +1,125 @@
+// Command tracegen generates the benchmark traces of the paper's
+// evaluation (Section IV) and writes them in the formats cmd/t2m
+// consumes: CSV for traces with numeric variables, one event per line
+// for event traces, and optionally a raw ftrace-style log for the
+// Linux kernel benchmark.
+//
+// Usage:
+//
+//	tracegen -system usbslot|usbattach|counter|serial|rtlinux|integrator
+//	         [-o FILE] [-n LENGTH] [-format csv|events|ftrace]
+//
+// With no -o the trace is written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/systems/rtlinux"
+	"repro/internal/systems/serial"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		system = flag.String("system", "", "benchmark system: usbslot, usbattach, counter, serial, rtlinux, integrator")
+		out    = flag.String("o", "", "output file (default stdout)")
+		length = flag.Int("n", 0, "override trace length (0 = paper default; supported for counter, serial, rtlinux, integrator)")
+		format = flag.String("format", "", "output format: csv, events, ftrace (default by schema)")
+	)
+	flag.Parse()
+	if err := run(*system, *out, *length, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(system, out string, length int, format string) error {
+	var (
+		tr  *trace.Trace
+		err error
+	)
+	switch system {
+	case "usbslot":
+		tr, err = experiments.GenUSBSlot()
+	case "usbattach":
+		tr, err = experiments.GenUSBAttach()
+	case "counter":
+		tr, err = experiments.GenCounter()
+	case "serial":
+		w := serial.DefaultWorkload()
+		if length > 0 {
+			w.Observations = length
+		}
+		tr, err = w.Run()
+	case "rtlinux":
+		cfg := rtlinux.DefaultConfig()
+		if length > 0 {
+			cfg.Events = length
+		}
+		sim, nerr := rtlinux.New(cfg)
+		if nerr != nil {
+			return nerr
+		}
+		tr, err = sim.Run()
+		if err == nil && format == "ftrace" {
+			return writeOut(out, func(w io.Writer) error {
+				_, werr := io.WriteString(w, sim.FtraceLog())
+				return werr
+			})
+		}
+	case "integrator":
+		if length > 0 {
+			tr, err = experiments.GenIntegratorLen(length)
+		} else {
+			tr, err = experiments.GenIntegrator()
+		}
+	case "":
+		return fmt.Errorf("missing -system (one of: usbslot, usbattach, counter, serial, rtlinux, integrator)")
+	default:
+		return fmt.Errorf("unknown system %q", system)
+	}
+	if err != nil {
+		return err
+	}
+	if length > 0 && tr.Len() > length {
+		tr = tr.Slice(0, length)
+	}
+
+	if format == "" {
+		if _, eerr := tr.Events(); eerr == nil && tr.Schema().Len() == 1 {
+			format = "events"
+		} else {
+			format = "csv"
+		}
+	}
+	switch format {
+	case "csv":
+		return writeOut(out, func(w io.Writer) error { return trace.WriteCSV(w, tr) })
+	case "events":
+		return writeOut(out, func(w io.Writer) error { return trace.WriteEvents(w, tr) })
+	case "ftrace":
+		return fmt.Errorf("-format ftrace is only supported with -system rtlinux")
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func writeOut(path string, write func(io.Writer) error) error {
+	if path == "" || path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

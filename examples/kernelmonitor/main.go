@@ -1,0 +1,86 @@
+// Kernel monitor: learn a model of RT-Linux thread scheduling from an
+// ftrace log and use it as a runtime monitor for fresh traces — the
+// application that motivates the paper's Linux benchmark (de Oliveira
+// et al. use hand-drawn kernel models as monitors; here the model is
+// learned instead).
+//
+// The example learns from a baseline run *without* the corner-case
+// kernel module, then monitors a run *with* it: the aborted-sleep path
+// (set_state_runnable) is behaviour the model has never seen, and the
+// monitor flags it — which is exactly how a coverage gap (or a
+// regression) surfaces in practice.
+//
+// Run with:
+//
+//	go run ./examples/kernelmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+	"repro/internal/systems/rtlinux"
+	"repro/internal/trace"
+)
+
+func main() {
+	// 1. Record a baseline ftrace log (pi_stress load only).
+	base := rtlinux.DefaultConfig()
+	base.Events = 4000
+	base.CornerModule = false
+	baseSim, err := rtlinux.New(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := baseSim.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Parse the log the way the paper's tooling parses real
+	// ftrace output, projecting onto the thread under analysis.
+	events, err := trace.ParseFtrace(strings.NewReader(baseSim.FtraceLog()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseTrace := trace.FtraceToTrace(events, baseSim.MonitoredTask(), nil)
+
+	// 3. Learn the scheduling model.
+	pipeline, err := repro.NewPipeline(baseTrace.Schema(), repro.LearnOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := pipeline.Learn(baseTrace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned %d-state scheduling model from %d events\n\n", model.States, baseTrace.Len())
+	fmt.Print(model.Automaton.String())
+
+	// 4. Monitor a fresh run that includes the corner-case module.
+	probe := rtlinux.DefaultConfig()
+	probe.Events = 4000
+	probe.Seed = 99
+	probeSim, err := rtlinux.New(probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probeTrace, err := probeSim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	violation, err := model.Check(probeTrace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmonitoring a run with the corner-case module enabled:")
+	if violation == nil {
+		fmt.Println("  no violations — the model explains the whole trace")
+		return
+	}
+	fmt.Printf("  %v\n", violation)
+	fmt.Println("  → the baseline load never exercised this path; extend the test")
+	fmt.Println("    suite (or flag the regression). The paper reached full model")
+	fmt.Println("    coverage only after adding an extra kernel module (Section IV).")
+}

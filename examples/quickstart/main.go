@@ -1,0 +1,36 @@
+// Quickstart: learn a concise automaton from a plain event trace with
+// the public API, print it, and render Graphviz DOT.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// An execution trace of a little file-access protocol, as a
+	// sequence of events. Real traces would come from logging or
+	// instrumentation; see trace.ReadEvents / trace.ReadCSV /
+	// trace.ParseFtrace for the supported on-disk formats.
+	var events []string
+	for i := 0; i < 8; i++ {
+		events = append(events, "open", "read", "read", "write", "close")
+	}
+
+	model, err := repro.LearnEvents(events, repro.LearnOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("learned a %d-state model from %d events\n\n", model.States, len(events))
+	fmt.Print(model.Automaton.String())
+
+	fmt.Println("\nGraphviz (pipe into `dot -Tsvg`):")
+	fmt.Print(model.Automaton.DOT("quickstart"))
+}

@@ -1,0 +1,133 @@
+// VCD waveform: learn a model straight from a hardware simulator's
+// value change dump. The example synthesises a small waveform — the
+// occupancy counter of a FIFO with correlated valid/ready handshakes —
+// renders it as IEEE 1364 VCD text, samples it back through the VCD
+// reader, and learns an automaton whose predicates describe the
+// handshake/occupancy dynamics.
+//
+// Run with:
+//
+//	go run ./examples/vcdwaveform
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"repro"
+	"repro/internal/trace"
+)
+
+// dumpVCD renders the simulated FIFO waveform as VCD text.
+func dumpVCD() string {
+	var b strings.Builder
+	b.WriteString("$date synthetic $end\n")
+	b.WriteString("$version repro examples/vcdwaveform $end\n")
+	b.WriteString("$timescale 1ns $end\n")
+	b.WriteString("$scope module top $end\n")
+	b.WriteString("$var wire 1 v valid $end\n")
+	b.WriteString("$var wire 1 r ready $end\n")
+	b.WriteString("$scope module fifo $end\n")
+	b.WriteString("$var reg 4 c occupancy [3:0] $end\n")
+	b.WriteString("$upscope $end\n$upscope $end\n")
+	b.WriteString("$enddefinitions $end\n")
+	b.WriteString("$dumpvars\n0v\n0r\nb0000 c\n$end\n")
+
+	rng := rand.New(rand.NewSource(5))
+	occ := 0
+	bits := func(n int) string {
+		s := ""
+		for k := 3; k >= 0; k-- {
+			if n&(1<<k) != 0 {
+				s += "1"
+			} else {
+				s += "0"
+			}
+		}
+		return s
+	}
+	// Bursty traffic phases, as a producer/consumer test bench
+	// generates: a push burst (valid only), a streaming phase (both
+	// high, occupancy steady), a pop burst (ready only), then an
+	// idle gap — cycled, with jittered burst lengths.
+	phases := []struct{ valid, ready bool }{
+		{true, false}, {true, true}, {false, true}, {false, false},
+	}
+	// Alignment matters: each timestamp carries this cycle's inputs
+	// together with the occupancy *before* they take effect, so a
+	// step pair exposes occ' as a function of the current
+	// observation (occ' = occ + valid − ready), exactly like the
+	// paper's integrator trace pairs (ip, op).
+	t := 1
+	prevOcc := -1
+	for t <= 400 {
+		ph := phases[(t/8)%len(phases)]
+		run := 2 + rng.Intn(5)
+		for i := 0; i < run && t <= 400; i++ {
+			valid := ph.valid && occ < 8
+			ready := ph.ready && occ > 0
+			fmt.Fprintf(&b, "#%d\n", t*10)
+			fmt.Fprintf(&b, "%dv\n", boolBit(valid))
+			fmt.Fprintf(&b, "%dr\n", boolBit(ready))
+			if occ != prevOcc {
+				fmt.Fprintf(&b, "b%s c\n", bits(occ))
+				prevOcc = occ
+			}
+			if valid {
+				occ++
+			}
+			if ready {
+				occ--
+			}
+			t++
+		}
+	}
+	return b.String()
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	vcd := dumpVCD()
+	fmt.Printf("waveform: %d bytes of VCD\n", len(vcd))
+
+	// List declared signals, then sample the ones we care about.
+	sigs, err := trace.VCDSignals(strings.NewReader(vcd))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range sigs {
+		fmt.Printf("  signal %-20s width %d\n", s.Name, s.Width)
+	}
+	tr, err := trace.ReadVCD(strings.NewReader(vcd), []string{"valid", "ready", "occupancy"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// valid and ready are environment-driven handshake inputs: mark
+	// them so learned predicates guard on them instead of trying to
+	// model their next values.
+	tr, err = tr.WithRoles(map[string]trace.Role{
+		"top.valid": trace.Input,
+		"top.ready": trace.Input,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sampled %d observations of (valid, ready, occupancy)\n\n", tr.Len())
+
+	model, err := repro.Learn(tr, repro.LearnOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned %d-state model; predicates:\n", model.States)
+	for _, sym := range model.Automaton.Symbols() {
+		fmt.Println(" ", sym)
+	}
+}

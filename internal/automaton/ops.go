@@ -1,0 +1,269 @@
+package automaton
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Operations over the learner's automata. The learned models are
+// deterministic (at most one successor per state and symbol) with
+// every state accepting and rejection only by dead end; in DFA terms
+// the implicit sink is the unique rejecting state. The operations in
+// this file use that convention throughout.
+
+// Complete returns a copy of the automaton made total over the given
+// alphabet (defaulting to the automaton's own) by adding an explicit
+// non-accepting sink state that absorbs every missing transition. The
+// sink is the highest-numbered state of the result. If the automaton
+// is already total, the copy has no sink and the second result is -1.
+func (m *NFA) Complete(alphabet []string) (*NFA, State) {
+	if len(alphabet) == 0 {
+		alphabet = m.Symbols()
+	}
+	needSink := false
+	for q := 0; q < m.numStates && !needSink; q++ {
+		for _, sym := range alphabet {
+			if len(m.delta[q][sym]) == 0 {
+				needSink = true
+				break
+			}
+		}
+	}
+	n := m.numStates
+	if needSink {
+		n++
+	}
+	out := MustNew(n, m.initial)
+	for _, tr := range m.Transitions() {
+		out.MustAddTransition(tr.From, tr.Symbol, tr.To)
+	}
+	if !needSink {
+		return out, -1
+	}
+	sink := State(m.numStates)
+	for q := 0; q < m.numStates; q++ {
+		for _, sym := range alphabet {
+			if len(m.delta[q][sym]) == 0 {
+				out.MustAddTransition(State(q), sym, sink)
+			}
+		}
+	}
+	for _, sym := range alphabet {
+		out.MustAddTransition(sink, sym, sink)
+	}
+	return out, sink
+}
+
+// Product returns the synchronized product of two automata: its
+// language is the intersection of theirs. State (a, b) is encoded as
+// a*b.NumStates()+b; only pairs reachable from the initial pair are
+// materialised, then renumbered densely.
+func Product(a, b *NFA) *NFA {
+	type pair struct{ a, b State }
+	id := map[pair]State{}
+	var order []pair
+	get := func(p pair) State {
+		if s, ok := id[p]; ok {
+			return s
+		}
+		s := State(len(order))
+		id[p] = s
+		order = append(order, p)
+		return s
+	}
+	start := pair{a.initial, b.initial}
+	get(start)
+
+	// Union alphabet in deterministic order.
+	symSet := map[string]bool{}
+	var syms []string
+	for _, s := range append(a.Symbols(), b.Symbols()...) {
+		if !symSet[s] {
+			symSet[s] = true
+			syms = append(syms, s)
+		}
+	}
+
+	type edge struct {
+		from State
+		sym  string
+		to   State
+	}
+	var edges []edge
+	for i := 0; i < len(order); i++ {
+		p := order[i]
+		for _, sym := range syms {
+			for _, ta := range a.delta[p.a][sym] {
+				for _, tb := range b.delta[p.b][sym] {
+					to := get(pair{ta, tb})
+					edges = append(edges, edge{from: State(i), sym: sym, to: to})
+				}
+			}
+		}
+	}
+	out := MustNew(len(order), 0)
+	for _, e := range edges {
+		out.MustAddTransition(e.from, e.sym, e.to)
+	}
+	return out
+}
+
+// Minimize returns the minimal deterministic automaton accepting the
+// same language, for deterministic inputs (it returns an error
+// otherwise). All states are accepting, so the initial partition is
+// {live states} ∪ {implicit sink}; refinement splits on successor
+// blocks per symbol (Moore's algorithm), with missing transitions
+// mapping to the sink block. Unreachable states are dropped first.
+func (m *NFA) Minimize() (*NFA, error) {
+	if !m.IsDeterministic() {
+		return nil, fmt.Errorf("automaton: Minimize requires a deterministic automaton")
+	}
+	// Restrict to reachable states.
+	reach := m.Reachable()
+	var states []State
+	for q := 0; q < m.numStates; q++ {
+		if reach[State(q)] {
+			states = append(states, State(q))
+		}
+	}
+	syms := m.Symbols()
+
+	// block[q] is q's partition block; the sink block is -1.
+	block := map[State]int{}
+	for _, q := range states {
+		block[q] = 0
+	}
+	succBlock := func(q State, sym string) int {
+		succ := m.delta[q][sym]
+		if len(succ) == 0 {
+			return -1
+		}
+		if !reach[succ[0]] {
+			// Deterministic + q reachable ⇒ successor reachable;
+			// defensive only.
+			return -1
+		}
+		return block[succ[0]]
+	}
+	for {
+		// Signature of each state: its block plus successor blocks.
+		groups := map[string][]State{}
+		var keys []string
+		for _, q := range states {
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "%d", block[q])
+			for _, sym := range syms {
+				fmt.Fprintf(&sb, "|%d", succBlock(q, sym))
+			}
+			k := sb.String()
+			if _, ok := groups[k]; !ok {
+				keys = append(keys, k)
+			}
+			groups[k] = append(groups[k], q)
+		}
+		if len(keys) == countBlocks(block, states) {
+			break
+		}
+		sort.Strings(keys)
+		newBlock := map[State]int{}
+		for i, k := range keys {
+			for _, q := range groups[k] {
+				newBlock[q] = i
+			}
+		}
+		block = newBlock
+	}
+
+	// Renumber blocks with the initial state's block first.
+	nBlocks := countBlocks(block, states)
+	rename := make([]State, nBlocks)
+	for i := range rename {
+		rename[i] = -1
+	}
+	next := State(0)
+	assign := func(b int) State {
+		if rename[b] == -1 {
+			rename[b] = next
+			next++
+		}
+		return rename[b]
+	}
+	assign(block[m.initial])
+	for _, q := range states {
+		assign(block[q])
+	}
+	out := MustNew(nBlocks, rename[block[m.initial]])
+	for _, q := range states {
+		for _, sym := range syms {
+			succ := m.delta[q][sym]
+			if len(succ) == 0 {
+				continue
+			}
+			out.MustAddTransition(rename[block[q]], sym, rename[block[succ[0]]])
+		}
+	}
+	return out, nil
+}
+
+func countBlocks(block map[State]int, states []State) int {
+	seen := map[int]bool{}
+	for _, q := range states {
+		seen[block[q]] = true
+	}
+	return len(seen)
+}
+
+// LanguageEquivalent reports whether two deterministic automata accept
+// the same language (all states accepting, rejection by dead end). It
+// walks the product of their sink-completions: the languages differ
+// exactly when some reachable pair disagrees on having a transition
+// for some symbol.
+func LanguageEquivalent(a, b *NFA) (bool, error) {
+	if !a.IsDeterministic() || !b.IsDeterministic() {
+		return false, fmt.Errorf("automaton: LanguageEquivalent requires deterministic automata")
+	}
+	symSet := map[string]bool{}
+	var syms []string
+	for _, s := range append(a.Symbols(), b.Symbols()...) {
+		if !symSet[s] {
+			symSet[s] = true
+			syms = append(syms, s)
+		}
+	}
+	type pair struct{ a, b State }
+	// State -1 encodes the sink.
+	seen := map[pair]bool{}
+	stack := []pair{{a.initial, b.initial}}
+	seen[stack[0]] = true
+	step := func(m *NFA, q State, sym string) State {
+		if q == -1 {
+			return -1
+		}
+		succ := m.delta[q][sym]
+		if len(succ) == 0 {
+			return -1
+		}
+		return succ[0]
+	}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, sym := range syms {
+			na := step(a, p.a, sym)
+			nb := step(b, p.b, sym)
+			if (na == -1) != (nb == -1) {
+				return false, nil
+			}
+			if na == -1 {
+				continue
+			}
+			np := pair{na, nb}
+			if !seen[np] {
+				seen[np] = true
+				stack = append(stack, np)
+			}
+		}
+	}
+	return true, nil
+}

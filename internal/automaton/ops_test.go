@@ -1,0 +1,268 @@
+package automaton
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComplete(t *testing.T) {
+	m := counterNFA(t)
+	total, sink := m.Complete(nil)
+	if sink < 0 {
+		t.Fatal("expected a sink to be added")
+	}
+	if total.NumStates() != m.NumStates()+1 {
+		t.Errorf("states = %d, want %d", total.NumStates(), m.NumStates()+1)
+	}
+	// Total over its alphabet: every state has every symbol.
+	for q := 0; q < total.NumStates(); q++ {
+		for _, sym := range m.Symbols() {
+			if len(total.Successors(State(q), sym)) == 0 {
+				t.Errorf("state %d missing %q after completion", q, sym)
+			}
+		}
+	}
+	// Sink absorbs.
+	for _, sym := range m.Symbols() {
+		succ := total.Successors(sink, sym)
+		if len(succ) != 1 || succ[0] != sink {
+			t.Errorf("sink not absorbing on %q: %v", sym, succ)
+		}
+	}
+	// Already-total automata gain no sink.
+	loop := MustNew(1, 0)
+	loop.MustAddTransition(0, "a", 0)
+	total2, sink2 := loop.Complete(nil)
+	if sink2 != -1 || total2.NumStates() != 1 {
+		t.Errorf("total automaton grew: sink=%d states=%d", sink2, total2.NumStates())
+	}
+}
+
+func TestProductIntersection(t *testing.T) {
+	// L(a) = (ab)*: prefixes; L(b) = words over {a,b} without "bb".
+	a := MustNew(2, 0)
+	a.MustAddTransition(0, "a", 1)
+	a.MustAddTransition(1, "b", 0)
+	b := MustNew(2, 0)
+	b.MustAddTransition(0, "a", 0)
+	b.MustAddTransition(0, "b", 1)
+	b.MustAddTransition(1, "a", 0)
+	p := Product(a, b)
+	cases := []struct {
+		word []string
+		want bool
+	}{
+		{[]string{}, true},
+		{[]string{"a"}, true},
+		{[]string{"a", "b"}, true},
+		{[]string{"a", "b", "a", "b"}, true},
+		{[]string{"b"}, false},           // rejected by a
+		{[]string{"a", "a"}, false},      // rejected by a
+		{[]string{"a", "b", "b"}, false}, // rejected by both orders
+	}
+	for _, c := range cases {
+		if got := p.Accepts(c.word); got != c.want {
+			t.Errorf("product accepts %v = %v, want %v", c.word, got, c.want)
+		}
+	}
+}
+
+// TestProductAgainstDefinition checks L(product) = L(a) ∩ L(b) on
+// random words.
+func TestProductAgainstDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	syms := []string{"a", "b"}
+	for trial := 0; trial < 30; trial++ {
+		mk := func() *NFA {
+			n := 1 + r.Intn(3)
+			m := MustNew(n, 0)
+			for e := 0; e < n+2; e++ {
+				m.MustAddTransition(State(r.Intn(n)), syms[r.Intn(2)], State(r.Intn(n)))
+			}
+			return m
+		}
+		a, b := mk(), mk()
+		p := Product(a, b)
+		for w := 0; w < 40; w++ {
+			word := make([]string, r.Intn(6))
+			for i := range word {
+				word[i] = syms[r.Intn(2)]
+			}
+			want := a.Accepts(word) && b.Accepts(word)
+			if got := p.Accepts(word); got != want {
+				t.Fatalf("trial %d: product accepts %v = %v, want %v", trial, word, got, want)
+			}
+		}
+	}
+}
+
+func TestMinimizeMergesRedundantStates(t *testing.T) {
+	// A 4-state chain where states 1 and 3 are equivalent
+	// (both: a-loop forever).
+	m := MustNew(4, 0)
+	m.MustAddTransition(0, "a", 1)
+	m.MustAddTransition(1, "a", 1)
+	m.MustAddTransition(0, "b", 3)
+	m.MustAddTransition(3, "a", 3)
+	min, err := m.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NumStates() != 2 {
+		t.Fatalf("minimized to %d states, want 2:\n%s", min.NumStates(), min)
+	}
+	eq, err := LanguageEquivalent(m, min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("minimization changed the language")
+	}
+}
+
+func TestMinimizeDropsUnreachable(t *testing.T) {
+	m := MustNew(3, 0)
+	m.MustAddTransition(0, "a", 0)
+	m.MustAddTransition(2, "b", 2) // unreachable
+	min, err := m.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NumStates() != 1 {
+		t.Errorf("states = %d, want 1", min.NumStates())
+	}
+}
+
+func TestMinimizeRejectsNFA(t *testing.T) {
+	m := MustNew(2, 0)
+	m.MustAddTransition(0, "a", 0)
+	m.MustAddTransition(0, "a", 1)
+	if _, err := m.Minimize(); err == nil {
+		t.Error("nondeterministic Minimize accepted")
+	}
+	if _, err := LanguageEquivalent(m, m); err == nil {
+		t.Error("nondeterministic LanguageEquivalent accepted")
+	}
+}
+
+func TestLanguageEquivalent(t *testing.T) {
+	a := counterNFA(t)
+	b := counterNFA(t)
+	eq, err := LanguageEquivalent(a, b)
+	if err != nil || !eq {
+		t.Errorf("identical automata not equivalent: %v %v", eq, err)
+	}
+	// Adding a new behaviour breaks equivalence.
+	c := counterNFA(t)
+	c.MustAddTransition(1, "up", 1)
+	eq, err = LanguageEquivalent(a, c)
+	if err != nil || eq {
+		t.Errorf("different automata equivalent: %v %v", eq, err)
+	}
+	// A state-renamed copy stays equivalent.
+	d := MustNew(4, 3)
+	d.MustAddTransition(3, "up", 3)
+	d.MustAddTransition(3, "peak", 1)
+	d.MustAddTransition(1, "down", 2)
+	d.MustAddTransition(2, "down", 2)
+	d.MustAddTransition(2, "low", 0)
+	d.MustAddTransition(0, "up", 3)
+	eq, err = LanguageEquivalent(a, d)
+	if err != nil || !eq {
+		t.Errorf("renamed automaton not equivalent: %v %v", eq, err)
+	}
+}
+
+// TestMinimizeIdempotentAndSound: random deterministic automata
+// minimize to language-equivalent machines with no more states, and
+// minimizing twice is stable.
+func TestMinimizeIdempotentAndSound(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	syms := []string{"a", "b", "c"}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(6)
+		m := MustNew(n, 0)
+		for q := 0; q < n; q++ {
+			for _, sym := range syms {
+				if r.Intn(3) != 0 {
+					m.MustAddTransition(State(q), sym, State(r.Intn(n)))
+				}
+			}
+		}
+		min, err := m.Minimize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if min.NumStates() > len(m.Reachable()) {
+			t.Fatalf("trial %d: minimize grew the machine", trial)
+		}
+		eq, err := LanguageEquivalent(m, min)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("trial %d: language changed:\nfrom\n%s\nto\n%s", trial, m, min)
+		}
+		min2, err := min.Minimize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if min2.NumStates() != min.NumStates() {
+			t.Fatalf("trial %d: minimize not idempotent (%d -> %d)", trial, min.NumStates(), min2.NumStates())
+		}
+	}
+}
+
+// TestQuickAutomatonInvariants uses testing/quick to generate random
+// transition structures and checks core invariants: reachability is
+// closed under successors, every SymbolSequences word has a state
+// path, and Complete never changes acceptance of accepted words.
+func TestQuickAutomatonInvariants(t *testing.T) {
+	type spec struct {
+		N     uint8
+		Edges [][3]uint8
+		Word  []uint8
+	}
+	syms := []string{"a", "b", "c"}
+	f := func(s spec) bool {
+		n := int(s.N%5) + 1
+		m := MustNew(n, 0)
+		for _, e := range s.Edges {
+			m.MustAddTransition(State(int(e[0])%n), syms[int(e[1])%3], State(int(e[2])%n))
+		}
+		// Reachability closure.
+		reach := m.Reachable()
+		for q := range reach {
+			for _, sym := range syms {
+				for _, to := range m.Successors(q, sym) {
+					if !reach[to] {
+						return false
+					}
+				}
+			}
+		}
+		// Symbol sequences are realisable.
+		for _, w := range m.SymbolSequences(2) {
+			if len(m.StatePaths(w)) == 0 {
+				return false
+			}
+		}
+		// Completion preserves accepted words.
+		word := make([]string, 0, len(s.Word))
+		for _, b := range s.Word {
+			word = append(word, syms[int(b)%3])
+		}
+		if len(word) > 6 {
+			word = word[:6]
+		}
+		total, _ := m.Complete(syms)
+		if m.Accepts(word) && !total.Accepts(word) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package automaton
+
+import "sort"
+
+// Property queries over learned models. The paper's conclusion
+// proposes using learned automata as candidate invariants and its
+// related work checks inferred models against temporal properties;
+// these helpers answer the safety-shaped questions that come up in
+// that workflow, interpreted over the reachable part of the automaton
+// (behaviour the model actually ascribes to the system).
+
+// Never reports whether no reachable path of the automaton is labelled
+// by seq — the safety property "the system never exhibits this
+// sequence of behaviours".
+func (m *NFA) Never(seq []string) bool {
+	if len(seq) == 0 {
+		return false // the empty sequence always occurs
+	}
+	reach := m.Reachable()
+	var dfs func(q State, depth int) bool
+	dfs = func(q State, depth int) bool {
+		if depth == len(seq) {
+			return true
+		}
+		for _, to := range m.delta[q][seq[depth]] {
+			if dfs(to, depth+1) {
+				return true
+			}
+		}
+		return false
+	}
+	for q := range reach {
+		if dfs(q, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Precedes reports whether, on every path from the initial state, an
+// a-labelled transition is taken before the first b-labelled
+// transition — the precedence property "b requires a first". It holds
+// vacuously when b is unreachable without a.
+func (m *NFA) Precedes(a, b string) bool {
+	// BFS from the initial state that refuses to cross a-edges; if
+	// any state visited this way has an outgoing b-edge, a path
+	// reaches b without a.
+	seen := map[State]bool{m.initial: true}
+	queue := []State{m.initial}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		if len(m.delta[q][b]) > 0 {
+			return false
+		}
+		for sym, succ := range m.delta[q] {
+			if sym == a {
+				continue
+			}
+			for _, to := range succ {
+				if !seen[to] {
+					seen[to] = true
+					queue = append(queue, to)
+				}
+			}
+		}
+	}
+	return true
+}
+
+// FollowSet returns the symbols that can label a transition
+// immediately after an a-labelled transition, sorted — the "what may
+// come next" view used when reviewing a model edge by edge.
+func (m *NFA) FollowSet(a string) []string {
+	set := map[string]bool{}
+	for q := 0; q < m.numStates; q++ {
+		for _, to := range m.delta[q][a] {
+			for sym, succ := range m.delta[to] {
+				if len(succ) > 0 {
+					set[sym] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for sym := range set {
+		out = append(out, sym)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AlwaysFollowedBy reports whether every occurrence of an a-labelled
+// transition can only be followed by transitions labelled with symbols
+// from the allowed set (a response-shaped safety property). States
+// with no outgoing transitions after a satisfy it trivially.
+func (m *NFA) AlwaysFollowedBy(a string, allowed []string) bool {
+	ok := map[string]bool{}
+	for _, s := range allowed {
+		ok[s] = true
+	}
+	for _, sym := range m.FollowSet(a) {
+		if !ok[sym] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,94 @@
+package automaton
+
+import "testing"
+
+// slotModel is the learned USB slot automaton shape (Fig 1b).
+func slotModel(t *testing.T) *NFA {
+	t.Helper()
+	m := MustNew(4, 0)
+	m.MustAddTransition(0, "ENABLE", 1)
+	m.MustAddTransition(1, "ADDRESS", 2)
+	m.MustAddTransition(2, "CONFIGURE", 3)
+	m.MustAddTransition(3, "STOP", 3)
+	m.MustAddTransition(3, "RESET", 2)
+	m.MustAddTransition(3, "DISABLE", 0)
+	return m
+}
+
+func TestNever(t *testing.T) {
+	m := slotModel(t)
+	if !m.Never([]string{"DISABLE", "STOP"}) {
+		t.Error("DISABLE STOP should never occur")
+	}
+	if !m.Never([]string{"ENABLE", "CONFIGURE"}) {
+		t.Error("ENABLE directly followed by CONFIGURE should never occur")
+	}
+	if m.Never([]string{"STOP", "STOP"}) {
+		t.Error("STOP STOP does occur")
+	}
+	if m.Never([]string{"RESET", "CONFIGURE"}) {
+		t.Error("RESET CONFIGURE does occur")
+	}
+	if m.Never(nil) {
+		t.Error("empty sequence always occurs")
+	}
+	// Sequences through unreachable states do not count.
+	m2 := MustNew(3, 0)
+	m2.MustAddTransition(0, "a", 0)
+	m2.MustAddTransition(2, "b", 2) // unreachable
+	if !m2.Never([]string{"b"}) {
+		t.Error("unreachable behaviour should not defeat Never")
+	}
+}
+
+func TestPrecedes(t *testing.T) {
+	m := slotModel(t)
+	if !m.Precedes("ENABLE", "CONFIGURE") {
+		t.Error("CONFIGURE requires ENABLE first")
+	}
+	if !m.Precedes("ADDRESS", "STOP") {
+		t.Error("STOP requires ADDRESS first")
+	}
+	if m.Precedes("STOP", "DISABLE") {
+		t.Error("DISABLE does not require STOP (bare attach/detach)")
+	}
+	// Vacuous truth: unreachable b.
+	m2 := MustNew(2, 0)
+	m2.MustAddTransition(0, "x", 0)
+	if !m2.Precedes("x", "zzz") {
+		t.Error("unreachable b should hold vacuously")
+	}
+}
+
+func TestFollowSet(t *testing.T) {
+	m := slotModel(t)
+	got := m.FollowSet("CONFIGURE")
+	want := []string{"DISABLE", "RESET", "STOP"}
+	if len(got) != len(want) {
+		t.Fatalf("FollowSet = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FollowSet = %v, want %v", got, want)
+		}
+	}
+	if len(m.FollowSet("DISABLE")) != 1 || m.FollowSet("DISABLE")[0] != "ENABLE" {
+		t.Errorf("FollowSet(DISABLE) = %v", m.FollowSet("DISABLE"))
+	}
+	if len(m.FollowSet("zzz")) != 0 {
+		t.Errorf("FollowSet of unknown symbol = %v", m.FollowSet("zzz"))
+	}
+}
+
+func TestAlwaysFollowedBy(t *testing.T) {
+	m := slotModel(t)
+	if !m.AlwaysFollowedBy("RESET", []string{"CONFIGURE"}) {
+		t.Error("RESET must always be followed by CONFIGURE")
+	}
+	if m.AlwaysFollowedBy("CONFIGURE", []string{"STOP"}) {
+		t.Error("CONFIGURE is not always followed by STOP")
+	}
+	if !m.AlwaysFollowedBy("ENABLE", []string{"ADDRESS"}) {
+		t.Error("ENABLE must always be followed by ADDRESS")
+	}
+}

@@ -1,0 +1,221 @@
+// Package core wires the paper's pipeline together: trace →
+// transition-predicate sequence (internal/predicate) → SAT-based
+// minimal automaton (internal/learn). It is the home of the paper's
+// primary contribution; the repository-root package repro is a thin
+// façade over it.
+//
+// Beyond learning, the package implements the monitoring application
+// the paper motivates for the RT-Linux benchmark (de Oliveira et al.
+// use hand-drawn kernel models as runtime monitors): a learned Model
+// can Check fresh traces of the same system and report the first
+// behaviour the model does not explain, which is either a coverage
+// gap or a regression.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/automaton"
+	"repro/internal/learn"
+	"repro/internal/predicate"
+	"repro/internal/trace"
+)
+
+// Options configures a Pipeline. Zero values select the paper's
+// defaults (see the field docs of predicate.Options and
+// learn.Options).
+type Options struct {
+	Predicate predicate.Options
+	Learn     learn.Options
+}
+
+// Pipeline learns models from traces over one schema. The predicate
+// generator is stateful (window memoisation, next-function seeds), so
+// learning several traces of the same system through one Pipeline
+// yields a consistent predicate alphabet.
+type Pipeline struct {
+	schema *trace.Schema
+	opts   Options
+	gen    *predicate.Generator
+}
+
+// NewPipeline returns a pipeline for the schema.
+func NewPipeline(schema *trace.Schema, opts Options) (*Pipeline, error) {
+	gen, err := predicate.NewGenerator(schema, opts.Predicate)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{schema: schema, opts: opts, gen: gen}, nil
+}
+
+// Generator exposes the pipeline's predicate generator.
+func (p *Pipeline) Generator() *predicate.Generator { return p.gen }
+
+// Model is a learned model bound to its pipeline, so it can abstract
+// and check further traces.
+type Model struct {
+	Automaton *automaton.NFA
+	P         []string
+	Alphabet  map[string]*predicate.Predicate
+	States    int
+
+	PredicateStats predicate.Stats
+	LearnStats     learn.Stats
+
+	pipeline *Pipeline
+}
+
+// Learn runs the full pipeline on one trace.
+func (p *Pipeline) Learn(tr *trace.Trace) (*Model, error) {
+	if tr == nil || tr.Len() < 2 {
+		return nil, errors.New("core: trace must have at least 2 observations")
+	}
+	preds, err := p.gen.Sequence(tr)
+	if err != nil {
+		return nil, err
+	}
+	P := make([]string, len(preds))
+	alphabet := make(map[string]*predicate.Predicate)
+	for i, pr := range preds {
+		P[i] = pr.Key
+		alphabet[pr.Key] = pr
+	}
+	res, err := learn.GenerateModel(P, p.opts.Learn)
+	if err != nil {
+		return nil, fmt.Errorf("core: model construction: %w", err)
+	}
+	return &Model{
+		Automaton:      res.Automaton,
+		P:              P,
+		Alphabet:       alphabet,
+		States:         res.Stats.FinalStates,
+		PredicateStats: p.gen.Stats,
+		LearnStats:     res.Stats,
+		pipeline:       p,
+	}, nil
+}
+
+// LearnAll learns one model from several traces of the same system —
+// independent runs all starting in the same initial state, exercising
+// behaviours one run alone may miss. Predicate abstraction is shared
+// (one alphabet) and the learned automaton accepts every run.
+func (p *Pipeline) LearnAll(trs []*trace.Trace) (*Model, error) {
+	if len(trs) == 0 {
+		return nil, errors.New("core: no traces")
+	}
+	Ps := make([][]string, len(trs))
+	alphabet := make(map[string]*predicate.Predicate)
+	for i, tr := range trs {
+		if tr == nil || tr.Len() < 2 {
+			return nil, fmt.Errorf("core: trace %d must have at least 2 observations", i)
+		}
+		preds, err := p.gen.Sequence(tr)
+		if err != nil {
+			return nil, fmt.Errorf("core: trace %d: %w", i, err)
+		}
+		P := make([]string, len(preds))
+		for j, pr := range preds {
+			P[j] = pr.Key
+			alphabet[pr.Key] = pr
+		}
+		Ps[i] = P
+	}
+	res, err := learn.GenerateModelMulti(Ps, p.opts.Learn)
+	if err != nil {
+		return nil, fmt.Errorf("core: model construction: %w", err)
+	}
+	var flat []string
+	for _, P := range Ps {
+		flat = append(flat, P...)
+	}
+	return &Model{
+		Automaton:      res.Automaton,
+		P:              flat,
+		Alphabet:       alphabet,
+		States:         res.Stats.FinalStates,
+		PredicateStats: p.gen.Stats,
+		LearnStats:     res.Stats,
+		pipeline:       p,
+	}, nil
+}
+
+// Violation reports the first behaviour of a checked trace that the
+// model does not explain.
+type Violation struct {
+	// Position is the predicate-sequence index at which the run
+	// died (≈ the trace observation index of the window).
+	Position int
+	// Predicate is the unexplained predicate.
+	Predicate string
+	// KnownSymbol reports whether the predicate occurs anywhere in
+	// the model (false means entirely novel behaviour; true means a
+	// known behaviour in an unexpected context).
+	KnownSymbol bool
+	// State is the model state the run was in.
+	State automaton.State
+}
+
+// Error renders the violation.
+func (v *Violation) Error() string {
+	kind := "novel behaviour"
+	if v.KnownSymbol {
+		kind = "known behaviour in unexpected context"
+	}
+	return fmt.Sprintf("monitor: %s at position %d: %s (model state q%d)",
+		kind, v.Position, v.Predicate, v.State+1)
+}
+
+// Check abstracts a fresh trace with the model's own predicate
+// generator and runs it through the automaton, returning the first
+// violation, or nil when the model explains the whole trace. The
+// paper's monitoring application: learned kernel models checking live
+// scheduler traces.
+func (m *Model) Check(tr *trace.Trace) (*Violation, error) {
+	preds, err := m.pipeline.gen.Sequence(tr)
+	if err != nil {
+		return nil, err
+	}
+	known := map[string]bool{}
+	for _, sym := range m.Automaton.Symbols() {
+		known[sym] = true
+	}
+	cur := m.Automaton.Initial()
+	for i, pr := range preds {
+		succ := m.Automaton.Successors(cur, pr.Key)
+		if len(succ) == 0 {
+			return &Violation{
+				Position:    i,
+				Predicate:   pr.Key,
+				KnownSymbol: known[pr.Key],
+				State:       cur,
+			}, nil
+		}
+		cur = succ[0]
+	}
+	return nil, nil
+}
+
+// Explain returns, for every automaton transition, one witness step
+// index of the trace where the transition's predicate holds —
+// documentation for each learned edge.
+func (m *Model) Explain(tr *trace.Trace) (map[string]int, error) {
+	witness := map[string]int{}
+	for _, sym := range m.Automaton.Symbols() {
+		pr, ok := m.Alphabet[sym]
+		if !ok {
+			continue
+		}
+		for step := 0; step < tr.Steps(); step++ {
+			holds, err := tr.HoldsAt(pr.Expr, step)
+			if err != nil {
+				return nil, err
+			}
+			if holds {
+				witness[sym] = step
+				break
+			}
+		}
+	}
+	return witness, nil
+}

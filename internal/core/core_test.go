@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/learn"
+	"repro/internal/predicate"
+	"repro/internal/trace"
+)
+
+func pipeline(t *testing.T, schema *trace.Schema) *Pipeline {
+	t.Helper()
+	p, err := NewPipeline(schema, Options{Learn: learn.Options{Segmented: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if _, err := NewPipeline(trace.EventSchema(), Options{
+		Predicate: predicate.Options{Window: 1},
+	}); err == nil {
+		t.Error("window 1 accepted")
+	}
+	p := pipeline(t, trace.EventSchema())
+	if _, err := p.Learn(nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := p.Learn(trace.FromEvents([]string{"a"})); err == nil {
+		t.Error("1-observation trace accepted")
+	}
+}
+
+func TestLearnAndCheck(t *testing.T) {
+	p := pipeline(t, trace.EventSchema())
+	var evs []string
+	for i := 0; i < 10; i++ {
+		evs = append(evs, "a", "b")
+	}
+	m, err := p.Learn(trace.FromEvents(evs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.States == 0 || len(m.P) != len(evs)-1 {
+		t.Fatalf("model: states=%d |P|=%d", m.States, len(m.P))
+	}
+	v, err := m.Check(trace.FromEvents([]string{"a", "b", "a", "b"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Errorf("conforming trace flagged: %v", v)
+	}
+	v, err = m.Check(trace.FromEvents([]string{"a", "a", "b"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("aa not flagged")
+	}
+	if v.Position != 1 || !v.KnownSymbol {
+		t.Errorf("violation = %+v, want position 1, known symbol", v)
+	}
+}
+
+func TestCheckSchemaMismatch(t *testing.T) {
+	p := pipeline(t, trace.EventSchema())
+	m, err := p.Learn(trace.FromEvents([]string{"a", "b", "a", "b"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := trace.New(trace.MustSchema(trace.VarDef{Name: "x", Type: expr.Int}))
+	other.MustAppend(trace.Observation{expr.IntVal(1)})
+	other.MustAppend(trace.Observation{expr.IntVal(2)})
+	other.MustAppend(trace.Observation{expr.IntVal(3)})
+	if _, err := m.Check(other); err == nil {
+		t.Error("mismatched schema accepted by Check")
+	}
+}
+
+func TestExplainAllSymbols(t *testing.T) {
+	schema := trace.MustSchema(trace.VarDef{Name: "x", Type: expr.Int})
+	tr := trace.New(schema)
+	for _, v := range []int64{1, 2, 3, 4, 5, 4, 3, 2, 1, 2, 3, 4, 5, 4, 3, 2, 1} {
+		tr.MustAppend(trace.Observation{expr.IntVal(v)})
+	}
+	p := pipeline(t, schema)
+	m, err := p.Learn(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.Explain(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != len(m.Automaton.Symbols()) {
+		t.Errorf("witnesses for %d of %d symbols", len(w), len(m.Automaton.Symbols()))
+	}
+	for sym, step := range w {
+		pr := m.Alphabet[sym]
+		ok, err := tr.HoldsAt(pr.Expr, step)
+		if err != nil || !ok {
+			t.Errorf("witness step %d for %q does not satisfy it (%v)", step, sym, err)
+		}
+	}
+}
+
+func TestPipelineSharedAlphabet(t *testing.T) {
+	schema := trace.EventSchema()
+	p := pipeline(t, schema)
+	m1, err := p.Learn(trace.FromEvents([]string{"x", "y", "x", "y", "x"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := p.Learn(trace.FromEvents([]string{"y", "x", "y", "x", "y"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range m1.Alphabet {
+		if _, ok := m2.Alphabet[k]; !ok {
+			t.Errorf("alphabet diverged: %q missing from second model", k)
+		}
+	}
+	if p.Generator() == nil {
+		t.Error("nil generator")
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+func TestStateInvariantsCounter(t *testing.T) {
+	tr := counterTrace(t, 60)
+	p := pipeline(t, tr.Schema())
+	m, err := p.Learn(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs, err := m.StateInvariants(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) == 0 {
+		t.Fatal("no invariants")
+	}
+	totalVisits := 0
+	for _, inv := range invs {
+		totalVisits += inv.Visits
+		if inv.Expr == nil {
+			t.Fatalf("state q%d has nil invariant", inv.State+1)
+		}
+		// The invariant must be a predicate over current variables
+		// only (no primed references).
+		for name, v := range expr.Vars(inv.Expr) {
+			if v.Primed {
+				t.Errorf("invariant references primed variable %s", name)
+			}
+		}
+	}
+	if totalVisits != tr.Len() {
+		t.Errorf("visits sum to %d, trace has %d observations", totalVisits, tr.Len())
+	}
+	// Soundness on the trace: replay and check each observation
+	// satisfies its state's invariant.
+	preds, err := p.gen.Sequence(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invOf := map[int]expr.Expr{}
+	for _, inv := range invs {
+		invOf[int(inv.State)] = inv.Expr
+	}
+	cur := m.Automaton.Initial()
+	checkObs := func(i int, q int) {
+		env := expr.MapEnv{Cur: map[string]expr.Value{}}
+		for j := 0; j < tr.Schema().Len(); j++ {
+			env.Cur[tr.Schema().Var(j).Name] = tr.At(i)[j]
+		}
+		v, err := invOf[q].Eval(env)
+		if err != nil || !v.B {
+			t.Fatalf("observation %d violates invariant of q%d: %v %v", i, q+1, v, err)
+		}
+	}
+	for i, pr := range preds {
+		checkObs(i, int(cur))
+		succ := m.Automaton.Successors(cur, pr.Key)
+		if len(succ) == 0 {
+			t.Fatal("trace leaves model")
+		}
+		cur = succ[0]
+	}
+	checkObs(tr.Len()-1, int(cur))
+
+	// The counter's value range must be bounded by the trace range
+	// in every invariant: 1..5.
+	for _, inv := range invs {
+		s := inv.Expr.String()
+		if s == "true" {
+			t.Errorf("state q%d has trivial invariant", inv.State+1)
+		}
+	}
+}
+
+func TestStateInvariantsEventTrace(t *testing.T) {
+	p := pipeline(t, trace.EventSchema())
+	var evs []string
+	for i := 0; i < 10; i++ {
+		evs = append(evs, "a", "b")
+	}
+	m, err := p.Learn(trace.FromEvents(evs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs, err := m.StateInvariants(trace.FromEvents(evs), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inv := range invs {
+		if inv.Expr == nil {
+			t.Fatalf("nil invariant for q%d", inv.State+1)
+		}
+	}
+	// A non-conforming trace errors.
+	if _, err := m.StateInvariants(trace.FromEvents([]string{"a", "a", "b"}), 2); err == nil {
+		t.Error("non-conforming trace accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+
+	"repro/internal/systems/counter"
+	"repro/internal/systems/integrator"
+	"repro/internal/systems/rtlinux"
+	"repro/internal/systems/serial"
+	"repro/internal/systems/usbxhci"
+	"repro/internal/trace"
+)
+
+// errorsIs wraps errors.Is for experiments.go.
+func errorsIs(err, target error) bool { return errors.Is(err, target) }
+
+// GenUSBSlot produces the USB Slot benchmark trace (39 slot command
+// events).
+func GenUSBSlot() (*trace.Trace, error) {
+	return usbxhci.DefaultSlotWorkload().Run()
+}
+
+// GenUSBAttach produces the USB Attach benchmark trace (259 interface
+// events).
+func GenUSBAttach() (*trace.Trace, error) {
+	return usbxhci.DefaultAttachWorkload().Run()
+}
+
+// GenCounter produces the Counter benchmark trace (447 observations,
+// threshold 128).
+func GenCounter() (*trace.Trace, error) {
+	return counter.DefaultConfig().Run()
+}
+
+// GenSerial produces the Serial I/O Port benchmark trace (2076
+// observations of event and queue length).
+func GenSerial() (*trace.Trace, error) {
+	return serial.DefaultWorkload().Run()
+}
+
+// GenRTLinux produces the Linux Kernel benchmark trace (20165
+// scheduler events of the thread under analysis), by simulating the
+// system, rendering the full ftrace log, and parsing it back — the
+// same path the paper's tooling takes through real ftrace output.
+func GenRTLinux() (*trace.Trace, error) {
+	sim, err := rtlinux.New(rtlinux.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	direct, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	parsed, err := trace.ParseFtrace(strings.NewReader(sim.FtraceLog()))
+	if err != nil {
+		return nil, err
+	}
+	viaFtrace := trace.FtraceToTrace(parsed, sim.MonitoredTask(), nil)
+	// The direct trace is truncated to the configured event count;
+	// slice the parsed view to the same length.
+	return viaFtrace.Slice(0, direct.Len()), nil
+}
+
+// GenIntegrator produces the Integrator benchmark trace (32768
+// observations).
+func GenIntegrator() (*trace.Trace, error) {
+	return integrator.DefaultConfig().Run()
+}
+
+// GenIntegratorLen produces an integrator trace of the given length
+// (the Fig 7 sweep).
+func GenIntegratorLen(n int) (*trace.Trace, error) {
+	cfg := integrator.DefaultConfig()
+	cfg.Observations = n
+	return cfg.Run()
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// PropertyResult is one checked safety property of a learned model.
+type PropertyResult struct {
+	Case     string
+	Property string
+	Holds    bool
+	Expected bool
+}
+
+// CheckProperties learns the USB Slot and RT-Linux models and checks
+// the safety properties their specifications imply — the workflow the
+// paper's conclusion sketches (learned models as candidate invariants
+// to be checked and then assumed). Each entry records whether the
+// property holds of the learned model and whether the specification
+// expects it to.
+func CheckProperties() ([]PropertyResult, error) {
+	var out []PropertyResult
+
+	// USB Slot: the xHCI spec's slot-command ordering.
+	slotCase, err := CaseByName("USB Slot")
+	if err != nil {
+		return nil, err
+	}
+	slot, err := LearnCase(slotCase, time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	g := func(cmd string) string { return "event = '" + cmd + "'" }
+	m := slot.Automaton
+	out = append(out,
+		PropertyResult{"USB Slot", "ENABLE_SLOT precedes ADDR_DEV", m.Precedes(g("CR_ENABLE_SLOT"), g("CR_ADDR_DEV_BSR0")), true},
+		PropertyResult{"USB Slot", "ADDR_DEV precedes CONFIG_END", m.Precedes(g("CR_ADDR_DEV_BSR0"), g("CR_CONFIG_END")), true},
+		PropertyResult{"USB Slot", "CONFIG_END precedes STOP_END", m.Precedes(g("CR_CONFIG_END"), g("CR_STOP_END")), true},
+		PropertyResult{"USB Slot", "never DISABLE then STOP", m.Never([]string{g("CR_DISABLE_SLOT"), g("CR_STOP_END")}), true},
+		PropertyResult{"USB Slot", "never double ENABLE", m.Never([]string{g("CR_ENABLE_SLOT"), g("CR_ENABLE_SLOT")}), true},
+		PropertyResult{"USB Slot", "RESET always followed by CONFIG_END", m.AlwaysFollowedBy(g("CR_RESET_DEVICE"), []string{g("CR_CONFIG_END")}), true},
+	)
+
+	// RT-Linux: the thread-model invariants of Fig 6.
+	rtCase, err := CaseByName("Linux Kernel")
+	if err != nil {
+		return nil, err
+	}
+	rt, err := LearnCase(rtCase, 2*time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	k := rt.Automaton
+	ev := func(name string) string { return "event = '" + name + "'" }
+	out = append(out,
+		PropertyResult{"Linux Kernel", "waking precedes switch_in", k.Precedes(ev("sched_waking"), ev("sched_switch_in")), true},
+		PropertyResult{"Linux Kernel", "never suspend directly after switch_in", k.Never([]string{ev("sched_switch_in"), ev("sched_switch_suspend")}), true},
+		PropertyResult{"Linux Kernel", "never two switch_in in a row", k.Never([]string{ev("sched_switch_in"), ev("sched_switch_in")}), true},
+		PropertyResult{"Linux Kernel", "suspend only after sched_entry", k.Precedes(ev("sched_entry"), ev("sched_switch_suspend")), true},
+	)
+	return out, nil
+}
+
+// Describe renders one property result row.
+func (r PropertyResult) Describe() string {
+	verdict := "HOLDS"
+	if !r.Holds {
+		verdict = "VIOLATED"
+	}
+	note := ""
+	if r.Holds != r.Expected {
+		note = "  (unexpected!)"
+	}
+	return fmt.Sprintf("%-14s %-42s %s%s", r.Case, r.Property, verdict, note)
+}

@@ -1,0 +1,485 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op enumerates the operators of the predicate language.
+type Op uint8
+
+// Operators. Arithmetic operators apply to Int operands; comparison
+// operators compare Int (all six) or Bool/Sym (equality only); logical
+// operators apply to Bool operands.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpNeg
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpNot
+	OpIte
+)
+
+var opNames = [...]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpNeg: "-",
+	OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "&&", OpOr: "||", OpNot: "!", OpIte: "ite",
+}
+
+// String returns the surface syntax of the operator.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Expr is an immutable expression tree node. Implementations are Lit,
+// Var, Unary, Binary and Ite. Expressions compare equal exactly when
+// their canonical String forms are equal.
+type Expr interface {
+	// Type returns the static type of the expression. Expressions
+	// produced by this package are always well-typed.
+	Type() Type
+	// Eval evaluates the expression in env.
+	Eval(env Env) (Value, error)
+	// Size is the node count, used by the synthesizer to rank
+	// candidate expressions by conciseness.
+	Size() int
+	// String renders canonical surface syntax that the package
+	// parser accepts; it doubles as the structural identity key.
+	String() string
+	// appendString writes the canonical form to b.
+	appendString(b *strings.Builder)
+}
+
+// Lit is a literal constant.
+type Lit struct {
+	Val Value
+}
+
+// IntLit returns an integer literal expression.
+func IntLit(i int64) *Lit { return &Lit{Val: IntVal(i)} }
+
+// BoolLit returns a boolean literal expression.
+func BoolLit(b bool) *Lit { return &Lit{Val: BoolVal(b)} }
+
+// SymLit returns a symbol literal expression.
+func SymLit(s string) *Lit { return &Lit{Val: SymVal(s)} }
+
+// Type implements Expr.
+func (l *Lit) Type() Type { return l.Val.T }
+
+// Eval implements Expr.
+func (l *Lit) Eval(Env) (Value, error) { return l.Val, nil }
+
+// Size implements Expr.
+func (l *Lit) Size() int { return 1 }
+
+// String implements Expr.
+func (l *Lit) String() string {
+	var b strings.Builder
+	l.appendString(&b)
+	return b.String()
+}
+
+func (l *Lit) appendString(b *strings.Builder) {
+	if l.Val.T == Sym {
+		// Symbols are quoted so that event names can never be
+		// confused with variable references.
+		b.WriteByte('\'')
+		b.WriteString(l.Val.S)
+		b.WriteByte('\'')
+		return
+	}
+	b.WriteString(l.Val.String())
+}
+
+// Var references a trace variable, either its current value (Primed
+// false, written `x`) or its next-state value (Primed true, written
+// `x'`).
+type Var struct {
+	Name   string
+	Primed bool
+	T      Type
+}
+
+// NewVar returns a reference to the current value of a variable.
+func NewVar(name string, t Type) *Var { return &Var{Name: name, T: t} }
+
+// NewPrimedVar returns a reference to the next-state value of a variable.
+func NewPrimedVar(name string, t Type) *Var { return &Var{Name: name, Primed: true, T: t} }
+
+// Type implements Expr.
+func (v *Var) Type() Type { return v.T }
+
+// Eval implements Expr.
+func (v *Var) Eval(env Env) (Value, error) {
+	val, ok := env.Lookup(v.Name, v.Primed)
+	if !ok {
+		return Value{}, evalErrf(v, "unbound variable")
+	}
+	if val.T != v.T {
+		return Value{}, evalErrf(v, "bound to %s value %s, want %s", val.T, val, v.T)
+	}
+	return val, nil
+}
+
+// Size implements Expr.
+func (v *Var) Size() int { return 1 }
+
+// String implements Expr.
+func (v *Var) String() string {
+	var b strings.Builder
+	v.appendString(&b)
+	return b.String()
+}
+
+func (v *Var) appendString(b *strings.Builder) {
+	b.WriteString(v.Name)
+	if v.Primed {
+		b.WriteByte('\'')
+	}
+}
+
+// Unary applies OpNeg (Int → Int) or OpNot (Bool → Bool).
+type Unary struct {
+	Op Op
+	X  Expr
+}
+
+// Neg returns the arithmetic negation of x. Negation of an integer
+// literal folds to a literal so that -5 has a single canonical form
+// shared with the parser.
+func Neg(x Expr) Expr {
+	if lit, ok := x.(*Lit); ok && lit.Val.T == Int {
+		return IntLit(-lit.Val.I)
+	}
+	return &Unary{Op: OpNeg, X: x}
+}
+
+// Not returns the logical negation of x.
+func Not(x Expr) *Unary { return &Unary{Op: OpNot, X: x} }
+
+// Type implements Expr.
+func (u *Unary) Type() Type {
+	if u.Op == OpNot {
+		return Bool
+	}
+	return Int
+}
+
+// Eval implements Expr.
+func (u *Unary) Eval(env Env) (Value, error) {
+	x, err := u.X.Eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch u.Op {
+	case OpNeg:
+		if x.T != Int {
+			return Value{}, evalErrf(u, "operand of - is %s, want int", x.T)
+		}
+		return IntVal(-x.I), nil
+	case OpNot:
+		if x.T != Bool {
+			return Value{}, evalErrf(u, "operand of ! is %s, want bool", x.T)
+		}
+		return BoolVal(!x.B), nil
+	default:
+		return Value{}, evalErrf(u, "bad unary operator %s", u.Op)
+	}
+}
+
+// Size implements Expr.
+func (u *Unary) Size() int { return 1 + u.X.Size() }
+
+// String implements Expr.
+func (u *Unary) String() string {
+	var b strings.Builder
+	u.appendString(&b)
+	return b.String()
+}
+
+func (u *Unary) appendString(b *strings.Builder) {
+	b.WriteString(u.Op.String())
+	b.WriteByte('(')
+	u.X.appendString(b)
+	b.WriteByte(')')
+}
+
+// Binary applies a binary operator to two operands. Well-typedness
+// rules: arithmetic needs Int operands; ordering comparisons need Int
+// operands; equality needs same-typed operands; logic needs Bool.
+type Binary struct {
+	Op   Op
+	L, R Expr
+}
+
+// Add returns l + r.
+func Add(l, r Expr) *Binary { return &Binary{Op: OpAdd, L: l, R: r} }
+
+// Sub returns l - r.
+func Sub(l, r Expr) *Binary { return &Binary{Op: OpSub, L: l, R: r} }
+
+// Mul returns l * r.
+func Mul(l, r Expr) *Binary { return &Binary{Op: OpMul, L: l, R: r} }
+
+// Eq returns l = r.
+func Eq(l, r Expr) *Binary { return &Binary{Op: OpEq, L: l, R: r} }
+
+// Ne returns l != r.
+func Ne(l, r Expr) *Binary { return &Binary{Op: OpNe, L: l, R: r} }
+
+// Lt returns l < r.
+func Lt(l, r Expr) *Binary { return &Binary{Op: OpLt, L: l, R: r} }
+
+// Le returns l <= r.
+func Le(l, r Expr) *Binary { return &Binary{Op: OpLe, L: l, R: r} }
+
+// Gt returns l > r.
+func Gt(l, r Expr) *Binary { return &Binary{Op: OpGt, L: l, R: r} }
+
+// Ge returns l >= r.
+func Ge(l, r Expr) *Binary { return &Binary{Op: OpGe, L: l, R: r} }
+
+// And returns l && r.
+func And(l, r Expr) *Binary { return &Binary{Op: OpAnd, L: l, R: r} }
+
+// Or returns l || r.
+func Or(l, r Expr) *Binary { return &Binary{Op: OpOr, L: l, R: r} }
+
+// Type implements Expr.
+func (e *Binary) Type() Type {
+	switch e.Op {
+	case OpAdd, OpSub, OpMul:
+		return Int
+	default:
+		return Bool
+	}
+}
+
+// Eval implements Expr.
+func (e *Binary) Eval(env Env) (Value, error) {
+	l, err := e.L.Eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	// Short-circuit logical operators before evaluating the right
+	// operand, mirroring conventional semantics.
+	switch e.Op {
+	case OpAnd:
+		if l.T != Bool {
+			return Value{}, evalErrf(e, "left operand of && is %s, want bool", l.T)
+		}
+		if !l.B {
+			return BoolVal(false), nil
+		}
+	case OpOr:
+		if l.T != Bool {
+			return Value{}, evalErrf(e, "left operand of || is %s, want bool", l.T)
+		}
+		if l.B {
+			return BoolVal(true), nil
+		}
+	}
+	r, err := e.R.Eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch e.Op {
+	case OpAdd, OpSub, OpMul:
+		if l.T != Int || r.T != Int {
+			return Value{}, evalErrf(e, "operands of %s are %s,%s, want int,int", e.Op, l.T, r.T)
+		}
+		switch e.Op {
+		case OpAdd:
+			return IntVal(l.I + r.I), nil
+		case OpSub:
+			return IntVal(l.I - r.I), nil
+		default:
+			return IntVal(l.I * r.I), nil
+		}
+	case OpEq:
+		if l.T != r.T {
+			return Value{}, evalErrf(e, "comparing %s with %s", l.T, r.T)
+		}
+		return BoolVal(l.Equal(r)), nil
+	case OpNe:
+		if l.T != r.T {
+			return Value{}, evalErrf(e, "comparing %s with %s", l.T, r.T)
+		}
+		return BoolVal(!l.Equal(r)), nil
+	case OpLt, OpLe, OpGt, OpGe:
+		if l.T != Int || r.T != Int {
+			return Value{}, evalErrf(e, "operands of %s are %s,%s, want int,int", e.Op, l.T, r.T)
+		}
+		switch e.Op {
+		case OpLt:
+			return BoolVal(l.I < r.I), nil
+		case OpLe:
+			return BoolVal(l.I <= r.I), nil
+		case OpGt:
+			return BoolVal(l.I > r.I), nil
+		default:
+			return BoolVal(l.I >= r.I), nil
+		}
+	case OpAnd:
+		if r.T != Bool {
+			return Value{}, evalErrf(e, "right operand of && is %s, want bool", r.T)
+		}
+		return BoolVal(r.B), nil
+	case OpOr:
+		if r.T != Bool {
+			return Value{}, evalErrf(e, "right operand of || is %s, want bool", r.T)
+		}
+		return BoolVal(r.B), nil
+	default:
+		return Value{}, evalErrf(e, "bad binary operator %s", e.Op)
+	}
+}
+
+// Size implements Expr.
+func (e *Binary) Size() int { return 1 + e.L.Size() + e.R.Size() }
+
+// String implements Expr.
+func (e *Binary) String() string {
+	var b strings.Builder
+	e.appendString(&b)
+	return b.String()
+}
+
+// precedence levels for printing and parsing; higher binds tighter.
+func precedence(op Op) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return 3
+	case OpAdd, OpSub:
+		return 4
+	case OpMul:
+		return 5
+	default:
+		return 6
+	}
+}
+
+func (e *Binary) appendString(b *strings.Builder) {
+	writeOperand(b, e.L, precedence(e.Op), false)
+	b.WriteByte(' ')
+	b.WriteString(e.Op.String())
+	b.WriteByte(' ')
+	writeOperand(b, e.R, precedence(e.Op), true)
+}
+
+// writeOperand writes child, parenthesised when its top-level operator
+// binds no tighter than the parent. Binary operators here are treated
+// as left-associative, so a right child at equal precedence is also
+// parenthesised; this keeps printing unambiguous and round-trippable.
+func writeOperand(b *strings.Builder, child Expr, parentPrec int, rightChild bool) {
+	var childPrec int
+	switch c := child.(type) {
+	case *Binary:
+		childPrec = precedence(c.Op)
+	default:
+		childPrec = 6
+	}
+	need := childPrec < parentPrec || (rightChild && childPrec == parentPrec)
+	if need {
+		b.WriteByte('(')
+	}
+	child.appendString(b)
+	if need {
+		b.WriteByte(')')
+	}
+}
+
+// Ite is the conditional expression ite(cond, then, else). Then and
+// Else must share a type, which is the type of the whole expression.
+type Ite struct {
+	Cond, Then, Else Expr
+}
+
+// NewIte returns ite(cond, then, els).
+func NewIte(cond, then, els Expr) *Ite { return &Ite{Cond: cond, Then: then, Else: els} }
+
+// Type implements Expr.
+func (e *Ite) Type() Type { return e.Then.Type() }
+
+// Eval implements Expr.
+func (e *Ite) Eval(env Env) (Value, error) {
+	c, err := e.Cond.Eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	if c.T != Bool {
+		return Value{}, evalErrf(e, "condition is %s, want bool", c.T)
+	}
+	if c.B {
+		return e.Then.Eval(env)
+	}
+	return e.Else.Eval(env)
+}
+
+// Size implements Expr.
+func (e *Ite) Size() int { return 1 + e.Cond.Size() + e.Then.Size() + e.Else.Size() }
+
+// String implements Expr.
+func (e *Ite) String() string {
+	var b strings.Builder
+	e.appendString(&b)
+	return b.String()
+}
+
+func (e *Ite) appendString(b *strings.Builder) {
+	b.WriteString("ite(")
+	e.Cond.appendString(b)
+	b.WriteString(", ")
+	e.Then.appendString(b)
+	b.WriteString(", ")
+	e.Else.appendString(b)
+	b.WriteByte(')')
+}
+
+// Vars returns the set of variable references occurring in e, as a map
+// from "name" or "name'" to the Var node.
+func Vars(e Expr) map[string]*Var {
+	out := map[string]*Var{}
+	collectVars(e, out)
+	return out
+}
+
+func collectVars(e Expr, out map[string]*Var) {
+	switch n := e.(type) {
+	case *Var:
+		out[n.String()] = n
+	case *Unary:
+		collectVars(n.X, out)
+	case *Binary:
+		collectVars(n.L, out)
+		collectVars(n.R, out)
+	case *Ite:
+		collectVars(n.Cond, out)
+		collectVars(n.Then, out)
+		collectVars(n.Else, out)
+	}
+}
+
+// Equal reports structural equality of two expressions.
+func Equal(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.String() == b.String()
+}

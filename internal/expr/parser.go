@@ -1,0 +1,408 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the canonical surface syntax produced by Expr.String.
+//
+// Grammar (precedence climbing, lowest first):
+//
+//	expr    := or
+//	or      := and { "||" and }
+//	and     := cmp { "&&" cmp }
+//	cmp     := sum [ ("="|"!="|"<"|"<="|">"|">=") sum ]
+//	sum     := term { ("+"|"-") term }
+//	term    := factor { "*" factor }
+//	factor  := "-" "(" expr ")" | "!" "(" expr ")" | "-" factor
+//	         | "ite" "(" expr "," expr "," expr ")"
+//	         | "(" expr ")" | int | "true" | "false"
+//	         | "'" sym "'" | ident ["'"]
+//
+// types gives the type of each trace variable; identifiers not present
+// in types are a parse error. Symbols ('quoted') parse as Sym literals.
+func Parse(src string, types map[string]Type) (Expr, error) {
+	p := &parser{types: types}
+	if err := p.lex(src); err != nil {
+		return nil, err
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("parse %q: trailing input at %q", src, p.peek().text)
+	}
+	if err := checkTypes(e); err != nil {
+		return nil, fmt.Errorf("parse %q: %w", src, err)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and
+// static tables.
+func MustParse(src string, types map[string]Type) Expr {
+	e, err := Parse(src, types)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokInt
+	tokIdent
+	tokSym
+	tokOp     // punctuation operator
+	tokLParen // (
+	tokRParen // )
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type parser struct {
+	toks  []token
+	i     int
+	types map[string]Type
+}
+
+func (p *parser) lex(src string) error {
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			p.toks = append(p.toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			p.toks = append(p.toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			p.toks = append(p.toks, token{tokComma, ",", i})
+			i++
+		case c == '\'':
+			j := strings.IndexByte(src[i+1:], '\'')
+			if j < 0 {
+				return fmt.Errorf("lex %q: unterminated symbol at %d", src, i)
+			}
+			p.toks = append(p.toks, token{tokSym, src[i+1 : i+1+j], i})
+			i += j + 2
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			p.toks = append(p.toks, token{tokInt, src[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentRune(rune(src[j])) {
+				j++
+			}
+			text := src[i:j]
+			// A trailing apostrophe marks a primed variable;
+			// it belongs to the identifier token.
+			if j < len(src) && src[j] == '\'' {
+				// Only when not opening a symbol literal:
+				// symbols always follow an operator, never an
+				// identifier, so an apostrophe directly after
+				// identifier characters is a prime.
+				text += "'"
+				j++
+			}
+			p.toks = append(p.toks, token{tokIdent, text, i})
+			i = j
+		default:
+			for _, op := range [...]string{"&&", "||", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "!"} {
+				if strings.HasPrefix(src[i:], op) {
+					p.toks = append(p.toks, token{tokOp, op, i})
+					i += len(op)
+					goto next
+				}
+			}
+			return fmt.Errorf("lex %q: unexpected character %q at %d", src, c, i)
+		next:
+		}
+	}
+	p.toks = append(p.toks, token{tokEOF, "", len(src)})
+	return nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentRune(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) acceptOp(text string) bool {
+	if t := p.peek(); t.kind == tokOp && t.text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("expected %s at %d, found %q", what, t.pos, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptOp("||") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptOp("&&") {
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = And(l, r)
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]Op{
+	"=": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokOp {
+		if op, ok := cmpOps[t.text]; ok {
+			p.i++
+			r, err := p.parseSum()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseSum() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = Add(l, r)
+		case p.acceptOp("-"):
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = Sub(l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptOp("*") {
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = Mul(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokOp && t.text == "-":
+		p.i++
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of literals so that -5 parses as a literal,
+		// matching the canonical printer.
+		if lit, ok := x.(*Lit); ok && lit.Val.T == Int {
+			return IntLit(-lit.Val.I), nil
+		}
+		return Neg(x), nil
+	case t.kind == tokOp && t.text == "!":
+		p.i++
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Not(x), nil
+	case t.kind == tokLParen:
+		p.i++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokInt:
+		p.i++
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("integer literal %q at %d: %w", t.text, t.pos, err)
+		}
+		return IntLit(v), nil
+	case t.kind == tokSym:
+		p.i++
+		return SymLit(t.text), nil
+	case t.kind == tokIdent:
+		p.i++
+		switch t.text {
+		case "true":
+			return BoolLit(true), nil
+		case "false":
+			return BoolLit(false), nil
+		case "ite":
+			if _, err := p.expect(tokLParen, "("); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokComma, ","); err != nil {
+				return nil, err
+			}
+			then, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokComma, ","); err != nil {
+				return nil, err
+			}
+			els, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return nil, err
+			}
+			return NewIte(cond, then, els), nil
+		}
+		name, primed := strings.CutSuffix(t.text, "'")
+		ty, ok := p.types[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown variable %q at %d", name, t.pos)
+		}
+		return &Var{Name: name, Primed: primed, T: ty}, nil
+	default:
+		return nil, fmt.Errorf("unexpected token %q at %d", t.text, t.pos)
+	}
+}
+
+// checkTypes verifies static well-typedness of a parsed expression.
+func checkTypes(e Expr) error {
+	switch n := e.(type) {
+	case *Lit, *Var:
+		return nil
+	case *Unary:
+		if err := checkTypes(n.X); err != nil {
+			return err
+		}
+		want := Int
+		if n.Op == OpNot {
+			want = Bool
+		}
+		if n.X.Type() != want {
+			return fmt.Errorf("operand of %s has type %s, want %s", n.Op, n.X.Type(), want)
+		}
+		return nil
+	case *Binary:
+		if err := checkTypes(n.L); err != nil {
+			return err
+		}
+		if err := checkTypes(n.R); err != nil {
+			return err
+		}
+		lt, rt := n.L.Type(), n.R.Type()
+		switch n.Op {
+		case OpAdd, OpSub, OpMul, OpLt, OpLe, OpGt, OpGe:
+			if lt != Int || rt != Int {
+				return fmt.Errorf("operands of %s have types %s,%s, want int,int", n.Op, lt, rt)
+			}
+		case OpEq, OpNe:
+			if lt != rt {
+				return fmt.Errorf("operands of %s have mismatched types %s,%s", n.Op, lt, rt)
+			}
+		case OpAnd, OpOr:
+			if lt != Bool || rt != Bool {
+				return fmt.Errorf("operands of %s have types %s,%s, want bool,bool", n.Op, lt, rt)
+			}
+		}
+		return nil
+	case *Ite:
+		if err := checkTypes(n.Cond); err != nil {
+			return err
+		}
+		if err := checkTypes(n.Then); err != nil {
+			return err
+		}
+		if err := checkTypes(n.Else); err != nil {
+			return err
+		}
+		if n.Cond.Type() != Bool {
+			return fmt.Errorf("ite condition has type %s, want bool", n.Cond.Type())
+		}
+		if n.Then.Type() != n.Else.Type() {
+			return fmt.Errorf("ite branches have mismatched types %s,%s", n.Then.Type(), n.Else.Type())
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown expression node %T", e)
+	}
+}

@@ -1,0 +1,158 @@
+package expr
+
+// Simplify returns an equivalent expression with standard algebraic
+// rewrites applied bottom-up:
+//
+//   - constant folding on every operator,
+//   - arithmetic identities (x+0, x-0, 0+x, x*1, 1*x, x*0, 0*x, x-x),
+//   - boolean identities (true&&p, false||p, !!p, p&&p, p||p, …),
+//   - comparison of an expression with itself (x = x → true, x < x → false),
+//   - ite with a constant condition or identical branches.
+//
+// Simplify never changes the type of the expression and, because
+// operands of && and || here are total (no side conditions beyond
+// typing), never changes its value on any well-typed environment.
+func Simplify(e Expr) Expr {
+	switch n := e.(type) {
+	case *Lit, *Var:
+		return e
+	case *Unary:
+		x := Simplify(n.X)
+		if lit, ok := x.(*Lit); ok {
+			switch n.Op {
+			case OpNeg:
+				if lit.Val.T == Int {
+					return IntLit(-lit.Val.I)
+				}
+			case OpNot:
+				if lit.Val.T == Bool {
+					return BoolLit(!lit.Val.B)
+				}
+			}
+		}
+		if n.Op == OpNot {
+			if inner, ok := x.(*Unary); ok && inner.Op == OpNot {
+				return inner.X // !!p → p
+			}
+		}
+		if n.Op == OpNeg {
+			if inner, ok := x.(*Unary); ok && inner.Op == OpNeg {
+				return inner.X // -(-x) → x
+			}
+		}
+		if x == n.X {
+			return n
+		}
+		return &Unary{Op: n.Op, X: x}
+	case *Binary:
+		l, r := Simplify(n.L), Simplify(n.R)
+		if s := simplifyBinary(n.Op, l, r); s != nil {
+			return s
+		}
+		if l == n.L && r == n.R {
+			return n
+		}
+		return &Binary{Op: n.Op, L: l, R: r}
+	case *Ite:
+		c, t, f := Simplify(n.Cond), Simplify(n.Then), Simplify(n.Else)
+		if lit, ok := c.(*Lit); ok && lit.Val.T == Bool {
+			if lit.Val.B {
+				return t
+			}
+			return f
+		}
+		if Equal(t, f) {
+			return t
+		}
+		if c == n.Cond && t == n.Then && f == n.Else {
+			return n
+		}
+		return NewIte(c, t, f)
+	default:
+		return e
+	}
+}
+
+func simplifyBinary(op Op, l, r Expr) Expr {
+	ll, lok := l.(*Lit)
+	rl, rok := r.(*Lit)
+
+	// Full constant folding.
+	if lok && rok {
+		if v, err := (&Binary{Op: op, L: l, R: r}).Eval(MapEnv{}); err == nil {
+			return &Lit{Val: v}
+		}
+	}
+
+	isInt := func(lit *Lit, want int64) bool { return lit != nil && lit.Val.T == Int && lit.Val.I == want }
+	isBool := func(lit *Lit, want bool) bool { return lit != nil && lit.Val.T == Bool && lit.Val.B == want }
+	var lLit, rLit *Lit
+	if lok {
+		lLit = ll
+	}
+	if rok {
+		rLit = rl
+	}
+
+	switch op {
+	case OpAdd:
+		if isInt(lLit, 0) {
+			return r
+		}
+		if isInt(rLit, 0) {
+			return l
+		}
+	case OpSub:
+		if isInt(rLit, 0) {
+			return l
+		}
+		if Equal(l, r) {
+			return IntLit(0)
+		}
+	case OpMul:
+		if isInt(lLit, 1) {
+			return r
+		}
+		if isInt(rLit, 1) {
+			return l
+		}
+		if isInt(lLit, 0) || isInt(rLit, 0) {
+			return IntLit(0)
+		}
+	case OpAnd:
+		if isBool(lLit, true) {
+			return r
+		}
+		if isBool(rLit, true) {
+			return l
+		}
+		if isBool(lLit, false) || isBool(rLit, false) {
+			return BoolLit(false)
+		}
+		if Equal(l, r) {
+			return l
+		}
+	case OpOr:
+		if isBool(lLit, false) {
+			return r
+		}
+		if isBool(rLit, false) {
+			return l
+		}
+		if isBool(lLit, true) || isBool(rLit, true) {
+			return BoolLit(true)
+		}
+		if Equal(l, r) {
+			return l
+		}
+	case OpEq, OpLe, OpGe:
+		if Equal(l, r) {
+			return BoolLit(true)
+		}
+	case OpNe, OpLt, OpGt:
+		if Equal(l, r) {
+			return BoolLit(false)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package expr
+
+// Substitute returns e with every occurrence of the unprimed variable
+// name replaced by the literal value. Primed occurrences are left
+// untouched. The predicate generator uses this to fold event guards
+// into synthesized update functions (e.g. under the guard
+// event = 'read', the update ite(event = 'read', x-1, x+1) folds to
+// x-1 after a Simplify pass).
+func Substitute(e Expr, name string, value Value) Expr {
+	switch n := e.(type) {
+	case *Lit:
+		return e
+	case *Var:
+		if n.Name == name && !n.Primed {
+			return &Lit{Val: value}
+		}
+		return e
+	case *Unary:
+		x := Substitute(n.X, name, value)
+		if x == n.X {
+			return n
+		}
+		return &Unary{Op: n.Op, X: x}
+	case *Binary:
+		l := Substitute(n.L, name, value)
+		r := Substitute(n.R, name, value)
+		if l == n.L && r == n.R {
+			return n
+		}
+		return &Binary{Op: n.Op, L: l, R: r}
+	case *Ite:
+		c := Substitute(n.Cond, name, value)
+		t := Substitute(n.Then, name, value)
+		f := Substitute(n.Else, name, value)
+		if c == n.Cond && t == n.Then && f == n.Else {
+			return n
+		}
+		return NewIte(c, t, f)
+	default:
+		return e
+	}
+}

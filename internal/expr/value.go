@@ -1,0 +1,134 @@
+// Package expr implements the typed expression language used for
+// transition predicates on learned automata.
+//
+// Expressions are immutable trees over three value types: integers,
+// booleans and symbols (interned strings used for enumeration-valued
+// trace variables such as event names). Every expression can be
+// evaluated against an environment binding current (x) and primed (x')
+// trace variables, printed canonically, parsed back, sized for
+// minimality comparisons, and simplified.
+//
+// The package is the common currency between the program synthesizer
+// (internal/synth), the predicate abstraction (internal/predicate) and
+// the model learner (internal/learn): the synthesizer produces the
+// smallest Expr consistent with a set of input/output examples and the
+// learner treats canonically-printed expressions as alphabet symbols.
+package expr
+
+import "fmt"
+
+// Type identifies the value type of an expression or trace variable.
+type Type uint8
+
+// The three value types of the predicate language.
+const (
+	Int Type = iota // 64-bit signed integers
+	Bool
+	Sym // interned strings (event names, enum states)
+)
+
+// String returns the lower-case name of the type.
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "int"
+	case Bool:
+		return "bool"
+	case Sym:
+		return "sym"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Value is a runtime value of the predicate language. The zero Value is
+// the integer 0.
+type Value struct {
+	T Type
+	I int64  // valid when T == Int
+	B bool   // valid when T == Bool
+	S string // valid when T == Sym
+}
+
+// IntVal returns an integer Value.
+func IntVal(i int64) Value { return Value{T: Int, I: i} }
+
+// BoolVal returns a boolean Value.
+func BoolVal(b bool) Value { return Value{T: Bool, B: b} }
+
+// SymVal returns a symbol Value.
+func SymVal(s string) Value { return Value{T: Sym, S: s} }
+
+// Equal reports whether two values have the same type and content.
+func (v Value) Equal(o Value) bool {
+	if v.T != o.T {
+		return false
+	}
+	switch v.T {
+	case Int:
+		return v.I == o.I
+	case Bool:
+		return v.B == o.B
+	case Sym:
+		return v.S == o.S
+	}
+	return false
+}
+
+// String formats the value as it appears in predicate source text.
+func (v Value) String() string {
+	switch v.T {
+	case Int:
+		return fmt.Sprintf("%d", v.I)
+	case Bool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	case Sym:
+		return v.S
+	default:
+		return fmt.Sprintf("Value(%d)", uint8(v.T))
+	}
+}
+
+// Env supplies variable bindings during evaluation. Lookup reports the
+// value of the named trace variable; primed selects the next-state copy
+// (x' rather than x). The boolean result is false when the variable is
+// not bound, which evaluation surfaces as an *EvalError.
+type Env interface {
+	Lookup(name string, primed bool) (Value, bool)
+}
+
+// MapEnv is a simple Env backed by two maps. A nil map is treated as
+// empty. It is convenient for tests and for single-step evaluation.
+type MapEnv struct {
+	Cur  map[string]Value // bindings for unprimed variables
+	Next map[string]Value // bindings for primed variables
+}
+
+// Lookup implements Env.
+func (e MapEnv) Lookup(name string, primed bool) (Value, bool) {
+	m := e.Cur
+	if primed {
+		m = e.Next
+	}
+	v, ok := m[name]
+	return v, ok
+}
+
+// EvalError describes a failed evaluation: an unbound variable or a
+// type mismatch between an operator and its operands.
+type EvalError struct {
+	Expr Expr   // the sub-expression that failed
+	Msg  string // human-readable cause
+}
+
+// Error implements the error interface.
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("eval %s: %s", e.Expr, e.Msg)
+}
+
+func evalErrf(ex Expr, format string, args ...any) error {
+	return &EvalError{Expr: ex, Msg: fmt.Sprintf(format, args...)}
+}

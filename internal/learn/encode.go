@@ -1,0 +1,243 @@
+package learn
+
+import (
+	"time"
+
+	"repro/internal/automaton"
+	"repro/internal/sat"
+)
+
+// encoding is the CNF form of the paper's automaton-existence
+// hypothesis for a fixed state count N (Algorithm 1 lines 18–32).
+//
+// Variables:
+//
+//	slot[i][j][s]  — segment i is at automaton state s after j of its
+//	                 transitions (the paper's q variables, one-hot
+//	                 over 1..N);
+//	t[s][p][s']    — the automaton has a transition from s to s' on
+//	                 predicate p (the transition-function view that
+//	                 makes the wrong_transition constraint and the
+//	                 compliance blocking clauses linear to state).
+//
+// Clauses:
+//
+//	one-hot        — each slot holds exactly one state;
+//	link           — a segment step from slot j to slot j+1 labelled p
+//	                 implies t[s][p][s'] for the states the slots
+//	                 hold (lines 21–27: the automaton includes every
+//	                 segment as a transition sequence);
+//	determinism    — at most one s' per (s, p): asserting
+//	                 wrong_transition = false (lines 28–32);
+//	anchor         — segment 0 (the prefix of P) starts at state 0,
+//	                 fixing the initial state and breaking one
+//	                 symmetry;
+//	blocking       — for each invalid l-gram found by the compliance
+//	                 check, no state path may realise it
+//	                 (lines 43–45).
+//
+// A satisfying assignment is decoded into the automaton by reading the
+// slot states along every segment, so the extracted model contains
+// exactly the witnessed transitions. t variables are given a false
+// preferred polarity for the same reason.
+type encoding struct {
+	n        int
+	numSyms  int
+	segments [][]int
+	solver   *sat.Solver
+
+	slotVars [][][]int // [segment][slot][state]
+	tVars    [][][]int // [state][symbol][state']
+}
+
+func newEncoding(n, numSyms int, segments [][]int, anchored []bool, orderStates bool) *encoding {
+	e := &encoding{n: n, numSyms: numSyms, segments: segments, solver: sat.New()}
+
+	// Transition-function variables.
+	e.tVars = make([][][]int, n)
+	for s := 0; s < n; s++ {
+		e.tVars[s] = make([][]int, numSyms)
+		for p := 0; p < numSyms; p++ {
+			e.tVars[s][p] = make([]int, n)
+			for s2 := 0; s2 < n; s2++ {
+				v := e.solver.NewVar()
+				e.solver.SetPreferredPolarity(v, false)
+				e.tVars[s][p][s2] = v
+			}
+		}
+	}
+
+	// Slot variables with one-hot constraints.
+	e.slotVars = make([][][]int, len(segments))
+	for i, seg := range segments {
+		slots := make([][]int, len(seg)+1)
+		for j := range slots {
+			states := make([]int, n)
+			for s := 0; s < n; s++ {
+				states[s] = e.solver.NewVar()
+			}
+			slots[j] = states
+			// At least one state.
+			lits := make([]sat.Lit, n)
+			for s := 0; s < n; s++ {
+				lits[s] = sat.Pos(states[s])
+			}
+			e.solver.AddClause(lits...)
+			// At most one state.
+			for a := 0; a < n; a++ {
+				for b := a + 1; b < n; b++ {
+					e.solver.AddClause(sat.Neg(states[a]), sat.Neg(states[b]))
+				}
+			}
+		}
+		e.slotVars[i] = slots
+	}
+
+	// Anchors: segments that are prefixes of P start at the initial
+	// state, pinned to 0 (this includes segment 0, the w-prefix, and
+	// any acceptance-refinement windows reaching back to position 0).
+	for i := range segments {
+		if anchored[i] {
+			e.solver.AddClause(sat.Pos(e.slotVars[i][0][0]))
+		}
+	}
+
+	// Link clauses.
+	for i, seg := range segments {
+		for j, p := range seg {
+			from := e.slotVars[i][j]
+			to := e.slotVars[i][j+1]
+			for s := 0; s < e.n; s++ {
+				for s2 := 0; s2 < e.n; s2++ {
+					e.solver.AddClause(
+						sat.Neg(from[s]), sat.Neg(to[s2]), sat.Pos(e.tVars[s][p][s2]))
+				}
+			}
+		}
+	}
+
+	// Determinism: at most one successor per (state, predicate).
+	for s := 0; s < n; s++ {
+		for p := 0; p < numSyms; p++ {
+			for a := 0; a < n; a++ {
+				for b := a + 1; b < n; b++ {
+					e.solver.AddClause(sat.Neg(e.tVars[s][p][a]), sat.Neg(e.tVars[s][p][b]))
+				}
+			}
+		}
+	}
+
+	// Symmetry breaking: states must be first used in slot order —
+	// a slot may hold state t > 0 only if some earlier slot (in
+	// segment-major order, anchored segments first by construction
+	// of the caller's segment list) already holds state t−1 or
+	// higher. Every automaton has exactly one such labelling, so
+	// this prunes the (N−1)! relabellings that otherwise bloat the
+	// UNSAT escalation proofs. maxGE[j][s] means "some slot ≤ j
+	// holds a state ≥ s".
+	if orderStates && n > 1 {
+		var prev []int // maxGE for the previous slot, indexed s-1
+		first := true
+		for i := range e.slotVars {
+			for j := range e.slotVars[i] {
+				states := e.slotVars[i][j]
+				cur := make([]int, n-1)
+				for s := 1; s < n; s++ {
+					v := e.solver.NewVar()
+					e.solver.SetPreferredPolarity(v, false)
+					cur[s-1] = v
+					// y[j][t] → maxGE[j][s] for t ≥ s.
+					for t := s; t < n; t++ {
+						e.solver.AddClause(sat.Neg(states[t]), sat.Pos(v))
+					}
+					if !first {
+						// Monotone in j.
+						e.solver.AddClause(sat.Neg(prev[s-1]), sat.Pos(v))
+					}
+				}
+				// y[j][t] allowed only if maxGE[j-1][t-1] (t ≥ 1);
+				// the very first slot may only hold state 0.
+				for t := 1; t < n; t++ {
+					if first {
+						e.solver.AddClause(sat.Neg(states[t]))
+					} else {
+						e.solver.AddClause(sat.Neg(states[t]), sat.Pos(prev[t-1]))
+					}
+				}
+				prev = cur
+				first = false
+			}
+		}
+	}
+
+	return e
+}
+
+// blockGram forbids every state path realising the symbol-id word g:
+// for all state paths s0..sl, at least one of the involved transitions
+// must be absent.
+func (e *encoding) blockGram(g []int) {
+	l := len(g)
+	path := make([]int, l+1)
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == l+1 {
+			lits := make([]sat.Lit, l)
+			for k := 0; k < l; k++ {
+				lits[k] = sat.Neg(e.tVars[path[k]][g[k]][path[k+1]])
+			}
+			e.solver.AddClause(lits...)
+			return
+		}
+		for s := 0; s < e.n; s++ {
+			path[depth] = s
+			rec(depth + 1)
+		}
+	}
+	rec(0)
+}
+
+// solve runs the SAT solver, honouring the deadline by solving in
+// conflict-budget chunks so that a single hard instance cannot
+// overshoot a timeout unboundedly. It returns the status: Sat, Unsat,
+// or Unknown when the deadline expired mid-solve.
+func (e *encoding) solve(deadline time.Time) sat.Status {
+	if deadline.IsZero() {
+		e.solver.MaxConflicts = 0
+		return e.solver.Solve()
+	}
+	e.solver.MaxConflicts = 20000
+	for {
+		st := e.solver.Solve()
+		if st != sat.Unknown {
+			return st
+		}
+		if time.Now().After(deadline) {
+			return sat.Unknown
+		}
+	}
+}
+
+// extract decodes the model into an NFA over the symbol names,
+// containing exactly the transitions witnessed by segment slots. The
+// solver must be in a Sat state.
+func (e *encoding) extract(symbols []string) *automaton.NFA {
+	m := automaton.MustNew(e.n, 0)
+	stateOf := func(states []int) automaton.State {
+		for s, v := range states {
+			if e.solver.Value(v) {
+				return automaton.State(s)
+			}
+		}
+		// One-hot constraints make this unreachable.
+		panic("learn: slot with no state")
+	}
+	for i, seg := range e.segments {
+		for j, p := range seg {
+			from := stateOf(e.slotVars[i][j])
+			to := stateOf(e.slotVars[i][j+1])
+			m.MustAddTransition(from, symbols[p], to)
+		}
+	}
+	return m
+}

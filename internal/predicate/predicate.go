@@ -1,0 +1,495 @@
+// Package predicate implements the transition-predicate abstraction of
+// Algorithm 1 (procedure GeneratePredicate): it turns each sliding
+// window of w trace observations into one predicate over X ∪ X′ by
+// synthesising, for every non-symbolic variable, the smallest next(X)
+// function consistent with the window's steps, and guarding on
+// symbolic (event) variables whose value is constant across the
+// window.
+//
+// Two engineering details make this scale to long traces and keep the
+// predicate alphabet small, both direct consequences of the paper's
+// observation that traces are dominated by repeating patterns:
+//
+//   - windows with identical observation content are memoised, so each
+//     repeated pattern is synthesised once;
+//   - previously synthesised next functions are offered to the
+//     synthesizer as seeds and reused whenever they already explain a
+//     new window, so equivalent behaviour always yields the same
+//     predicate text (and therefore the same alphabet symbol).
+package predicate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// Predicate is one alphabet symbol of the learned automaton: a boolean
+// expression over current and primed trace variables, plus its
+// canonical key.
+type Predicate struct {
+	Expr expr.Expr
+	Key  string
+}
+
+// Options configures predicate generation.
+type Options struct {
+	// Window is the observation window size w. Zero selects the
+	// default: 3 for schemas with non-symbolic variables (two
+	// synthesis examples per window, the paper's choice), 2 for
+	// pure event schemas, where predicates are explicit in the
+	// trace and need no generalisation (Section III-B applies
+	// synthesis only to non-Boolean observations).
+	Window int
+	// Synth tunes the underlying synthesizer.
+	Synth synth.Options
+	// NoReuse disables cross-window seeding, forcing every window
+	// to be synthesised from scratch (for the ablation benches).
+	NoReuse bool
+	// NoMemo disables whole-window memoisation (for the ablation
+	// benches).
+	NoMemo bool
+}
+
+// Generator produces predicates for windows of one trace schema.
+type Generator struct {
+	schema *trace.Schema
+	opts   Options
+	w      int
+
+	synthVars []synth.Var
+	memo      map[string]*Predicate
+	interned  map[string]*Predicate
+	seeds     map[string][]expr.Expr // per-variable next-function seeds
+
+	// Stats counts generator work for the scalability experiments.
+	Stats Stats
+}
+
+// Stats counts predicate-generation work.
+type Stats struct {
+	Windows    int // windows processed
+	MemoHits   int // windows answered from the memo
+	SynthCalls int // synthesizer invocations (per variable)
+	SeedHits   int // synthesizer calls answered by a reused seed
+}
+
+// DefaultWindow returns the default observation window for a schema:
+// 2 when every variable is symbolic, 3 otherwise.
+func DefaultWindow(schema *trace.Schema) int {
+	for i := 0; i < schema.Len(); i++ {
+		if schema.Var(i).Type != expr.Sym {
+			return 3
+		}
+	}
+	return 2
+}
+
+// NewGenerator returns a Generator for the schema.
+func NewGenerator(schema *trace.Schema, opts Options) (*Generator, error) {
+	w := opts.Window
+	if w == 0 {
+		w = DefaultWindow(schema)
+	}
+	if w < 2 {
+		return nil, fmt.Errorf("predicate: window %d must be at least 2", w)
+	}
+	g := &Generator{
+		schema:   schema,
+		opts:     opts,
+		w:        w,
+		memo:     map[string]*Predicate{},
+		interned: map[string]*Predicate{},
+		seeds:    map[string][]expr.Expr{},
+	}
+	for i := 0; i < schema.Len(); i++ {
+		v := schema.Var(i)
+		g.synthVars = append(g.synthVars, synth.Var{Name: v.Name, Type: v.Type})
+	}
+	return g, nil
+}
+
+// Window returns the observation window size in effect.
+func (g *Generator) Window() int { return g.w }
+
+// Sequence computes the predicate sequence P = p1 … pk for the trace,
+// k = n+1−w (Algorithm 1 lines 9–14). Returned predicates are
+// interned: equal keys are pointer-equal.
+func (g *Generator) Sequence(tr *trace.Trace) ([]*Predicate, error) {
+	if !tr.Schema().Equal(g.schema) {
+		return nil, errors.New("predicate: trace schema does not match generator schema")
+	}
+	n := tr.Len()
+	if n < g.w {
+		return nil, fmt.Errorf("predicate: trace length %d shorter than window %d", n, g.w)
+	}
+	out := make([]*Predicate, 0, n+1-g.w)
+	for i := 0; i+g.w <= n; i++ {
+		p, err := g.FromWindow(tr.Slice(i, i+g.w))
+		if err != nil {
+			return nil, fmt.Errorf("predicate: window at observation %d: %w", i, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// FromWindow generates the predicate for one window of exactly w
+// observations.
+func (g *Generator) FromWindow(win *trace.Trace) (*Predicate, error) {
+	if win.Len() != g.w {
+		return nil, fmt.Errorf("predicate: window has %d observations, want %d", win.Len(), g.w)
+	}
+	g.Stats.Windows++
+	var key string
+	if !g.opts.NoMemo {
+		key = windowKey(win)
+		if p, ok := g.memo[key]; ok {
+			g.Stats.MemoHits++
+			return p, nil
+		}
+	}
+	p, err := g.build(win)
+	if err != nil {
+		return nil, err
+	}
+	if !g.opts.NoMemo {
+		g.memo[key] = p
+	}
+	return p, nil
+}
+
+func windowKey(win *trace.Trace) string {
+	var b strings.Builder
+	for i := 0; i < win.Len(); i++ {
+		for _, v := range win.At(i) {
+			b.WriteString(v.String())
+			b.WriteByte('|')
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// build constructs the window predicate as a conjunction in schema
+// order: symbolic variables contribute equality guards when their
+// value is constant across the window's step sources; every other
+// variable contributes an update conjunct var' = next(X) with next
+// synthesised from the window's steps.
+func (g *Generator) build(win *trace.Trace) (*Predicate, error) {
+	steps := win.Steps()
+	var conjuncts []expr.Expr
+
+	// First pass: guards for symbolic variables (event names) whose
+	// value is constant across the window's step sources. Symbolic
+	// variables never receive update conjuncts (the next event is
+	// environment-driven); the guards are also substituted into
+	// update functions below, so that a reused general update like
+	// ite(event = 'read', x-1, x+1) renders as x-1 under an
+	// event = 'read' guard.
+	//
+	// Numeric input-role variables likewise receive no update
+	// conjunct — synthesising ip' = f(X) for an environment-driven
+	// input is semantically wrong and fragments the alphabet — but
+	// they also receive no guard: they appear inside the synthesized
+	// update functions where they matter (the paper's integrator
+	// predicates reference ip only inside op' = op + ip).
+	guards := map[string]expr.Value{}
+	for vi := 0; vi < g.schema.Len(); vi++ {
+		vd := g.schema.Var(vi)
+		if !guardVar(vd) {
+			continue
+		}
+		if c, uniform := g.uniformSource(win, vi); uniform {
+			guards[vd.Name] = c
+			conjuncts = append(conjuncts,
+				expr.Eq(expr.NewVar(vd.Name, vd.Type), &expr.Lit{Val: c}))
+		}
+	}
+
+	for vi := 0; vi < g.schema.Len(); vi++ {
+		vd := g.schema.Var(vi)
+		if vd.Type == expr.Sym || vd.Role == trace.Input {
+			// Events and environment-driven inputs never receive
+			// update conjuncts.
+			continue
+		}
+		examples := make([]synth.Example, steps)
+		for s := 0; s < steps; s++ {
+			in := make(map[string]expr.Value, g.schema.Len())
+			for vj := 0; vj < g.schema.Len(); vj++ {
+				in[g.schema.Var(vj).Name] = win.At(s)[vj]
+			}
+			examples[s] = synth.Example{In: in, Out: win.At(s + 1)[vi]}
+		}
+		f, err := g.updateFunction(win, vd, examples)
+		if err != nil {
+			if errors.Is(err, synth.ErrInconsistent) {
+				// No function fits: fall back to the explicit
+				// step relation for this variable.
+				conjuncts = append(conjuncts, explicitRelation(g.schema, win, vi))
+				continue
+			}
+			return nil, fmt.Errorf("next(%s): %w", vd.Name, err)
+		}
+		for name, val := range guards {
+			f = expr.Substitute(f, name, val)
+		}
+		f = expr.Simplify(f)
+		conjuncts = append(conjuncts,
+			expr.Eq(expr.NewPrimedVar(vd.Name, vd.Type), f))
+	}
+
+	if len(conjuncts) == 0 {
+		// Pure event schema with a changing event: synthesise the
+		// next-event function so the window still yields a
+		// predicate (only reachable with Window > 2 on event
+		// traces).
+		vi := 0
+		vd := g.schema.Var(vi)
+		examples := make([]synth.Example, steps)
+		for s := 0; s < steps; s++ {
+			in := map[string]expr.Value{vd.Name: win.At(s)[vi]}
+			examples[s] = synth.Example{In: in, Out: win.At(s + 1)[vi]}
+		}
+		f, err := g.synthesizeNext(vd.Name, examples)
+		if err != nil {
+			if errors.Is(err, synth.ErrInconsistent) {
+				f = nil
+			} else {
+				return nil, fmt.Errorf("next(%s): %w", vd.Name, err)
+			}
+		}
+		if f != nil {
+			conjuncts = append(conjuncts,
+				expr.Eq(expr.NewPrimedVar(vd.Name, vd.Type), f))
+		} else {
+			conjuncts = append(conjuncts, explicitRelation(g.schema, win, vi))
+		}
+	}
+
+	e := conjuncts[0]
+	for _, c := range conjuncts[1:] {
+		e = expr.And(e, c)
+	}
+	e = expr.Simplify(e)
+	return g.intern(e), nil
+}
+
+// uniformSource reports whether variable vi has the same value at the
+// source observation of every step in the window.
+func (g *Generator) uniformSource(win *trace.Trace, vi int) (expr.Value, bool) {
+	first := win.At(0)[vi]
+	for s := 1; s < win.Steps(); s++ {
+		if !win.At(s)[vi].Equal(first) {
+			return expr.Value{}, false
+		}
+	}
+	return first, true
+}
+
+// updateFunction synthesizes the next function for one state variable
+// over a window. When the window's steps disagree on a symbolic or
+// input variable (e.g. a write step followed by a reset step), the
+// steps are grouped by that variable's value and each group is
+// synthesized separately — with the usual cross-window seed reuse —
+// and the results are combined into a canonical ite over the group
+// values. This keeps mixed windows on the same, readable update
+// functions the uniform windows use (x' = ite(event = 'reset', 0,
+// x + 1)) instead of window-local minimal fits that memorise one
+// queue length each; the per-value branches are exactly the control
+// structure the guard variables carry.
+func (g *Generator) updateFunction(win *trace.Trace, vd trace.VarDef, examples []synth.Example) (expr.Expr, error) {
+	bi := g.branchVar(win)
+	if bi < 0 {
+		return g.synthesizeNext(vd.Name, examples)
+	}
+	bd := g.schema.Var(bi)
+	groups := map[string][]synth.Example{}
+	groupVal := map[string]expr.Value{}
+	var keys []string
+	for s, ex := range examples {
+		v := win.At(s)[bi]
+		k := v.String()
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+			groupVal[k] = v
+		}
+		groups[k] = append(groups[k], ex)
+	}
+	if len(groups) < 2 {
+		return g.synthesizeNext(vd.Name, examples)
+	}
+	// Canonical branch order: sorted by value text, so windows that
+	// see the same step set in a different order intern to the same
+	// predicate.
+	sort.Strings(keys)
+	fs := make([]expr.Expr, len(keys))
+	for i, k := range keys {
+		f, err := g.synthesizeNext(vd.Name, groups[k])
+		if err != nil {
+			return nil, err
+		}
+		fs[i] = f
+	}
+	// Nest: ite(b = v1, f1, ite(b = v2, f2, … fLast)). Identical
+	// branches collapse in the Simplify pass run by the caller.
+	out := fs[len(fs)-1]
+	for i := len(fs) - 2; i >= 0; i-- {
+		cond := expr.Eq(expr.NewVar(bd.Name, bd.Type), &expr.Lit{Val: groupVal[keys[i]]})
+		out = expr.NewIte(cond, fs[i], out)
+	}
+	return expr.Simplify(out), nil
+}
+
+// guardVar reports whether a variable contributes equality guards when
+// uniform across a window (and grouping branches when not): symbolic
+// variables always (event names are the control signal) and boolean
+// inputs (two crisp values). Numeric inputs (the integrator's ip) are
+// deliberately excluded: they belong inside arithmetic updates
+// (op' = op + ip), which joint synthesis handles better, and guarding
+// on every observed value would fragment the alphabet.
+func guardVar(vd trace.VarDef) bool {
+	return vd.Type == expr.Sym || (vd.Role == trace.Input && vd.Type == expr.Bool)
+}
+
+// branchVar returns the index of the first guard variable whose value
+// differs across the window's step sources, or -1.
+func (g *Generator) branchVar(win *trace.Trace) int {
+	for vi := 0; vi < g.schema.Len(); vi++ {
+		if !guardVar(g.schema.Var(vi)) {
+			continue
+		}
+		if _, uniform := g.uniformSource(win, vi); !uniform {
+			return vi
+		}
+	}
+	return -1
+}
+
+// synthesizeNext runs the synthesizer for one variable's next
+// function, seeding it with previously synthesised functions for the
+// same variable, smallest first — so a steady-state window reuses the
+// simple update (op, or op + ip) rather than whichever boundary
+// predicate happened to be synthesised earlier.
+func (g *Generator) synthesizeNext(name string, examples []synth.Example) (expr.Expr, error) {
+	g.Stats.SynthCalls++
+	opts := g.opts.Synth
+	opts.DiffVars = []string{name}
+	if !g.opts.NoReuse {
+		seeds := append([]expr.Expr(nil), g.seeds[name]...)
+		sort.SliceStable(seeds, func(i, j int) bool { return seeds[i].Size() < seeds[j].Size() })
+		opts.Seeds = seeds
+	}
+	f, err := synth.Synthesize(g.synthVars, examples, opts)
+	if err != nil {
+		return nil, err
+	}
+	reused := false
+	for _, s := range g.seeds[name] {
+		if s == f {
+			reused = true
+			g.Stats.SeedHits++
+			break
+		}
+	}
+	if !reused && !g.opts.NoReuse {
+		g.seeds[name] = append(g.seeds[name], f)
+	}
+	return f, nil
+}
+
+// explicitRelation is the fallback predicate for a variable whose
+// window steps admit no single next function: the disjunction over
+// steps of (X = source ∧ var' = target).
+func explicitRelation(schema *trace.Schema, win *trace.Trace, vi int) expr.Expr {
+	var disj expr.Expr
+	seen := map[string]bool{}
+	for s := 0; s < win.Steps(); s++ {
+		var conj expr.Expr
+		for vj := 0; vj < schema.Len(); vj++ {
+			vd := schema.Var(vj)
+			eq := expr.Eq(expr.NewVar(vd.Name, vd.Type), &expr.Lit{Val: win.At(s)[vj]})
+			if conj == nil {
+				conj = eq
+			} else {
+				conj = expr.And(conj, eq)
+			}
+		}
+		vd := schema.Var(vi)
+		conj = expr.And(conj, expr.Eq(
+			expr.NewPrimedVar(vd.Name, vd.Type),
+			&expr.Lit{Val: win.At(s + 1)[vi]}))
+		if seen[conj.String()] {
+			continue
+		}
+		seen[conj.String()] = true
+		if disj == nil {
+			disj = conj
+		} else {
+			disj = expr.Or(disj, conj)
+		}
+	}
+	return disj
+}
+
+// intern returns the canonical *Predicate for the expression.
+func (g *Generator) intern(e expr.Expr) *Predicate {
+	key := e.String()
+	if p, ok := g.interned[key]; ok {
+		return p
+	}
+	p := &Predicate{Expr: e, Key: key}
+	g.interned[key] = p
+	return p
+}
+
+// Seeds returns the per-variable next-function seeds accumulated so
+// far, in insertion order. Model persistence saves them so that a
+// reloaded model abstracts fresh traces to the same predicate text.
+func (g *Generator) Seeds() map[string][]expr.Expr {
+	out := make(map[string][]expr.Expr, len(g.seeds))
+	for name, es := range g.seeds {
+		out[name] = append([]expr.Expr(nil), es...)
+	}
+	return out
+}
+
+// SetSeeds replaces the per-variable seed pools (used when loading a
+// persisted model).
+func (g *Generator) SetSeeds(seeds map[string][]expr.Expr) {
+	g.seeds = make(map[string][]expr.Expr, len(seeds))
+	for name, es := range seeds {
+		g.seeds[name] = append([]expr.Expr(nil), es...)
+	}
+}
+
+// Alphabet returns all predicates interned so far, in no particular
+// order.
+func (g *Generator) Alphabet() []*Predicate {
+	out := make([]*Predicate, 0, len(g.interned))
+	for _, p := range g.interned {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Verify checks that predicate p holds on every step of the window it
+// claims to describe; the tests use it as a soundness oracle.
+func Verify(p *Predicate, win *trace.Trace) error {
+	for s := 0; s < win.Steps(); s++ {
+		ok, err := win.HoldsAt(p.Expr, s)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("predicate %s does not hold on step %d", p.Key, s)
+		}
+	}
+	return nil
+}

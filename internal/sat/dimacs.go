@@ -1,0 +1,99 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadDIMACS loads a CNF formula in DIMACS format into a fresh solver.
+// The "p cnf VARS CLAUSES" header is honoured for variable allocation;
+// comment lines ("c ...") are skipped. Clauses are zero-terminated and
+// may span lines.
+func ReadDIMACS(r io.Reader) (*Solver, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var clause []Lit
+	sawHeader := false
+	ensureVar := func(v int) {
+		for s.NumVars() < v {
+			s.NewVar()
+		}
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			if sawHeader {
+				return nil, fmt.Errorf("dimacs: duplicate header %q", line)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("dimacs: malformed header %q", line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dimacs: bad variable count in %q", line)
+			}
+			ensureVar(n)
+			sawHeader = true
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("dimacs: bad literal %q", tok)
+			}
+			if n == 0 {
+				s.AddClause(clause...)
+				clause = clause[:0]
+				continue
+			}
+			v := n
+			if v < 0 {
+				v = -v
+			}
+			ensureVar(v)
+			if n > 0 {
+				clause = append(clause, Pos(v-1))
+			} else {
+				clause = append(clause, Neg(v-1))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dimacs: %w", err)
+	}
+	if len(clause) != 0 {
+		return nil, fmt.Errorf("dimacs: unterminated final clause")
+	}
+	return s, nil
+}
+
+// WriteDIMACS writes the solver's problem clauses (not learned
+// clauses) in DIMACS CNF format.
+func WriteDIMACS(w io.Writer, s *Solver) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.clauses)); err != nil {
+		return err
+	}
+	for _, c := range s.clauses {
+		for _, l := range c.lits {
+			if _, err := bw.WriteString(l.String()); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(' '); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("0\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,735 @@
+// Package sat implements a CDCL (conflict-driven clause learning)
+// boolean satisfiability solver.
+//
+// The paper drives its automaton search with CBMC: the hypothesis
+// "no N-state automaton exists" is compiled to a loop-free C program
+// whose verification condition is a propositional formula, and a CBMC
+// counterexample is exactly a satisfying assignment describing the
+// automaton. This package is the self-contained substitute for that
+// engine: internal/learn encodes the same hypothesis directly in CNF
+// and solves it here.
+//
+// The solver is a conventional modern CDCL design:
+//
+//   - two-watched-literal unit propagation,
+//   - first-UIP conflict analysis with recursive clause minimisation,
+//   - VSIDS variable activity with exponential decay and phase saving,
+//   - Luby-sequence restarts,
+//   - activity-driven learned-clause deletion,
+//   - incremental use: clauses may be added between Solve calls.
+package sat
+
+import "fmt"
+
+// Lit is a literal: a propositional variable or its negation.
+// Internally a literal is 2*v for the positive and 2*v+1 for the
+// negative polarity of variable v.
+type Lit int32
+
+// Pos returns the positive literal of variable v.
+func Pos(v int) Lit { return Lit(2 * v) }
+
+// Neg returns the negative literal of variable v.
+func Neg(v int) Lit { return Lit(2*v + 1) }
+
+// Var returns the literal's variable.
+func (l Lit) Var() int { return int(l) >> 1 }
+
+// Sign reports whether the literal is negated.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal in DIMACS style (v+1, negative for
+// negated literals).
+func (l Lit) String() string {
+	if l.Sign() {
+		return fmt.Sprintf("-%d", l.Var()+1)
+	}
+	return fmt.Sprintf("%d", l.Var()+1)
+}
+
+// Status is a Solve result.
+type Status uint8
+
+// Solve outcomes.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+// String returns SAT/UNSAT/UNKNOWN.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	activity float64
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses []*clause // problem clauses
+	learnts []*clause // learned clauses
+	watches [][]*clause
+
+	assign  []lbool
+	level   []int32
+	reason  []*clause
+	phase   []bool // saved phases
+	prefPol []bool // preferred initial polarity (false by default)
+
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	heap     varHeap
+
+	ok bool // false once the formula is known unsat at level 0
+
+	// analyze scratch.
+	seen      []bool
+	analyzeTS []Lit
+
+	// statistics
+	Stats Stats
+
+	// MaxConflicts, when positive, aborts Solve with Unknown after
+	// that many conflicts. Zero means no limit.
+	MaxConflicts int64
+}
+
+// Stats counts solver work, exposed for the scalability experiments.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learned      int64
+	Deleted      int64
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, ok: true}
+	s.heap.s = s
+	return s
+}
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NewVar creates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.phase = append(s.phase, false)
+	s.prefPol = append(s.prefPol, false)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.insert(v)
+	return v
+}
+
+// SetPreferredPolarity sets the polarity first tried when the solver
+// decides on v before any phase has been saved for it. The learner
+// biases transition-function variables to false so that extracted
+// automata contain only witnessed transitions.
+func (s *Solver) SetPreferredPolarity(v int, polarity bool) {
+	s.prefPol[v] = polarity
+	s.phase[v] = polarity
+}
+
+func (s *Solver) value(l Lit) lbool {
+	a := s.assign[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Sign() == (a == lFalse) {
+		return lTrue
+	}
+	return lFalse
+}
+
+// Value returns the model value of variable v after a Sat result.
+func (s *Solver) Value(v int) bool { return s.assign[v] == lTrue }
+
+// AddClause adds a clause over the given literals. It returns false
+// when the clause makes the formula trivially unsatisfiable at the top
+// level. Adding a clause after a Sat result backtracks the solver to
+// decision level 0 and invalidates the model, so callers must copy any
+// model values they need first.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if len(s.trailLim) != 0 {
+		s.backtrack(0)
+	}
+	// Normalise: drop duplicate and false literals, detect
+	// tautologies and satisfied clauses.
+	norm := make([]Lit, 0, len(lits))
+	seen := map[Lit]bool{}
+	for _, l := range lits {
+		if l.Var() >= s.NumVars() || l < 0 {
+			panic(fmt.Sprintf("sat: literal %d references unknown variable", l))
+		}
+		switch {
+		case s.value(l) == lTrue || seen[l.Not()]:
+			return true // already satisfied / tautology
+		case s.value(l) == lFalse || seen[l]:
+			// skip
+		default:
+			seen[l] = true
+			norm = append(norm, l)
+		}
+	}
+	switch len(norm) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(norm[0], nil) {
+			s.ok = false
+			return false
+		}
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	default:
+		c := &clause{lits: norm}
+		s.clauses = append(s.clauses, c)
+		s.watch(c)
+		return true
+	}
+}
+
+func (s *Solver) watch(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], c)
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+}
+
+// enqueue assigns literal l with the given reason clause. It returns
+// false when l is already false.
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Sign() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = int32(len(s.trailLim))
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation; it returns a conflicting clause
+// or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[l]
+		s.watches[l] = ws[:0]
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == l.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// Satisfied by the other watch?
+			if s.value(c.lits[0]) == lTrue {
+				s.watches[l] = append(s.watches[l], c)
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Unit or conflicting.
+			s.watches[l] = append(s.watches[l], c)
+			if !s.enqueue(c.lits[0], c) {
+				// Conflict: restore remaining watches.
+				s.watches[l] = append(s.watches[l], ws[i+1:]...)
+				s.qhead = len(s.trail)
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	curLevel := int32(len(s.trailLim))
+	s.analyzeTS = s.analyzeTS[:0]
+
+	for {
+		s.bumpClause(confl)
+		start := 0
+		if p != -1 {
+			start = 1 // skip the asserting literal slot of the reason
+		}
+		for _, q := range confl.lits[start:] {
+			if p != -1 && q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.analyzeTS = append(s.analyzeTS, q)
+			s.bumpVar(v)
+			if s.level[v] == curLevel {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find the next seen literal on the trail.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[v]
+	}
+	learnt[0] = p.Not()
+
+	// Clause minimisation: remove literals implied by the rest.
+	minimised := learnt[:1]
+	for _, q := range learnt[1:] {
+		if !s.redundant(q) {
+			minimised = append(minimised, q)
+		}
+	}
+	learnt = minimised
+
+	// Compute backtrack level: the highest level among the
+	// non-asserting literals.
+	btLevel := 0
+	for i := 1; i < len(learnt); i++ {
+		if lv := int(s.level[learnt[i].Var()]); lv > btLevel {
+			btLevel = lv
+			// Move the max-level literal to slot 1 so it is
+			// watched (needed for correct propagation after
+			// backjumping).
+			learnt[1], learnt[i] = learnt[i], learnt[1]
+		}
+	}
+
+	// Clear seen flags.
+	for _, q := range s.analyzeTS {
+		s.seen[q.Var()] = false
+	}
+	return learnt, btLevel
+}
+
+// redundant reports whether literal q is implied by the other literals
+// of the learnt clause (its reason chain stays within seen literals).
+func (s *Solver) redundant(q Lit) bool {
+	r := s.reason[q.Var()]
+	if r == nil {
+		return false
+	}
+	stack := []Lit{q}
+	var undo []Lit
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := s.reason[l.Var()]
+		if c == nil {
+			// Decision reached: q is not redundant; roll back
+			// marks made during this check.
+			for _, u := range undo {
+				s.seen[u.Var()] = false
+			}
+			return false
+		}
+		for _, x := range c.lits[1:] {
+			v := x.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			undo = append(undo, x)
+			s.analyzeTS = append(s.analyzeTS, x)
+			stack = append(stack, x)
+		}
+	}
+	return true
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	if c.learnt {
+		c.activity++
+	}
+}
+
+func (s *Solver) decayActivities() { s.varInc /= 0.95 }
+
+// backtrack undoes assignments above the given level.
+func (s *Solver) backtrack(level int) {
+	if len(s.trailLim) <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assign[v] == lTrue
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		s.heap.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = bound
+}
+
+// pickBranchLit chooses the unassigned variable with the highest
+// activity, using the saved phase.
+func (s *Solver) pickBranchLit() Lit {
+	for {
+		v, ok := s.heap.removeMax()
+		if !ok {
+			return -1
+		}
+		if s.assign[v] == lUndef {
+			if s.phase[v] {
+				return Pos(v)
+			}
+			return Neg(v)
+		}
+	}
+}
+
+// luby computes the Luby restart sequence element for index i
+// (1-based): 1, 1, 2, 1, 1, 2, 4, …
+func luby(i int64) int64 {
+	x := i - 1
+	// Find the finite subsequence containing x and its size.
+	var size, seq int64 = 1, 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return int64(1) << seq
+}
+
+// reduceDB removes the less active half of the learned clauses,
+// keeping reasons of current assignments.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) < 4 {
+		return
+	}
+	// Partial selection: simple threshold at median activity.
+	acts := make([]float64, len(s.learnts))
+	for i, c := range s.learnts {
+		acts[i] = c.activity
+	}
+	med := quickMedian(acts)
+	kept := s.learnts[:0]
+	locked := map[*clause]bool{}
+	for _, l := range s.trail {
+		if r := s.reason[l.Var()]; r != nil {
+			locked[r] = true
+		}
+	}
+	for _, c := range s.learnts {
+		if c.activity > med || locked[c] || len(c.lits) <= 2 {
+			kept = append(kept, c)
+			continue
+		}
+		s.unwatch(c)
+		s.Stats.Deleted++
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) unwatch(c *clause) {
+	for _, w := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		list := s.watches[w]
+		for i, x := range list {
+			if x == c {
+				list[i] = list[len(list)-1]
+				s.watches[w] = list[:len(list)-1]
+				break
+			}
+		}
+	}
+}
+
+func quickMedian(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	// Selection by repeated partition (average linear time).
+	k := len(xs) / 2
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		pivot := xs[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return xs[k]
+}
+
+// Solve searches for a satisfying assignment of all added clauses. It
+// may be called repeatedly, with clauses added in between.
+func (s *Solver) Solve() Status {
+	if !s.ok {
+		return Unsat
+	}
+	if c := s.propagate(); c != nil {
+		s.ok = false
+		return Unsat
+	}
+	var restarts int64
+	conflictsAtStart := s.Stats.Conflicts
+	maxLearnts := int64(len(s.clauses)/3 + 100)
+	for {
+		restarts++
+		budget := 100 * luby(restarts)
+		st := s.search(budget, &maxLearnts)
+		if st != Unknown {
+			if st == Sat {
+				// Leave the model readable, then reset the
+				// trail for incremental reuse on the next
+				// Solve call (model values are copied out by
+				// Value before any further AddClause, per the
+				// documented usage).
+				return Sat
+			}
+			return st
+		}
+		s.Stats.Restarts++
+		if s.MaxConflicts > 0 && s.Stats.Conflicts-conflictsAtStart >= s.MaxConflicts {
+			s.backtrack(0)
+			return Unknown
+		}
+	}
+}
+
+// search runs CDCL until a result, a conflict budget exhaustion
+// (returns Unknown, triggering a restart), or a learned-clause limit.
+func (s *Solver) search(budget int64, maxLearnts *int64) Status {
+	var conflicts int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			conflicts++
+			if len(s.trailLim) == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.backtrack(btLevel)
+			if len(learnt) == 1 {
+				if !s.enqueue(learnt[0], nil) {
+					s.ok = false
+					return Unsat
+				}
+			} else {
+				c := &clause{lits: learnt, learnt: true, activity: 1}
+				s.learnts = append(s.learnts, c)
+				s.Stats.Learned++
+				s.watch(c)
+				if !s.enqueue(learnt[0], c) {
+					s.ok = false
+					return Unsat
+				}
+			}
+			s.decayActivities()
+			continue
+		}
+		if conflicts >= budget {
+			s.backtrack(0)
+			return Unknown
+		}
+		if int64(len(s.learnts)) > *maxLearnts {
+			s.reduceDB()
+			*maxLearnts = *maxLearnts + *maxLearnts/10
+		}
+		l := s.pickBranchLit()
+		if l == -1 {
+			return Sat // all variables assigned
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(l, nil)
+	}
+}
+
+// ResetForNextSolve backtracks to level 0 so further clauses can be
+// added after a Sat result. Model values become invalid.
+func (s *Solver) ResetForNextSolve() { s.backtrack(0) }
+
+// varHeap is a max-heap of variables ordered by activity.
+type varHeap struct {
+	s       *Solver
+	heap    []int
+	indices []int // var → heap position, -1 when absent
+}
+
+func (h *varHeap) less(a, b int) bool { return h.s.activity[a] > h.s.activity[b] }
+
+func (h *varHeap) insert(v int) {
+	for len(h.indices) <= v {
+		h.indices = append(h.indices, -1)
+	}
+	if h.indices[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) update(v int) {
+	if len(h.indices) > v && h.indices[v] >= 0 {
+		h.up(h.indices[v])
+	}
+}
+
+func (h *varHeap) removeMax() (int, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	v := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.indices[v] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.indices[last] = 0
+		h.down(0)
+	}
+	return v, true
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.indices[h.heap[p]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	for {
+		c := 2*i + 1
+		if c >= len(h.heap) {
+			break
+		}
+		if c+1 < len(h.heap) && h.less(h.heap[c+1], h.heap[c]) {
+			c++
+		}
+		if !h.less(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.indices[h.heap[c]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}

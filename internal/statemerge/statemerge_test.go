@@ -1,0 +1,236 @@
+package statemerge
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBuildPTASingleTrace(t *testing.T) {
+	// One trace yields a chain PTA: n+1 states for n symbols.
+	m := BuildPTA([][]string{{"a", "b", "a"}})
+	if m.NumStates() != 4 {
+		t.Errorf("chain PTA states = %d, want 4", m.NumStates())
+	}
+	if !m.Accepts([]string{"a", "b", "a"}) {
+		t.Error("PTA rejects its trace")
+	}
+	if !m.Accepts([]string{"a", "b"}) {
+		t.Error("PTA rejects a prefix (all states accepting)")
+	}
+	if m.Accepts([]string{"b"}) {
+		t.Error("PTA accepts an unseen word")
+	}
+}
+
+func TestBuildPTASharedPrefixes(t *testing.T) {
+	words := [][]string{
+		{"a", "b"},
+		{"a", "c"},
+		{"a", "b", "d"},
+	}
+	m := BuildPTA(words)
+	// Root, a, ab, ac, abd = 5 states.
+	if m.NumStates() != 5 {
+		t.Errorf("PTA states = %d, want 5", m.NumStates())
+	}
+	for _, w := range words {
+		if !m.Accepts(w) {
+			t.Errorf("PTA rejects %v", w)
+		}
+	}
+}
+
+func TestKTailsMergesCycle(t *testing.T) {
+	// A strongly periodic trace collapses to the period under kTails.
+	var word []string
+	for i := 0; i < 30; i++ {
+		word = append(word, []string{"a", "b", "c"}[i%3])
+	}
+	res, err := KTails([][]string{word}, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States > 6 {
+		t.Errorf("kTails states = %d, want a small cycle (≤6)\n%s", res.States, res.Automaton)
+	}
+	if !res.Automaton.Accepts(word) {
+		t.Error("kTails result rejects training word")
+	}
+	if res.Merges == 0 {
+		t.Error("no merges recorded")
+	}
+}
+
+func TestKTailsKControlsGeneralisation(t *testing.T) {
+	var word []string
+	for i := 0; i < 40; i++ {
+		word = append(word, []string{"x", "y"}[i%2])
+	}
+	r1, err := KTails([][]string{word}, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := KTails([][]string{word}, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.States > r3.States {
+		t.Errorf("k=1 gave %d states, k=3 gave %d: larger k must not merge more", r1.States, r3.States)
+	}
+}
+
+func TestEDSMAcceptsTraining(t *testing.T) {
+	words := [][]string{
+		{"open", "read", "read", "close"},
+		{"open", "write", "close"},
+		{"open", "read", "write", "read", "close"},
+	}
+	res, err := EDSM(words, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range words {
+		if !res.Automaton.Accepts(w) {
+			t.Errorf("EDSM rejects training word %v\n%s", w, res.Automaton)
+		}
+	}
+	pta := BuildPTA(words)
+	if res.States >= pta.NumStates() {
+		t.Errorf("EDSM did not reduce PTA: %d vs %d states", res.States, pta.NumStates())
+	}
+}
+
+func TestEDSMThresholdPromotes(t *testing.T) {
+	words := [][]string{{"a", "b", "c", "d", "e"}}
+	// With a very high threshold nothing merges: the result is the PTA.
+	res, err := EDSM(words, Options{EvidenceThreshold: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States != 6 {
+		t.Errorf("high-threshold EDSM states = %d, want PTA size 6", res.States)
+	}
+	if res.Merges != 0 {
+		t.Errorf("high-threshold EDSM merged %d", res.Merges)
+	}
+}
+
+func TestMINTClassifierVeto(t *testing.T) {
+	// Alternating ab-word: the classifier predicts b after a and a
+	// after b; states reached by a and by b must never merge.
+	var word []string
+	for i := 0; i < 20; i++ {
+		word = append(word, []string{"a", "b"}[i%2])
+	}
+	res, err := MINT([][]string{word}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Automaton.Accepts(word) {
+		t.Error("MINT rejects training word")
+	}
+	if res.States < 2 {
+		t.Errorf("MINT states = %d, want >= 2 (a/b classes must stay apart)", res.States)
+	}
+	if res.States > 4 {
+		t.Errorf("MINT states = %d, want small", res.States)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	// A long random word with a zero-ish budget must time out.
+	r := rand.New(rand.NewSource(3))
+	word := make([]string, 20000)
+	for i := range word {
+		word[i] = string(rune('a' + r.Intn(8)))
+	}
+	if _, err := EDSM([][]string{word}, Options{Timeout: time.Microsecond}); !errors.Is(err, ErrTimeout) {
+		t.Errorf("EDSM err = %v, want ErrTimeout", err)
+	}
+	if _, err := KTails([][]string{word}, Options{Timeout: time.Microsecond}); !errors.Is(err, ErrTimeout) {
+		t.Errorf("KTails err = %v, want ErrTimeout", err)
+	}
+}
+
+// TestPropertyMergedAcceptsTraining: all three algorithms must accept
+// every training word (state merging only generalises, never forgets).
+func TestPropertyMergedAcceptsTraining(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	alphabet := []string{"a", "b", "c"}
+	for trial := 0; trial < 20; trial++ {
+		nWords := 1 + r.Intn(3)
+		words := make([][]string, nWords)
+		for i := range words {
+			n := 3 + r.Intn(15)
+			w := make([]string, n)
+			for j := range w {
+				w[j] = alphabet[r.Intn(len(alphabet))]
+			}
+			words[i] = w
+		}
+		pta := BuildPTA(words)
+		for name, run := range map[string]func([][]string, Options) (*Result, error){
+			"ktails": KTails, "edsm": EDSM, "mint": MINT,
+		} {
+			res, err := run(words, Options{})
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			for _, w := range words {
+				if !res.Automaton.Accepts(w) {
+					t.Errorf("trial %d: %s rejects %v", trial, name, w)
+				}
+			}
+			if res.States > pta.NumStates() {
+				t.Errorf("trial %d: %s grew the PTA (%d > %d)", trial, name, res.States, pta.NumStates())
+			}
+		}
+	}
+}
+
+func TestWordFromTrace(t *testing.T) {
+	w := WordFromTrace([]string{"a", "b"})
+	if len(w) != 1 || len(w[0]) != 2 {
+		t.Errorf("WordFromTrace = %v", w)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	res, err := KTails([][]string{{"a", "a", "a"}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Describe() == "" {
+		t.Error("empty description")
+	}
+}
+
+func benchWord(n int) [][]string {
+	word := make([]string, n)
+	for i := range word {
+		word[i] = []string{"a", "b", "c", "d"}[i%4]
+	}
+	return [][]string{word}
+}
+
+func BenchmarkKTails2k(b *testing.B) {
+	words := benchWord(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KTails(words, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMINT2k(b *testing.B) {
+	words := benchWord(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MINT(words, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package synth
+
+import (
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// maxWork bounds the total number of candidate expressions considered
+// by one enumeration, guarding against pathological windows.
+const maxWork = 1 << 20
+
+// cand is an enumerated expression together with its value vector over
+// the example inputs (its observational signature).
+type cand struct {
+	e    expr.Expr
+	vals []expr.Value
+}
+
+// enumerator carries the state of one bottom-up search.
+type enumerator struct {
+	vars     []Var
+	examples []Example
+	pools    pools
+	opts     Options
+
+	// candidates by type and size; index [size] holds expressions
+	// with exactly that node count.
+	ints  [][]cand
+	bools [][]cand
+	syms  [][]cand
+
+	seen   map[string]bool // observational-equivalence filter
+	target []expr.Value    // wanted output vector
+	work   int
+}
+
+// enumerate returns the smallest expression of the examples' output
+// type whose value vector equals the outputs, searching in strict size
+// order so the first hit is minimal.
+func enumerate(vars []Var, examples []Example, p pools, opts Options) (expr.Expr, error) {
+	maxSize := opts.MaxSize
+	if maxSize <= 0 {
+		maxSize = DefaultMaxSize
+	}
+	en := &enumerator{
+		vars:     vars,
+		examples: examples,
+		pools:    p,
+		opts:     opts,
+		ints:     make([][]cand, maxSize+1),
+		bools:    make([][]cand, maxSize+1),
+		syms:     make([][]cand, maxSize+1),
+		seen:     make(map[string]bool),
+	}
+	en.target = make([]expr.Value, len(examples))
+	for i, ex := range examples {
+		en.target[i] = ex.Out
+	}
+	outType := examples[0].Out.T
+
+	if hit := en.atoms(outType); hit != nil {
+		return hit, nil
+	}
+	for size := 2; size <= maxSize; size++ {
+		if hit := en.compose(size, outType); hit != nil {
+			return hit, nil
+		}
+		if en.work > maxWork {
+			return nil, ErrNoSolution
+		}
+	}
+	return nil, ErrNoSolution
+}
+
+// add registers a candidate of the given size unless an observationally
+// equivalent expression was seen before. It returns the candidate's
+// expression when it matches the target vector and has the target
+// type; otherwise nil.
+func (en *enumerator) add(size int, c cand, outType expr.Type) expr.Expr {
+	en.work++
+	ty := c.e.Type()
+	key := sigKey(ty, c.vals)
+	if en.seen[key] {
+		return nil
+	}
+	en.seen[key] = true
+	switch ty {
+	case expr.Int:
+		en.ints[size] = append(en.ints[size], c)
+	case expr.Bool:
+		en.bools[size] = append(en.bools[size], c)
+	case expr.Sym:
+		en.syms[size] = append(en.syms[size], c)
+	}
+	if ty == outType && valsEqual(c.vals, en.target) {
+		return c.e
+	}
+	return nil
+}
+
+func sigKey(ty expr.Type, vals []expr.Value) string {
+	var b strings.Builder
+	b.WriteByte(byte('0' + ty))
+	for _, v := range vals {
+		b.WriteByte('|')
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+func valsEqual(a, b []expr.Value) bool {
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// atoms seeds size-1 candidates: input variables first (so that
+// tie-breaking between equal-sized solutions prefers expressions that
+// read the state over bare constants), then mined constants.
+func (en *enumerator) atoms(outType expr.Type) expr.Expr {
+	for _, v := range en.vars {
+		vals := make([]expr.Value, len(en.examples))
+		usable := true
+		for i, ex := range en.examples {
+			val, ok := ex.In[v.Name]
+			if !ok || val.T != v.Type {
+				usable = false
+				break
+			}
+			vals[i] = val
+		}
+		if !usable {
+			continue
+		}
+		if hit := en.add(1, cand{e: expr.NewVar(v.Name, v.Type), vals: vals}, outType); hit != nil {
+			return hit
+		}
+	}
+	for _, c := range en.pools.arith {
+		vals := constVals(expr.IntVal(c), len(en.examples))
+		if hit := en.add(1, cand{e: expr.IntLit(c), vals: vals}, outType); hit != nil {
+			return hit
+		}
+	}
+	for _, s := range en.pools.syms {
+		vals := constVals(expr.SymVal(s), len(en.examples))
+		if hit := en.add(1, cand{e: expr.SymLit(s), vals: vals}, outType); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+func constVals(v expr.Value, n int) []expr.Value {
+	vals := make([]expr.Value, n)
+	for i := range vals {
+		vals[i] = v
+	}
+	return vals
+}
+
+// compose generates all candidates of exactly the given size.
+//
+// Generation order within a size is part of the tool's tie-breaking
+// contract: symbol guards come first so that, when an event guard and
+// a numeric comparison are observationally equivalent on the window,
+// the event guard (the actual control signal) survives the
+// equivalence filter and appears in the synthesized predicate.
+func (en *enumerator) compose(size int, outType expr.Type) expr.Expr {
+	// Symbol guards: sym expr = / != sym expr.
+	for ls := 1; ls <= size-2; ls++ {
+		rs := size - 1 - ls
+		for _, l := range en.syms[ls] {
+			for _, r := range en.syms[rs] {
+				eqVals := make([]expr.Value, len(l.vals))
+				neVals := make([]expr.Value, len(l.vals))
+				for i := range l.vals {
+					eq := l.vals[i].Equal(r.vals[i])
+					eqVals[i] = expr.BoolVal(eq)
+					neVals[i] = expr.BoolVal(!eq)
+				}
+				if hit := en.add(size, cand{e: expr.Eq(l.e, r.e), vals: eqVals}, outType); hit != nil {
+					return hit
+				}
+				if hit := en.add(size, cand{e: expr.Ne(l.e, r.e), vals: neVals}, outType); hit != nil {
+					return hit
+				}
+			}
+		}
+	}
+
+	// Unary: -x (int). (Logical not is covered by comparison
+	// operator duals and would only bloat the boolean space.)
+	for _, x := range en.ints[size-1] {
+		vals := make([]expr.Value, len(x.vals))
+		for i, v := range x.vals {
+			vals[i] = expr.IntVal(-v.I)
+		}
+		if hit := en.add(size, cand{e: expr.Neg(x.e), vals: vals}, outType); hit != nil {
+			return hit
+		}
+	}
+
+	// Binary arithmetic and comparisons over int operands.
+	for ls := 1; ls <= size-2; ls++ {
+		rs := size - 1 - ls
+		for _, l := range en.ints[ls] {
+			for _, r := range en.ints[rs] {
+				if hit := en.intPairs(size, l, r, outType); hit != nil {
+					return hit
+				}
+				if en.work > maxWork {
+					return nil
+				}
+			}
+		}
+	}
+
+	// Comparisons against mined thresholds: the threshold literal
+	// costs 1 node but lives in the comparison pool only, keeping
+	// data-derived constants like 128 out of arithmetic.
+	for ls := 1; ls <= size-2; ls++ {
+		if size-1-ls != 1 {
+			continue
+		}
+		for _, l := range en.ints[ls] {
+			for _, c := range en.pools.cmp {
+				r := cand{e: expr.IntLit(c), vals: constVals(expr.IntVal(c), len(en.examples))}
+				if hit := en.cmpPairs(size, l, r, outType); hit != nil {
+					return hit
+				}
+			}
+			if en.work > maxWork {
+				return nil
+			}
+		}
+	}
+
+	// Boolean connectives.
+	for ls := 1; ls <= size-2; ls++ {
+		rs := size - 1 - ls
+		for _, l := range en.bools[ls] {
+			for _, r := range en.bools[rs] {
+				andVals := make([]expr.Value, len(l.vals))
+				orVals := make([]expr.Value, len(l.vals))
+				for i := range l.vals {
+					andVals[i] = expr.BoolVal(l.vals[i].B && r.vals[i].B)
+					orVals[i] = expr.BoolVal(l.vals[i].B || r.vals[i].B)
+				}
+				if hit := en.add(size, cand{e: expr.And(l.e, r.e), vals: andVals}, outType); hit != nil {
+					return hit
+				}
+				if hit := en.add(size, cand{e: expr.Or(l.e, r.e), vals: orVals}, outType); hit != nil {
+					return hit
+				}
+				if en.work > maxWork {
+					return nil
+				}
+			}
+		}
+	}
+
+	// Conditionals over int and sym results.
+	for cs := 1; cs <= size-3; cs++ {
+		for ts := 1; ts <= size-2-cs; ts++ {
+			es := size - 1 - cs - ts
+			for _, c := range en.bools[cs] {
+				for _, t := range en.ints[ts] {
+					for _, f := range en.ints[es] {
+						vals := make([]expr.Value, len(c.vals))
+						for i := range c.vals {
+							if c.vals[i].B {
+								vals[i] = t.vals[i]
+							} else {
+								vals[i] = f.vals[i]
+							}
+						}
+						if hit := en.add(size, cand{e: expr.NewIte(c.e, t.e, f.e), vals: vals}, outType); hit != nil {
+							return hit
+						}
+					}
+				}
+				if en.work > maxWork {
+					return nil
+				}
+				for _, t := range en.syms[ts] {
+					for _, f := range en.syms[es] {
+						vals := make([]expr.Value, len(c.vals))
+						for i := range c.vals {
+							if c.vals[i].B {
+								vals[i] = t.vals[i]
+							} else {
+								vals[i] = f.vals[i]
+							}
+						}
+						if hit := en.add(size, cand{e: expr.NewIte(c.e, t.e, f.e), vals: vals}, outType); hit != nil {
+							return hit
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// intPairs emits arithmetic and comparison candidates for one pair of
+// int operands.
+func (en *enumerator) intPairs(size int, l, r cand, outType expr.Type) expr.Expr {
+	n := len(l.vals)
+	addVals := make([]expr.Value, n)
+	subVals := make([]expr.Value, n)
+	for i := 0; i < n; i++ {
+		addVals[i] = expr.IntVal(l.vals[i].I + r.vals[i].I)
+		subVals[i] = expr.IntVal(l.vals[i].I - r.vals[i].I)
+	}
+	if hit := en.add(size, cand{e: expr.Add(l.e, r.e), vals: addVals}, outType); hit != nil {
+		return hit
+	}
+	if hit := en.add(size, cand{e: expr.Sub(l.e, r.e), vals: subVals}, outType); hit != nil {
+		return hit
+	}
+	if en.opts.EnableMul {
+		mulVals := make([]expr.Value, n)
+		for i := 0; i < n; i++ {
+			mulVals[i] = expr.IntVal(l.vals[i].I * r.vals[i].I)
+		}
+		if hit := en.add(size, cand{e: expr.Mul(l.e, r.e), vals: mulVals}, outType); hit != nil {
+			return hit
+		}
+	}
+	return en.cmpPairs(size, l, r, outType)
+}
+
+// cmpPairs emits the six comparison candidates for a pair of int
+// operands.
+func (en *enumerator) cmpPairs(size int, l, r cand, outType expr.Type) expr.Expr {
+	n := len(l.vals)
+	mk := func(op expr.Op, f func(a, b int64) bool) expr.Expr {
+		vals := make([]expr.Value, n)
+		for i := 0; i < n; i++ {
+			vals[i] = expr.BoolVal(f(l.vals[i].I, r.vals[i].I))
+		}
+		return en.add(size, cand{e: &expr.Binary{Op: op, L: l.e, R: r.e}, vals: vals}, outType)
+	}
+	if hit := mk(expr.OpEq, func(a, b int64) bool { return a == b }); hit != nil {
+		return hit
+	}
+	if hit := mk(expr.OpLe, func(a, b int64) bool { return a <= b }); hit != nil {
+		return hit
+	}
+	if hit := mk(expr.OpGe, func(a, b int64) bool { return a >= b }); hit != nil {
+		return hit
+	}
+	if hit := mk(expr.OpLt, func(a, b int64) bool { return a < b }); hit != nil {
+		return hit
+	}
+	if hit := mk(expr.OpGt, func(a, b int64) bool { return a > b }); hit != nil {
+		return hit
+	}
+	return mk(expr.OpNe, func(a, b int64) bool { return a != b })
+}

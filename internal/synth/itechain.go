@@ -1,0 +1,67 @@
+package synth
+
+import (
+	"errors"
+
+	"repro/internal/expr"
+)
+
+// IteChain builds the trivial solution a syntax-unguided solver tends
+// to produce (the paper's Section VII example: for the sequence
+// 1, 2, 4, 8 CVC4 without a grammar returns
+// ite(x = 4, 8, ite(x != 2, 2, 4)) where fastsynth returns x + x): a
+// right-nested ite over exact input matches. It is always consistent
+// with the examples but generalises poorly and grows linearly with the
+// example count; the synth-styles experiment contrasts its size with
+// Enumerate's minimal results.
+func IteChain(vars []Var, examples []Example) (expr.Expr, error) {
+	if len(examples) == 0 {
+		return nil, errors.New("synth: no examples")
+	}
+	if err := checkConsistent(examples); err != nil {
+		return nil, err
+	}
+	// Deduplicate inputs, keeping first occurrences in order.
+	var uniq []Example
+	seen := map[string]bool{}
+	for _, ex := range examples {
+		k := inputKey(ex.In)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		uniq = append(uniq, ex)
+	}
+	// The last example is the chain's default arm.
+	out := expr.Expr(&expr.Lit{Val: uniq[len(uniq)-1].Out})
+	for i := len(uniq) - 2; i >= 0; i-- {
+		cond, err := matchCondition(vars, uniq[i])
+		if err != nil {
+			return nil, err
+		}
+		out = expr.NewIte(cond, &expr.Lit{Val: uniq[i].Out}, out)
+	}
+	return out, nil
+}
+
+// matchCondition builds the conjunction var1 = v1 && var2 = v2 && …
+// for an example's input valuation.
+func matchCondition(vars []Var, ex Example) (expr.Expr, error) {
+	var cond expr.Expr
+	for _, v := range vars {
+		val, ok := ex.In[v.Name]
+		if !ok {
+			continue
+		}
+		eq := expr.Eq(expr.NewVar(v.Name, v.Type), &expr.Lit{Val: val})
+		if cond == nil {
+			cond = expr.Expr(eq)
+		} else {
+			cond = expr.And(cond, eq)
+		}
+	}
+	if cond == nil {
+		return nil, errors.New("synth: example has no bound input variables")
+	}
+	return cond, nil
+}

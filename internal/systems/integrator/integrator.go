@@ -1,0 +1,108 @@
+// Package integrator implements the paper's Integrator benchmark: an
+// anti-windup integrator whose output op accumulates the input ip but
+// saturates at predefined thresholds ±5, with ip restricted to
+// {−1, 0, 1}. The trace records (ip, op) pairs at discrete time steps;
+// the paper's scalability experiments (Table I and Fig 7) use traces
+// of up to 32768 observations of this system.
+package integrator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+// Integrator is the anti-windup integrator.
+type Integrator struct {
+	upper, lower int64
+	op           int64
+}
+
+// New returns an integrator saturating at ±limit with output 0.
+func New(limit int64) (*Integrator, error) {
+	if limit <= 0 {
+		return nil, fmt.Errorf("integrator: limit %d must be positive", limit)
+	}
+	return &Integrator{upper: limit, lower: -limit}, nil
+}
+
+// Output returns the current output op.
+func (g *Integrator) Output() int64 { return g.op }
+
+// Step integrates one input sample with anti-windup saturation.
+func (g *Integrator) Step(ip int64) error {
+	if ip < -1 || ip > 1 {
+		return fmt.Errorf("integrator: input %d outside {-1,0,1}", ip)
+	}
+	g.op += ip
+	if g.op > g.upper {
+		g.op = g.upper
+	}
+	if g.op < g.lower {
+		g.op = g.lower
+	}
+	return nil
+}
+
+// Schema returns the benchmark's trace schema: (ip, op) pairs. The
+// input ip is environment-driven, so it is declared with the Input
+// role: learned predicates guard on it but never constrain ip'.
+func Schema() *trace.Schema {
+	return trace.MustSchema(
+		trace.VarDef{Name: "ip", Type: expr.Int, Role: trace.Input},
+		trace.VarDef{Name: "op", Type: expr.Int},
+	)
+}
+
+// Config parameterises the workload: an input signal made of runs of
+// constant ip, long enough to push the integrator into both
+// saturation regions regularly.
+type Config struct {
+	// Observations is the trace length. The paper's Table I run
+	// uses 32768; Fig 7 sweeps 2^6 … 2^15.
+	Observations int
+	// Limit is the saturation magnitude (5 in the paper).
+	Limit int64
+	// MaxRun is the longest run of a constant input value.
+	MaxRun int
+	// Seed makes the input signal deterministic.
+	Seed int64
+}
+
+// DefaultConfig reproduces the paper's 32768-observation trace.
+func DefaultConfig() Config {
+	return Config{Observations: 32768, Limit: 5, MaxRun: 14, Seed: 7}
+}
+
+// Run generates the benchmark trace. Each observation is (ip, op)
+// where op is the output before the step and ip the input applied at
+// the step, so a step pair exposes op' = op + ip away from saturation
+// and op' = op inside it, matching the paper's Fig 4 predicates.
+func (c Config) Run() (*trace.Trace, error) {
+	if c.Observations < 2 {
+		return nil, fmt.Errorf("integrator: need at least 2 observations, got %d", c.Observations)
+	}
+	g, err := New(c.Limit)
+	if err != nil {
+		return nil, err
+	}
+	if c.MaxRun <= 0 {
+		return nil, fmt.Errorf("integrator: MaxRun %d must be positive", c.MaxRun)
+	}
+	r := rand.New(rand.NewSource(c.Seed))
+	tr := trace.New(Schema())
+	inputs := []int64{-1, 0, 1}
+	for tr.Len() < c.Observations {
+		ip := inputs[r.Intn(len(inputs))]
+		run := 1 + r.Intn(c.MaxRun)
+		for i := 0; i < run && tr.Len() < c.Observations; i++ {
+			tr.MustAppend(trace.Observation{expr.IntVal(ip), expr.IntVal(g.Output())})
+			if err := g.Step(ip); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,116 @@
+package integrator
+
+import "testing"
+
+func TestIntegratorSemantics(t *testing.T) {
+	g, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := g.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Output() != 5 {
+		t.Errorf("saturated output = %d, want 5", g.Output())
+	}
+	for i := 0; i < 12; i++ {
+		if err := g.Step(-1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Output() != -5 {
+		t.Errorf("saturated output = %d, want -5", g.Output())
+	}
+	if err := g.Step(0); err != nil || g.Output() != -5 {
+		t.Errorf("zero input changed output: %d, %v", g.Output(), err)
+	}
+	if err := g.Step(2); err == nil {
+		t.Error("input outside {-1,0,1} accepted")
+	}
+	if _, err := New(0); err == nil {
+		t.Error("zero limit accepted")
+	}
+}
+
+func TestDefaultTraceInvariants(t *testing.T) {
+	tr, err := DefaultConfig().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 32768 {
+		t.Errorf("trace length = %d, want 32768 (paper Table I)", tr.Len())
+	}
+	satHi, satLo := false, false
+	for i := 0; i < tr.Steps(); i++ {
+		ip, _ := tr.Value(i, "ip")
+		op, _ := tr.Value(i, "op")
+		opn, _ := tr.Value(i+1, "op")
+		if ip.I < -1 || ip.I > 1 {
+			t.Fatalf("step %d: input %d", i, ip.I)
+		}
+		if op.I < -5 || op.I > 5 {
+			t.Fatalf("step %d: output %d out of bounds", i, op.I)
+		}
+		want := op.I + ip.I
+		if want > 5 {
+			want = 5
+		}
+		if want < -5 {
+			want = -5
+		}
+		if opn.I != want {
+			t.Fatalf("step %d: op %d + ip %d -> %d, want %d", i, op.I, ip.I, opn.I, want)
+		}
+		if op.I == 5 {
+			satHi = true
+		}
+		if op.I == -5 {
+			satLo = true
+		}
+	}
+	if !satHi || !satLo {
+		t.Errorf("saturation not exercised: hi=%v lo=%v", satHi, satLo)
+	}
+}
+
+func TestScaledTraces(t *testing.T) {
+	// Fig 7 sweeps trace lengths 2^6 … 2^15; every length must be
+	// producible and deterministic.
+	for _, n := range []int{64, 256, 1024} {
+		cfg := DefaultConfig()
+		cfg.Observations = n
+		tr, err := cfg.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != n {
+			t.Errorf("length %d trace has %d observations", n, tr.Len())
+		}
+		tr2, _ := cfg.Run()
+		for i := 0; i < n; i++ {
+			if !tr.At(i)[1].Equal(tr2.At(i)[1]) {
+				t.Fatalf("nondeterministic at %d", i)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Observations = 1
+	if _, err := cfg.Run(); err == nil {
+		t.Error("1 observation accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.MaxRun = 0
+	if _, err := cfg.Run(); err == nil {
+		t.Error("MaxRun 0 accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Limit = -1
+	if _, err := cfg.Run(); err == nil {
+		t.Error("negative limit accepted")
+	}
+}

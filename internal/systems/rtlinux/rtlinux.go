@@ -1,0 +1,293 @@
+// Package rtlinux simulates thread scheduling on a single-core Linux
+// PREEMPT_RT kernel at the level of detail the paper's RT-Linux
+// benchmark traces it. The paper runs a pi_stress load on a one-core
+// QEMU machine and uses ftrace to record the scheduler-related events
+// of one thread under analysis, following the thread model of
+// de Oliveira et al.; an extra kernel module drives the corner cases
+// (aborted sleeps, preemption during sleep preparation) the load alone
+// does not reach.
+//
+// This package is the self-contained substitute: a tick-based
+// preemptive priority scheduler with a monitored thread, pi_stress-
+// style high-priority load threads, and a corner-case module. It emits
+// the monitored thread's event sequence over exactly the alphabet of
+// the paper's Fig 6, and can also render a full ftrace-style text log
+// so the pipeline's ftrace parser is exercised end to end.
+package rtlinux
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Scheduler events of the monitored thread (the paper's Fig 6
+// alphabet).
+const (
+	EvSwitchIn      = "sched_switch_in"      // scheduled onto the CPU
+	EvSwitchSuspend = "sched_switch_suspend" // switched out to sleep
+	EvSwitchPreempt = "sched_switch_preempt" // switched out, still runnable
+	EvWaking        = "sched_waking"         // woken by another context
+	EvSchedEntry    = "sched_entry"          // entered schedule()
+	EvSetSleepable  = "set_state_sleepable"  // marked TASK_INTERRUPTIBLE
+	EvSetRunnable   = "set_state_runnable"   // reverted to TASK_RUNNING
+	EvNeedResched   = "set_need_resched"     // preemption flag raised
+)
+
+// Alphabet lists all monitored events.
+func Alphabet() []string {
+	return []string{
+		EvSwitchIn, EvSwitchSuspend, EvSwitchPreempt, EvWaking,
+		EvSchedEntry, EvSetSleepable, EvSetRunnable, EvNeedResched,
+	}
+}
+
+// threadState is a simulated thread's scheduler state.
+type threadState uint8
+
+const (
+	stSleeping threadState = iota
+	stRunnable
+	stRunning
+	stRunningSleepable // on CPU, marked sleepable, not yet suspended
+)
+
+// thread is one simulated task.
+type thread struct {
+	id          int
+	name        string
+	prio        int // higher wins
+	state       threadState
+	sleepUntil  int64
+	computeLeft int
+	needResched bool
+	monitored   bool
+}
+
+// LogEntry is one ftrace-style record of the full system log.
+type LogEntry struct {
+	Task  string
+	Time  int64 // ticks
+	Event string
+}
+
+// Sim is the single-core scheduler simulation.
+type Sim struct {
+	cfg     Config
+	rng     *rand.Rand
+	threads []*thread
+	current *thread // on CPU, nil when idle
+	now     int64
+
+	monitoredEvents []string
+	log             []LogEntry
+}
+
+// Config parameterises the simulation.
+type Config struct {
+	// Events is the number of monitored-thread events to produce.
+	// The paper's trace has 20165.
+	Events int
+	// LoadThreads is the number of pi_stress-style high-priority
+	// threads that preempt the monitored thread.
+	LoadThreads int
+	// CornerModule enables the extra kernel module driving aborted
+	// sleeps and preemption during sleep preparation; the paper
+	// needed it to cover all states of the hand-drawn model.
+	CornerModule bool
+	// Seed makes the run deterministic.
+	Seed int64
+	// ComputeBurst is the maximum compute ticks between sleeps of
+	// the monitored thread.
+	ComputeBurst int
+	// SleepTicks is the maximum sleep duration.
+	SleepTicks int
+}
+
+// DefaultConfig reproduces the paper's 20165-event trace.
+func DefaultConfig() Config {
+	return Config{
+		Events:       20165,
+		LoadThreads:  3,
+		CornerModule: true,
+		Seed:         13,
+		ComputeBurst: 6,
+		SleepTicks:   8,
+	}
+}
+
+// New constructs a simulation: one monitored thread (priority 10) plus
+// the configured pi_stress load threads (priority 20+).
+func New(cfg Config) (*Sim, error) {
+	if cfg.Events < 2 {
+		return nil, fmt.Errorf("rtlinux: need at least 2 events, got %d", cfg.Events)
+	}
+	if cfg.ComputeBurst <= 0 || cfg.SleepTicks <= 0 {
+		return nil, fmt.Errorf("rtlinux: ComputeBurst and SleepTicks must be positive")
+	}
+	s := &Sim{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	mon := &thread{id: 0, name: "tua-100", prio: 10, state: stSleeping, monitored: true}
+	s.threads = append(s.threads, mon)
+	for i := 0; i < cfg.LoadThreads; i++ {
+		s.threads = append(s.threads, &thread{
+			id:    i + 1,
+			name:  fmt.Sprintf("pi_stress-%d", 200+i),
+			prio:  20 + i,
+			state: stSleeping,
+		})
+	}
+	// The monitored thread starts by being woken at t=1.
+	mon.sleepUntil = 1
+	for _, t := range s.threads[1:] {
+		t.sleepUntil = int64(1 + s.rng.Intn(cfg.SleepTicks))
+	}
+	return s, nil
+}
+
+func (s *Sim) emit(t *thread, ev string) {
+	s.log = append(s.log, LogEntry{Task: t.name, Time: s.now, Event: ev})
+	if t.monitored {
+		s.monitoredEvents = append(s.monitoredEvents, ev)
+	}
+}
+
+// done reports whether enough monitored events were produced.
+func (s *Sim) done() bool { return len(s.monitoredEvents) >= s.cfg.Events }
+
+// wake moves a sleeping thread to the runqueue and raises need_resched
+// on a lower-priority running thread.
+func (s *Sim) wake(t *thread) {
+	if t.state != stSleeping {
+		return
+	}
+	s.emit(t, EvWaking)
+	t.state = stRunnable
+	if s.current != nil && s.current != t && s.current.prio < t.prio && !s.current.needResched {
+		s.current.needResched = true
+		s.emit(s.current, EvNeedResched)
+	}
+}
+
+// pick returns the highest-priority runnable thread.
+func (s *Sim) pick() *thread {
+	var best *thread
+	for _, t := range s.threads {
+		if t.state == stRunnable && (best == nil || t.prio > best.prio) {
+			best = t
+		}
+	}
+	return best
+}
+
+// schedule switches the current thread out (suspend when sleepable,
+// preempt otherwise) and the best runnable thread in.
+func (s *Sim) schedule() {
+	if cur := s.current; cur != nil {
+		s.emit(cur, EvSchedEntry)
+		if cur.state == stRunningSleepable {
+			s.emit(cur, EvSwitchSuspend)
+			cur.state = stSleeping
+			cur.sleepUntil = s.now + 1 + int64(s.rng.Intn(s.cfg.SleepTicks))
+		} else {
+			s.emit(cur, EvSwitchPreempt)
+			cur.state = stRunnable
+		}
+		cur.needResched = false
+		s.current = nil
+	}
+	if next := s.pick(); next != nil {
+		s.emit(next, EvSwitchIn)
+		next.state = stRunning
+		next.computeLeft = 1 + s.rng.Intn(s.cfg.ComputeBurst)
+		s.current = next
+	}
+}
+
+// Run produces the monitored thread's event trace.
+func (s *Sim) Run() (*trace.Trace, error) {
+	for !s.done() {
+		s.now++
+		if s.now > int64(s.cfg.Events)*1000 {
+			return nil, fmt.Errorf("rtlinux: simulation stalled at tick %d", s.now)
+		}
+
+		// Timer wakeups.
+		for _, t := range s.threads {
+			if t.state == stSleeping && t.sleepUntil <= s.now {
+				s.wake(t)
+			}
+		}
+
+		// Preemption pending?
+		if s.current != nil && s.current.needResched {
+			s.schedule()
+			continue
+		}
+
+		// Idle CPU: dispatch.
+		if s.current == nil {
+			s.schedule()
+			continue
+		}
+
+		cur := s.current
+		if cur.computeLeft > 0 {
+			cur.computeLeft--
+			continue
+		}
+
+		// Burst finished: prepare to sleep.
+		if cur.state == stRunning {
+			s.emit(cur, EvSetSleepable)
+			cur.state = stRunningSleepable
+			// Corner-case module: with some probability a wakeup
+			// races in before schedule() — the thread reverts to
+			// runnable and keeps running (set_state_runnable), or
+			// a higher-priority thread preempts it mid-
+			// preparation (need_resched while sleepable).
+			if s.cfg.CornerModule {
+				switch s.rng.Intn(10) {
+				case 0:
+					s.emit(cur, EvSetRunnable)
+					cur.state = stRunning
+					cur.computeLeft = 1 + s.rng.Intn(s.cfg.ComputeBurst)
+					continue
+				case 1:
+					if !cur.needResched {
+						cur.needResched = true
+						s.emit(cur, EvNeedResched)
+					}
+					// schedule() next tick will preempt the
+					// sleepable thread.
+					continue
+				}
+			}
+			s.schedule()
+			continue
+		}
+
+		// Sleepable with need_resched handled above; otherwise
+		// complete the suspend.
+		s.schedule()
+	}
+	return trace.FromEvents(s.monitoredEvents[:s.cfg.Events]), nil
+}
+
+// MonitoredTask returns the ftrace task label of the thread under
+// analysis.
+func (s *Sim) MonitoredTask() string { return s.threads[0].name }
+
+// FtraceLog renders the full system log in ftrace text format, so the
+// pipeline can be exercised through trace.ParseFtrace exactly as the
+// paper's tooling consumes real ftrace output.
+func (s *Sim) FtraceLog() string {
+	var b strings.Builder
+	b.WriteString("# tracer: nop\n#\n")
+	for _, e := range s.log {
+		fmt.Fprintf(&b, "%s  [000] d..3  %d.%06d: %s: tick=%d\n",
+			e.Task, e.Time/1000, (e.Time%1000)*1000, e.Event, e.Time)
+	}
+	return b.String()
+}

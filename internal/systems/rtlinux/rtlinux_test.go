@@ -1,0 +1,185 @@
+package rtlinux
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func runDefault(t *testing.T) (*Sim, []string) {
+	t.Helper()
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := tr.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, evs
+}
+
+func TestTraceLengthAndAlphabet(t *testing.T) {
+	_, evs := runDefault(t)
+	if len(evs) != 20165 {
+		t.Errorf("trace length = %d, want 20165 (paper Table I)", len(evs))
+	}
+	valid := map[string]bool{}
+	for _, a := range Alphabet() {
+		valid[a] = true
+	}
+	seen := map[string]bool{}
+	for i, ev := range evs {
+		if !valid[ev] {
+			t.Fatalf("event %d outside alphabet: %q", i, ev)
+		}
+		seen[ev] = true
+	}
+	// With the corner-case module on, the full alphabet is covered —
+	// the paper needed the extra module for exactly this.
+	for _, a := range Alphabet() {
+		if !seen[a] {
+			t.Errorf("alphabet symbol %q never emitted", a)
+		}
+	}
+}
+
+func TestCornerModuleCoverage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CornerModule = false
+	cfg.Events = 4000
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, _ := tr.Events()
+	for _, ev := range evs {
+		if ev == EvSetRunnable {
+			t.Fatalf("aborted-sleep event %q without corner module", ev)
+		}
+	}
+}
+
+// TestLifecycleOrdering checks the thread-model invariants of the
+// monitored event sequence.
+func TestLifecycleOrdering(t *testing.T) {
+	_, evs := runDefault(t)
+	// Track a conservative abstraction of the monitored thread:
+	// on-CPU or off-CPU.
+	onCPU := false
+	for i, ev := range evs {
+		switch ev {
+		case EvSwitchIn:
+			if onCPU {
+				t.Fatalf("event %d: switch_in while on CPU", i)
+			}
+			onCPU = true
+		case EvSwitchSuspend, EvSwitchPreempt:
+			if !onCPU {
+				t.Fatalf("event %d: %s while off CPU", i, ev)
+			}
+			onCPU = false
+		case EvSetSleepable, EvSetRunnable, EvSchedEntry:
+			if !onCPU {
+				t.Fatalf("event %d: %s while off CPU", i, ev)
+			}
+		case EvWaking:
+			if onCPU {
+				t.Fatalf("event %d: waking while on CPU", i)
+			}
+		}
+	}
+	// Suspends happen only after a sleepable mark since the last
+	// switch-in.
+	sleepable := false
+	for i, ev := range evs {
+		switch ev {
+		case EvSetSleepable:
+			sleepable = true
+		case EvSetRunnable:
+			sleepable = false
+		case EvSwitchSuspend:
+			if !sleepable {
+				t.Fatalf("event %d: suspend without sleepable state", i)
+			}
+			sleepable = false
+		case EvSwitchIn:
+			sleepable = false
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Events = 2000
+	s1, _ := New(cfg)
+	t1, err := s1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := New(cfg)
+	t2, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := t1.Events()
+	e2, _ := t2.Events()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("runs differ at %d", i)
+		}
+	}
+}
+
+func TestFtraceLogRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Events = 500
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := tr.Events()
+
+	log := s.FtraceLog()
+	if !strings.HasPrefix(log, "# tracer") {
+		t.Error("ftrace log missing header")
+	}
+	parsed, err := trace.ParseFtrace(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFtrace := trace.FtraceToTrace(parsed, s.MonitoredTask(), nil)
+	got, _ := viaFtrace.Events()
+	// The ftrace view of the monitored thread must match the direct
+	// trace (the direct trace is truncated to cfg.Events).
+	if len(got) < len(direct) {
+		t.Fatalf("ftrace view has %d events, direct has %d", len(got), len(direct))
+	}
+	for i := range direct {
+		if got[i] != direct[i] {
+			t.Fatalf("event %d: ftrace %q, direct %q", i, got[i], direct[i])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Events: 1, ComputeBurst: 1, SleepTicks: 1}); err == nil {
+		t.Error("1 event accepted")
+	}
+	if _, err := New(Config{Events: 10, ComputeBurst: 0, SleepTicks: 1}); err == nil {
+		t.Error("zero burst accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Package serial models QEMU's x86 serial I/O port at the level the
+// paper's Serial I/O Port benchmark instruments it: a receive FIFO
+// whose queue length is recorded together with the read, write and
+// reset events that act on it. The paper traces 2076 observations of
+// (event, queue length) pairs and notes that the queue never reaches
+// full capacity because reads are quick and resets frequent — the
+// workload generator reproduces exactly that regime.
+package serial
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+// FIFO events.
+const (
+	EvWrite = "write"
+	EvRead  = "read"
+	EvReset = "reset"
+)
+
+// Port is a serial port receive FIFO with a bounded queue.
+type Port struct {
+	capacity int
+	queue    int
+}
+
+// NewPort returns an empty port with the given FIFO capacity (QEMU's
+// 16550A emulation uses 16).
+func NewPort(capacity int) (*Port, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("serial: capacity %d must be positive", capacity)
+	}
+	return &Port{capacity: capacity}, nil
+}
+
+// Len returns the current queue length.
+func (p *Port) Len() int { return p.queue }
+
+// Capacity returns the FIFO capacity.
+func (p *Port) Capacity() int { return p.capacity }
+
+// Write enqueues one byte; a full FIFO drops it (overrun) and the
+// length is unchanged.
+func (p *Port) Write() {
+	if p.queue < p.capacity {
+		p.queue++
+	}
+}
+
+// Read dequeues one byte; reading an empty FIFO leaves it empty.
+func (p *Port) Read() {
+	if p.queue > 0 {
+		p.queue--
+	}
+}
+
+// Reset clears the FIFO.
+func (p *Port) Reset() { p.queue = 0 }
+
+// Schema returns the benchmark's trace schema: the event and the queue
+// length x.
+func Schema() *trace.Schema {
+	return trace.MustSchema(
+		trace.VarDef{Name: "event", Type: expr.Sym},
+		trace.VarDef{Name: "x", Type: expr.Int},
+	)
+}
+
+// Workload drives the port with a bursty producer, an eager consumer
+// and periodic resets.
+type Workload struct {
+	// Observations is the trace length to produce.
+	Observations int
+	// Capacity is the FIFO capacity.
+	Capacity int
+	// MaxBurst is the largest write burst before the consumer
+	// catches up (kept below capacity: the paper could not drive
+	// the queue full).
+	MaxBurst int
+	// ResetEvery is the mean gap between resets, in events.
+	ResetEvery int
+	// Seed makes the workload deterministic.
+	Seed int64
+}
+
+// DefaultWorkload reproduces the paper's 2076-observation trace.
+func DefaultWorkload() Workload {
+	return Workload{Observations: 2076, Capacity: 16, MaxBurst: 6, ResetEvery: 40, Seed: 1}
+}
+
+// Run generates the benchmark trace. Each observation records the
+// event applied at this step and the queue length before the event;
+// the primed value in a step pair is therefore the length after the
+// event, which the learner's synthesized predicates relate (e.g.
+// event = 'write' && x' = x + 1).
+func (w Workload) Run() (*trace.Trace, error) {
+	if w.Observations < 2 {
+		return nil, fmt.Errorf("serial: need at least 2 observations, got %d", w.Observations)
+	}
+	port, err := NewPort(w.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(w.Seed))
+	tr := trace.New(Schema())
+
+	burstLeft := 0
+	record := func(ev string) {
+		tr.MustAppend(trace.Observation{expr.SymVal(ev), expr.IntVal(int64(port.Len()))})
+		switch ev {
+		case EvWrite:
+			port.Write()
+		case EvRead:
+			port.Read()
+		case EvReset:
+			port.Reset()
+		}
+	}
+	for tr.Len() < w.Observations {
+		switch {
+		case w.ResetEvery > 0 && r.Intn(w.ResetEvery) == 0:
+			record(EvReset)
+			burstLeft = 0
+		case burstLeft > 0:
+			record(EvWrite)
+			burstLeft--
+		case port.Len() > 0 && r.Intn(3) != 0:
+			// The consumer is quick: drain with high probability.
+			record(EvRead)
+		case port.Len() == 0 || r.Intn(2) == 0:
+			// Bursts are bounded by the remaining headroom: the
+			// consumer is fast enough that the FIFO never fills
+			// (the paper could not take the queue to capacity).
+			headroom := w.Capacity - 1 - port.Len()
+			if headroom < 1 {
+				record(EvRead)
+				continue
+			}
+			burst := w.MaxBurst
+			if burst > headroom {
+				burst = headroom
+			}
+			burstLeft = 1 + r.Intn(burst)
+			record(EvWrite)
+			burstLeft--
+		default:
+			record(EvRead)
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,129 @@
+package serial
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+)
+
+func TestPortSemantics(t *testing.T) {
+	p, err := NewPort(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 0 || p.Capacity() != 2 {
+		t.Fatal("fresh port not empty")
+	}
+	p.Read() // empty read is a no-op
+	if p.Len() != 0 {
+		t.Error("read on empty changed length")
+	}
+	p.Write()
+	p.Write()
+	p.Write() // overrun dropped
+	if p.Len() != 2 {
+		t.Errorf("len = %d, want 2 (capacity)", p.Len())
+	}
+	p.Read()
+	if p.Len() != 1 {
+		t.Errorf("len = %d, want 1", p.Len())
+	}
+	p.Reset()
+	if p.Len() != 0 {
+		t.Error("reset did not clear")
+	}
+	if _, err := NewPort(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestWorkloadTraceInvariants(t *testing.T) {
+	w := DefaultWorkload()
+	tr, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2076 {
+		t.Errorf("trace length = %d, want 2076 (paper Table I)", tr.Len())
+	}
+	sawReset, sawRead, sawWrite := false, false, false
+	maxLen := int64(0)
+	for i := 0; i < tr.Steps(); i++ {
+		ev, _ := tr.Value(i, "event")
+		x, _ := tr.Value(i, "x")
+		xn, _ := tr.Value(i+1, "x")
+		if x.I > maxLen {
+			maxLen = x.I
+		}
+		switch ev.S {
+		case EvWrite:
+			sawWrite = true
+			if x.I < int64(w.Capacity) && xn.I != x.I+1 {
+				t.Fatalf("step %d: write %d -> %d", i, x.I, xn.I)
+			}
+		case EvRead:
+			sawRead = true
+			if x.I > 0 && xn.I != x.I-1 {
+				t.Fatalf("step %d: read %d -> %d", i, x.I, xn.I)
+			}
+			if x.I == 0 && xn.I != 0 {
+				t.Fatalf("step %d: empty read %d -> %d", i, x.I, xn.I)
+			}
+		case EvReset:
+			sawReset = true
+			if xn.I != 0 {
+				t.Fatalf("step %d: reset -> %d", i, xn.I)
+			}
+		default:
+			t.Fatalf("unknown event %q", ev.S)
+		}
+		if x.I < 0 || x.I > int64(w.Capacity) {
+			t.Fatalf("step %d: queue length %d out of bounds", i, x.I)
+		}
+	}
+	if !sawReset || !sawRead || !sawWrite {
+		t.Errorf("workload missing events: reset=%v read=%v write=%v", sawReset, sawRead, sawWrite)
+	}
+	// The paper notes the queue never reaches full capacity under
+	// this load.
+	if maxLen >= int64(w.Capacity) {
+		t.Errorf("queue reached capacity %d; workload should stay below", maxLen)
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	t1, err := DefaultWorkload().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := DefaultWorkload().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < t1.Len(); i++ {
+		for j := 0; j < 2; j++ {
+			if !t1.At(i)[j].Equal(t2.At(i)[j]) {
+				t.Fatalf("runs differ at observation %d", i)
+			}
+		}
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	if _, err := (Workload{Observations: 1, Capacity: 4, MaxBurst: 2, ResetEvery: 5}).Run(); err == nil {
+		t.Error("too-short workload accepted")
+	}
+	if _, err := (Workload{Observations: 10, Capacity: 0, MaxBurst: 2, ResetEvery: 5}).Run(); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s := Schema()
+	if s.Index("event") != 0 || s.Index("x") != 1 {
+		t.Error("schema order wrong")
+	}
+	if s.Var(0).Type != expr.Sym || s.Var(1).Type != expr.Int {
+		t.Error("schema types wrong")
+	}
+}

@@ -1,0 +1,194 @@
+package usbxhci
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Endpoint state machine (xHCI spec §4.8.3). Each configured endpoint
+// of a device slot runs its own small state machine: the doorbell
+// starts it, Stop Endpoint halts it gracefully, transfer errors halt
+// it, and Reset Endpoint recovers a halted endpoint back to Stopped so
+// the driver can reposition the dequeue pointer and ring the doorbell
+// again. The error-recovery workload below exercises the paths the
+// storage-attach scenario never takes.
+
+// EndpointState is an endpoint context state.
+type EndpointState uint8
+
+// Endpoint states (spec names).
+const (
+	EpDisabled EndpointState = iota
+	EpRunning
+	EpHalted
+	EpStopped
+	EpError
+)
+
+// String returns the spec name.
+func (s EndpointState) String() string {
+	switch s {
+	case EpDisabled:
+		return "Disabled"
+	case EpRunning:
+		return "Running"
+	case EpHalted:
+		return "Halted"
+	case EpStopped:
+		return "Stopped"
+	case EpError:
+		return "Error"
+	default:
+		return fmt.Sprintf("EndpointState(%d)", uint8(s))
+	}
+}
+
+// Endpoint events recorded by the error-recovery benchmark.
+const (
+	EpEvConfigure     = "EP_CONFIGURE"      // Disabled → Stopped (Configure Endpoint)
+	EpEvDoorbell      = "EP_DOORBELL"       // Stopped → Running
+	EpEvStopCmd       = "EP_STOP"           // Running → Stopped (Stop Endpoint command)
+	EpEvTransferOK    = "EP_TRANSFER_OK"    // Running → Running
+	EpEvTransferErr   = "EP_TRANSFER_ERROR" // Running → Halted (STALL etc.)
+	EpEvResetCmd      = "EP_RESET"          // Halted → Stopped (Reset Endpoint command)
+	EpEvSetTRDequeue  = "EP_SET_TR_DEQUEUE" // Stopped → Stopped (reposition ring)
+	EpEvDisableViaCfg = "EP_DECONFIGURE"    // any → Disabled
+)
+
+// Endpoint is one endpoint context.
+type Endpoint struct {
+	state  EndpointState
+	events []string
+}
+
+// NewEndpoint returns an endpoint in the Disabled state.
+func NewEndpoint() *Endpoint { return &Endpoint{state: EpDisabled} }
+
+// State returns the current endpoint state.
+func (e *Endpoint) State() EndpointState { return e.state }
+
+// Events returns the accepted-event trace so far.
+func (e *Endpoint) Events() []string { return append([]string(nil), e.events...) }
+
+// Apply drives the endpoint with one event; illegal events error and
+// leave the state unchanged.
+func (e *Endpoint) Apply(ev string) error {
+	next, ok := e.next(ev)
+	if !ok {
+		return fmt.Errorf("usbxhci: endpoint event %s illegal in state %s", ev, e.state)
+	}
+	e.state = next
+	e.events = append(e.events, ev)
+	return nil
+}
+
+func (e *Endpoint) next(ev string) (EndpointState, bool) {
+	switch ev {
+	case EpEvConfigure:
+		if e.state == EpDisabled {
+			return EpStopped, true
+		}
+	case EpEvDoorbell:
+		if e.state == EpStopped {
+			return EpRunning, true
+		}
+	case EpEvStopCmd:
+		if e.state == EpRunning {
+			return EpStopped, true
+		}
+	case EpEvTransferOK:
+		if e.state == EpRunning {
+			return EpRunning, true
+		}
+	case EpEvTransferErr:
+		if e.state == EpRunning {
+			return EpHalted, true
+		}
+	case EpEvResetCmd:
+		if e.state == EpHalted {
+			return EpStopped, true
+		}
+	case EpEvSetTRDequeue:
+		if e.state == EpStopped {
+			return EpStopped, true
+		}
+	case EpEvDisableViaCfg:
+		if e.state != EpDisabled {
+			return EpDisabled, true
+		}
+	}
+	return e.state, false
+}
+
+// EndpointWorkload scripts an I/O load with injected transfer errors,
+// exercising the halt/reset/recover cycle the plain attach scenario
+// never reaches.
+type EndpointWorkload struct {
+	// Bursts is the number of doorbell→transfer bursts.
+	Bursts int
+	// TransfersPerBurst is the successful transfer count per burst.
+	TransfersPerBurst int
+	// ErrorEvery injects a transfer error on every k-th burst
+	// (0 disables error injection).
+	ErrorEvery int
+	// StopEvery issues a graceful Stop Endpoint on every k-th burst
+	// (0 disables; bursts not stopped or halted keep running into
+	// the next doorbell... the workload stops them).
+	StopEvery int
+}
+
+// DefaultEndpointWorkload exercises every endpoint state.
+func DefaultEndpointWorkload() EndpointWorkload {
+	return EndpointWorkload{Bursts: 12, TransfersPerBurst: 4, ErrorEvery: 3, StopEvery: 2}
+}
+
+// Run drives a fresh endpoint through the workload and returns its
+// event trace.
+func (w EndpointWorkload) Run() (*trace.Trace, error) {
+	if w.Bursts <= 0 || w.TransfersPerBurst < 0 {
+		return nil, fmt.Errorf("usbxhci: bad endpoint workload %+v", w)
+	}
+	ep := NewEndpoint()
+	do := func(evs ...string) error {
+		for _, ev := range evs {
+			if err := ep.Apply(ev); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := do(EpEvConfigure); err != nil {
+		return nil, err
+	}
+	for b := 1; b <= w.Bursts; b++ {
+		if err := do(EpEvDoorbell); err != nil {
+			return nil, err
+		}
+		for i := 0; i < w.TransfersPerBurst; i++ {
+			if err := do(EpEvTransferOK); err != nil {
+				return nil, err
+			}
+		}
+		switch {
+		case w.ErrorEvery > 0 && b%w.ErrorEvery == 0:
+			// Error, recover, reposition.
+			if err := do(EpEvTransferErr, EpEvResetCmd, EpEvSetTRDequeue); err != nil {
+				return nil, err
+			}
+		default:
+			if err := do(EpEvStopCmd); err != nil {
+				return nil, err
+			}
+			if w.StopEvery > 0 && b%w.StopEvery == 0 {
+				if err := do(EpEvSetTRDequeue); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := do(EpEvDisableViaCfg); err != nil {
+		return nil, err
+	}
+	return trace.FromEvents(ep.Events()), nil
+}

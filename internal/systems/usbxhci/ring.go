@@ -1,0 +1,159 @@
+package usbxhci
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Interface events recorded by the USB Attach benchmark: every TRB the
+// controller fetches from a ring and every event TRB it writes to the
+// event ring, plus the TRB/completion types involved — the alphabet of
+// the paper's Fig 3.
+const (
+	EvRingFetch = "xhci_ring_fetch"
+	EvWrite     = "xhci_write"
+
+	// Command-ring TRB types (fetched).
+	TrbCrEnableSlot = "CrES"
+	TrbCrAddressDev = "CrAD"
+	TrbCrConfigEnd  = "CrCE"
+
+	// Transfer-ring TRB types (fetched).
+	TrbSetup    = "TRSetup"
+	TrbData     = "TRData"
+	TrbStatus   = "TRStatus"
+	TrbNormal   = "TRNormal"
+	TrbReserved = "TRBReserved"
+
+	// Event-ring TRB types (written).
+	EvPortStatusChange = "ErPSC"
+	EvCmdCompletion    = "ErCC"
+	EvTransfer         = "ErTransfer"
+	CodeSuccess        = "CCSuccess"
+)
+
+// Controller models the ring interface of the xHCI controller: the
+// driver posts TRBs, the controller fetches them and writes completion
+// and transfer events, all recorded as an interface event trace.
+type Controller struct {
+	slot   *Slot
+	events []string
+}
+
+// NewController returns a controller with one disabled slot.
+func NewController() *Controller { return &Controller{slot: NewSlot()} }
+
+// Events returns the interface trace so far.
+func (c *Controller) Events() []string { return append([]string(nil), c.events...) }
+
+// Slot exposes the controller's device slot.
+func (c *Controller) Slot() *Slot { return c.slot }
+
+func (c *Controller) emit(evs ...string) { c.events = append(c.events, evs...) }
+
+// PortStatusChange reports a root-port event (device attach/detach):
+// the controller writes a Port Status Change event TRB.
+func (c *Controller) PortStatusChange() {
+	c.emit(EvWrite, EvPortStatusChange)
+}
+
+// Command executes one command-ring TRB: the controller fetches it,
+// applies the slot command, and writes a command-completion event.
+func (c *Controller) Command(trbType, slotCmd string) error {
+	c.emit(EvRingFetch, trbType)
+	if err := c.slot.Command(slotCmd); err != nil {
+		return err
+	}
+	c.emit(EvWrite, EvCmdCompletion, CodeSuccess)
+	return nil
+}
+
+// ControlTransfer executes a three-stage control transfer (setup,
+// optional data, status) on the default endpoint: each stage TRB is
+// fetched from the transfer ring, then one transfer event is written.
+func (c *Controller) ControlTransfer(withData bool) error {
+	if c.slot.State() != SlotAddressed && c.slot.State() != SlotConfigured && c.slot.State() != SlotEnabled {
+		return fmt.Errorf("usbxhci: control transfer with slot %s", c.slot.State())
+	}
+	c.emit(EvRingFetch, TrbSetup)
+	if withData {
+		c.emit(EvRingFetch, TrbData)
+	}
+	c.emit(EvRingFetch, TrbStatus)
+	c.emit(EvWrite, EvTransfer, CodeSuccess)
+	return nil
+}
+
+// BulkTransfer executes a bulk transfer of n Normal TRBs on a
+// configured endpoint, ending with a reserved link TRB fetch and one
+// transfer event.
+func (c *Controller) BulkTransfer(n int) error {
+	if c.slot.State() != SlotConfigured {
+		return fmt.Errorf("usbxhci: bulk transfer with slot %s", c.slot.State())
+	}
+	for i := 0; i < n; i++ {
+		c.emit(EvRingFetch, TrbNormal)
+	}
+	c.emit(EvRingFetch, TrbReserved)
+	c.emit(EvWrite, EvTransfer, CodeSuccess)
+	return nil
+}
+
+// AttachWorkload scripts the paper's USB Attach benchmark: a virtual
+// storage device is plugged into the platform, enumerated (port status
+// change, enable slot, address device, descriptor reads, configure)
+// and then read by the guest (bulk transfers).
+type AttachWorkload struct {
+	// DescriptorReads is the number of control transfers during
+	// enumeration (GET_DESCRIPTOR, SET_CONFIGURATION, …).
+	DescriptorReads int
+	// BulkReads is the number of bulk transfers after
+	// configuration.
+	BulkReads int
+	// BulkTRBs is the Normal-TRB count per bulk transfer.
+	BulkTRBs int
+}
+
+// DefaultAttachWorkload reproduces the paper's 259-event interface
+// trace: port status change (2 events), three commands (15), nine
+// control transfers (36 + 35), thirteen 4-TRB bulk reads (169), and a
+// detach port status change (2).
+func DefaultAttachWorkload() AttachWorkload {
+	return AttachWorkload{DescriptorReads: 9, BulkReads: 13, BulkTRBs: 4}
+}
+
+// Run performs the attach scenario and returns the interface trace.
+func (w AttachWorkload) Run() (*trace.Trace, error) {
+	c := NewController()
+	c.PortStatusChange()
+	if err := c.Command(TrbCrEnableSlot, CmdEnableSlot); err != nil {
+		return nil, err
+	}
+	if err := c.Command(TrbCrAddressDev, CmdAddressDev); err != nil {
+		return nil, err
+	}
+	// Descriptor reads before configuration (control, with data).
+	for i := 0; i < w.DescriptorReads/2; i++ {
+		if err := c.ControlTransfer(true); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Command(TrbCrConfigEnd, CmdConfigEnd); err != nil {
+		return nil, err
+	}
+	// Remaining control traffic (SET_CONFIGURATION etc., no data).
+	for i := 0; i < (w.DescriptorReads+1)/2; i++ {
+		if err := c.ControlTransfer(false); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < w.BulkReads; i++ {
+		if err := c.BulkTransfer(w.BulkTRBs); err != nil {
+			return nil, err
+		}
+	}
+	// Detach at the end of the scenario.
+	c.PortStatusChange()
+	return trace.FromEvents(c.Events()), nil
+}

@@ -1,0 +1,263 @@
+package usbxhci
+
+import (
+	"testing"
+)
+
+func TestSlotLegalLifecycle(t *testing.T) {
+	s := NewSlot()
+	seq := []struct {
+		cmd  string
+		want SlotState
+	}{
+		{CmdEnableSlot, SlotEnabled},
+		{CmdAddressDev, SlotAddressed},
+		{CmdConfigEnd, SlotConfigured},
+		{CmdStopEnd, SlotConfigured},
+		{CmdResetDev, SlotAddressed},
+		{CmdConfigEnd, SlotConfigured},
+		{CmdDisableSlot, SlotDisabled},
+	}
+	for i, step := range seq {
+		if err := s.Command(step.cmd); err != nil {
+			t.Fatalf("step %d (%s): %v", i, step.cmd, err)
+		}
+		if s.State() != step.want {
+			t.Fatalf("step %d (%s): state %s, want %s", i, step.cmd, s.State(), step.want)
+		}
+	}
+	if len(s.Events()) != len(seq) {
+		t.Errorf("events = %d, want %d", len(s.Events()), len(seq))
+	}
+}
+
+func TestSlotIllegalCommands(t *testing.T) {
+	cases := []struct {
+		setup []string
+		cmd   string
+	}{
+		{nil, CmdAddressDev},                     // address while disabled
+		{nil, CmdConfigEnd},                      // configure while disabled
+		{nil, CmdDisableSlot},                    // disable while disabled
+		{nil, CmdStopEnd},                        // stop while disabled
+		{nil, CmdResetDev},                       // reset while disabled
+		{[]string{CmdEnableSlot}, CmdEnableSlot}, // double enable
+		{[]string{CmdEnableSlot}, CmdConfigEnd},  // configure before address
+		{[]string{CmdEnableSlot}, CmdStopEnd},    // stop before configure
+		{[]string{CmdEnableSlot}, CmdResetDev},   // reset before address
+	}
+	for _, c := range cases {
+		s := NewSlot()
+		for _, cmd := range c.setup {
+			if err := s.Command(cmd); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := s.State()
+		if err := s.Command(c.cmd); err == nil {
+			t.Errorf("command %s legal after %v, want error", c.cmd, c.setup)
+		}
+		if s.State() != before {
+			t.Errorf("illegal command %s changed state", c.cmd)
+		}
+	}
+}
+
+func TestSlotStateStrings(t *testing.T) {
+	for st, want := range map[SlotState]string{
+		SlotDisabled: "Disabled", SlotEnabled: "Enabled", SlotDefault: "Default",
+		SlotAddressed: "Addressed", SlotConfigured: "Configured",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}
+
+func TestDefaultSlotWorkloadLength(t *testing.T) {
+	tr, err := DefaultSlotWorkload().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 39 {
+		t.Errorf("slot trace length = %d, want 39 (paper Table I)", tr.Len())
+	}
+	sum := 0
+	for _, c := range DefaultSlotWorkload().Cycles {
+		sum += c.length()
+	}
+	if sum != tr.Len() {
+		t.Errorf("cycle lengths sum to %d, trace has %d", sum, tr.Len())
+	}
+	evs, err := tr.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trace must start from a fresh attach and end in a detach.
+	if evs[0] != CmdEnableSlot || evs[len(evs)-1] != CmdDisableSlot {
+		t.Errorf("trace boundaries: %s … %s", evs[0], evs[len(evs)-1])
+	}
+	// Replaying the trace through a fresh slot must be legal.
+	s := NewSlot()
+	for i, ev := range evs {
+		if err := s.Command(ev); err != nil {
+			t.Fatalf("replay step %d: %v", i, err)
+		}
+	}
+}
+
+func TestAttachWorkloadLengthAndLegality(t *testing.T) {
+	tr, err := DefaultAttachWorkload().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 259 {
+		t.Errorf("attach trace length = %d, want 259 (paper Table I)", tr.Len())
+	}
+	evs, _ := tr.Events()
+	// Every fetch is followed by a TRB type; every write by an event
+	// type.
+	fetchPayloads := map[string]bool{
+		TrbCrEnableSlot: true, TrbCrAddressDev: true, TrbCrConfigEnd: true,
+		TrbSetup: true, TrbData: true, TrbStatus: true, TrbNormal: true, TrbReserved: true,
+	}
+	writePayloads := map[string]bool{
+		EvPortStatusChange: true, EvCmdCompletion: true, EvTransfer: true,
+	}
+	for i, ev := range evs {
+		switch ev {
+		case EvRingFetch:
+			if i+1 >= len(evs) || !fetchPayloads[evs[i+1]] {
+				t.Fatalf("fetch at %d not followed by a TRB type", i)
+			}
+		case EvWrite:
+			if i+1 >= len(evs) || !writePayloads[evs[i+1]] {
+				t.Fatalf("write at %d not followed by an event type", i)
+			}
+		}
+	}
+	// Enumeration ordering: enable slot before address device before
+	// the first bulk transfer.
+	idx := func(sym string) int {
+		for i, ev := range evs {
+			if ev == sym {
+				return i
+			}
+		}
+		return -1
+	}
+	if !(idx(TrbCrEnableSlot) < idx(TrbCrAddressDev) &&
+		idx(TrbCrAddressDev) < idx(TrbCrConfigEnd) &&
+		idx(TrbCrConfigEnd) < idx(TrbNormal)) {
+		t.Error("enumeration order violated")
+	}
+}
+
+func TestControllerGuards(t *testing.T) {
+	c := NewController()
+	if err := c.BulkTransfer(1); err == nil {
+		t.Error("bulk transfer on unconfigured slot accepted")
+	}
+	if err := c.Command(TrbCrConfigEnd, CmdConfigEnd); err == nil {
+		t.Error("configure before enable accepted")
+	}
+}
+
+func TestEndpointLifecycle(t *testing.T) {
+	ep := NewEndpoint()
+	steps := []struct {
+		ev   string
+		want EndpointState
+	}{
+		{EpEvConfigure, EpStopped},
+		{EpEvDoorbell, EpRunning},
+		{EpEvTransferOK, EpRunning},
+		{EpEvTransferErr, EpHalted},
+		{EpEvResetCmd, EpStopped},
+		{EpEvSetTRDequeue, EpStopped},
+		{EpEvDoorbell, EpRunning},
+		{EpEvStopCmd, EpStopped},
+		{EpEvDisableViaCfg, EpDisabled},
+	}
+	for i, s := range steps {
+		if err := ep.Apply(s.ev); err != nil {
+			t.Fatalf("step %d (%s): %v", i, s.ev, err)
+		}
+		if ep.State() != s.want {
+			t.Fatalf("step %d (%s): state %s, want %s", i, s.ev, ep.State(), s.want)
+		}
+	}
+}
+
+func TestEndpointIllegalEvents(t *testing.T) {
+	cases := []struct {
+		setup []string
+		ev    string
+	}{
+		{nil, EpEvDoorbell},                                       // doorbell while disabled
+		{nil, EpEvTransferOK},                                     // transfer while disabled
+		{nil, EpEvResetCmd},                                       // reset while disabled
+		{nil, EpEvDisableViaCfg},                                  // deconfigure while disabled
+		{[]string{EpEvConfigure}, EpEvConfigure},                  // double configure
+		{[]string{EpEvConfigure}, EpEvTransferOK},                 // transfer while stopped
+		{[]string{EpEvConfigure}, EpEvStopCmd},                    // stop while stopped
+		{[]string{EpEvConfigure}, EpEvResetCmd},                   // reset while stopped
+		{[]string{EpEvConfigure, EpEvDoorbell}, EpEvSetTRDequeue}, // dequeue while running
+	}
+	for _, c := range cases {
+		ep := NewEndpoint()
+		for _, ev := range c.setup {
+			if err := ep.Apply(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := ep.State()
+		if err := ep.Apply(c.ev); err == nil {
+			t.Errorf("event %s legal after %v", c.ev, c.setup)
+		}
+		if ep.State() != before {
+			t.Errorf("illegal event %s changed state", c.ev)
+		}
+	}
+}
+
+func TestEndpointWorkloadCoversAllStates(t *testing.T) {
+	tr, err := DefaultEndpointWorkload().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, _ := tr.Events()
+	seen := map[string]bool{}
+	for _, ev := range evs {
+		seen[ev] = true
+	}
+	for _, want := range []string{
+		EpEvConfigure, EpEvDoorbell, EpEvStopCmd, EpEvTransferOK,
+		EpEvTransferErr, EpEvResetCmd, EpEvSetTRDequeue, EpEvDisableViaCfg,
+	} {
+		if !seen[want] {
+			t.Errorf("workload never emits %s", want)
+		}
+	}
+	// Replay legality.
+	ep := NewEndpoint()
+	for i, ev := range evs {
+		if err := ep.Apply(ev); err != nil {
+			t.Fatalf("replay step %d: %v", i, err)
+		}
+	}
+	if _, err := (EndpointWorkload{}).Run(); err == nil {
+		t.Error("zero workload accepted")
+	}
+}
+
+func TestEndpointStateStrings(t *testing.T) {
+	for st, want := range map[EndpointState]string{
+		EpDisabled: "Disabled", EpRunning: "Running", EpHalted: "Halted",
+		EpStopped: "Stopped", EpError: "Error",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}

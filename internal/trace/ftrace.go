@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FtraceEvent is one record of an ftrace-style log: the task that was
+// running, a timestamp, the event name, and the raw detail field.
+type FtraceEvent struct {
+	Task      string  // "comm-pid"
+	CPU       int     // reporting CPU
+	Timestamp float64 // seconds
+	Name      string  // event name, e.g. "sched_switch"
+	Detail    string  // remainder of the line after "event: "
+}
+
+// ParseFtrace parses logs in the format emitted by the Linux ftrace
+// function/event tracer (and by internal/systems/rtlinux, which mimics
+// it):
+//
+//	<task>-<pid> [<cpu>] <flags> <timestamp>: <event>: <detail>
+//
+// Header lines starting with '#' and blank lines are skipped. The
+// flags column is optional, matching both `trace` and `trace_pipe`
+// output variants.
+func ParseFtrace(r io.Reader) ([]FtraceEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []FtraceEvent
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := parseFtraceLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("ftrace: line %d: %w", lineNo, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ftrace: %w", err)
+	}
+	return out, nil
+}
+
+func parseFtraceLine(line string) (FtraceEvent, error) {
+	var ev FtraceEvent
+
+	// Task column (may itself contain '-'; pid is the final dash
+	// separated field before whitespace).
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return ev, fmt.Errorf("too few columns in %q", line)
+	}
+	ev.Task = fields[0]
+
+	// CPU column: "[000]".
+	i := 1
+	cpu := fields[i]
+	if !strings.HasPrefix(cpu, "[") || !strings.HasSuffix(cpu, "]") {
+		return ev, fmt.Errorf("missing cpu column in %q", line)
+	}
+	if _, err := fmt.Sscanf(cpu, "[%d]", &ev.CPU); err != nil {
+		return ev, fmt.Errorf("bad cpu column %q", cpu)
+	}
+	i++
+
+	// Optional irq/preempt flags column, e.g. "d..3".
+	if i < len(fields) && !strings.HasSuffix(fields[i], ":") {
+		i++
+	}
+	if i >= len(fields) {
+		return ev, fmt.Errorf("missing timestamp in %q", line)
+	}
+
+	// Timestamp column: "123.456789:".
+	ts := strings.TrimSuffix(fields[i], ":")
+	if _, err := fmt.Sscanf(ts, "%f", &ev.Timestamp); err != nil {
+		return ev, fmt.Errorf("bad timestamp %q", fields[i])
+	}
+	i++
+	if i >= len(fields) {
+		return ev, fmt.Errorf("missing event name in %q", line)
+	}
+
+	// Event name column: "sched_switch:".
+	name := fields[i]
+	ev.Name = strings.TrimSuffix(name, ":")
+	i++
+	ev.Detail = strings.Join(fields[i:], " ")
+	return ev, nil
+}
+
+// FtraceToTrace projects a parsed ftrace log onto an event trace for a
+// single task under analysis. Events whose Task does not match task
+// are dropped unless task is empty, in which case all events are kept.
+// The rename map optionally rewrites raw event names to model-level
+// names (e.g. "sched_switch" with a matching prev task to
+// "sched_switch_suspend"); unmapped names pass through unchanged.
+func FtraceToTrace(events []FtraceEvent, task string, rename func(FtraceEvent) string) *Trace {
+	var names []string
+	for _, ev := range events {
+		if task != "" && ev.Task != task {
+			continue
+		}
+		name := ev.Name
+		if rename != nil {
+			name = rename(ev)
+		}
+		if name == "" {
+			continue
+		}
+		names = append(names, name)
+	}
+	return FromEvents(names)
+}

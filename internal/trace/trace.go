@@ -1,0 +1,303 @@
+// Package trace defines the execution-trace model of the learner: a
+// trace is a finite sequence of observations, each observation a
+// valuation of a fixed, user-chosen vector of variables (Section II of
+// the paper). The package also provides the step environments that let
+// transition predicates over X ∪ X′ be evaluated directly against
+// consecutive observation pairs, plus encoders/decoders for the two
+// on-disk formats used by the command-line tools (CSV for numeric
+// traces, one-event-per-line logs for event traces) and a parser for
+// ftrace-style scheduler logs.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// Role distinguishes state variables, whose next value the system
+// computes (and predicate synthesis models as var' = next(X)), from
+// input variables, which the environment drives: an input's next value
+// is not a function of the observation, so learned predicates may
+// guard on it but never constrain its primed copy. The paper's
+// integrator benchmark observes the input ip and the state op.
+type Role uint8
+
+// Variable roles; the zero value is State.
+const (
+	State Role = iota
+	Input
+)
+
+// String names the role.
+func (r Role) String() string {
+	if r == Input {
+		return "input"
+	}
+	return "state"
+}
+
+// VarDef declares one observed variable: its name, value type, and
+// role.
+type VarDef struct {
+	Name string
+	Type expr.Type
+	Role Role
+}
+
+// Schema is the ordered list of observed variables shared by every
+// observation of a trace. The order fixes the meaning of observation
+// indices.
+type Schema struct {
+	vars  []VarDef
+	index map[string]int
+}
+
+// NewSchema builds a schema from variable definitions. Duplicate or
+// empty names are rejected.
+func NewSchema(vars ...VarDef) (*Schema, error) {
+	s := &Schema{vars: append([]VarDef(nil), vars...), index: make(map[string]int, len(vars))}
+	for i, v := range s.vars {
+		if v.Name == "" {
+			return nil, fmt.Errorf("schema: variable %d has empty name", i)
+		}
+		if _, dup := s.index[v.Name]; dup {
+			return nil, fmt.Errorf("schema: duplicate variable %q", v.Name)
+		}
+		s.index[v.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(vars ...VarDef) *Schema {
+	s, err := NewSchema(vars...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of variables.
+func (s *Schema) Len() int { return len(s.vars) }
+
+// Var returns the i-th variable definition.
+func (s *Schema) Var(i int) VarDef { return s.vars[i] }
+
+// Index returns the position of the named variable, or -1.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Types returns the name→type map in the form the expression parser
+// consumes.
+func (s *Schema) Types() map[string]expr.Type {
+	m := make(map[string]expr.Type, len(s.vars))
+	for _, v := range s.vars {
+		m[v.Name] = v.Type
+	}
+	return m
+}
+
+// Equal reports whether two schemas declare the same variables (name,
+// type and role) in the same order.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == o {
+		return true
+	}
+	if s == nil || o == nil || len(s.vars) != len(o.vars) {
+		return false
+	}
+	for i := range s.vars {
+		if s.vars[i] != o.vars[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Names returns the variable names in schema order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.vars))
+	for i, v := range s.vars {
+		out[i] = v.Name
+	}
+	return out
+}
+
+// Observation is a valuation of the schema variables at one time step,
+// indexed in schema order.
+type Observation []expr.Value
+
+// Trace is a sequence of observations over a common schema.
+type Trace struct {
+	schema *Schema
+	obs    []Observation
+}
+
+// New returns an empty trace over the schema.
+func New(schema *Schema) *Trace {
+	return &Trace{schema: schema}
+}
+
+// Schema returns the trace's variable schema.
+func (t *Trace) Schema() *Schema { return t.schema }
+
+// Len returns the number of observations.
+func (t *Trace) Len() int { return len(t.obs) }
+
+// Steps returns the number of observation pairs, max(Len-1, 0) — the
+// length of the word the trace induces over the paper's alphabet.
+func (t *Trace) Steps() int {
+	if len(t.obs) < 2 {
+		return 0
+	}
+	return len(t.obs) - 1
+}
+
+// At returns the i-th observation.
+func (t *Trace) At(i int) Observation { return t.obs[i] }
+
+// Value returns the value of the named variable at observation i.
+func (t *Trace) Value(i int, name string) (expr.Value, bool) {
+	j := t.schema.Index(name)
+	if j < 0 || i < 0 || i >= len(t.obs) {
+		return expr.Value{}, false
+	}
+	return t.obs[i][j], true
+}
+
+// Append adds an observation, validating arity and types against the
+// schema.
+func (t *Trace) Append(obs Observation) error {
+	if len(obs) != t.schema.Len() {
+		return fmt.Errorf("trace: observation has %d values, schema has %d variables", len(obs), t.schema.Len())
+	}
+	for i, v := range obs {
+		if want := t.schema.Var(i).Type; v.T != want {
+			return fmt.Errorf("trace: value %d (%s) has type %s, schema variable %q wants %s",
+				i, v, v.T, t.schema.Var(i).Name, want)
+		}
+	}
+	t.obs = append(t.obs, append(Observation(nil), obs...))
+	return nil
+}
+
+// MustAppend is Append that panics on error; trace generators use it
+// because their schemas are static.
+func (t *Trace) MustAppend(obs Observation) {
+	if err := t.Append(obs); err != nil {
+		panic(err)
+	}
+}
+
+// AppendVals appends an observation given in schema order as plain
+// values.
+func (t *Trace) AppendVals(vals ...expr.Value) error {
+	return t.Append(Observation(vals))
+}
+
+// Slice returns a sub-trace view of observations [from, to). The
+// returned trace shares observation storage with the receiver.
+func (t *Trace) Slice(from, to int) *Trace {
+	return &Trace{schema: t.schema, obs: t.obs[from:to]}
+}
+
+// WithRoles returns a view of the trace whose schema assigns the given
+// roles to the named variables (unnamed variables keep their role).
+// Parsers like ReadVCD cannot know which signals are environment-driven
+// inputs, so callers adjust roles afterwards; unknown names error.
+func (t *Trace) WithRoles(roles map[string]Role) (*Trace, error) {
+	vars := make([]VarDef, t.schema.Len())
+	for i := range vars {
+		vars[i] = t.schema.Var(i)
+	}
+	for name, role := range roles {
+		i := t.schema.Index(name)
+		if i < 0 {
+			return nil, fmt.Errorf("trace: WithRoles: unknown variable %q", name)
+		}
+		vars[i].Role = role
+	}
+	schema, err := NewSchema(vars...)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{schema: schema, obs: t.obs}, nil
+}
+
+// StepEnv returns an expression environment for step i, in which
+// unprimed variables read observation i and primed variables read
+// observation i+1. It panics if i is not a valid step.
+func (t *Trace) StepEnv(i int) StepEnv {
+	if i < 0 || i+1 >= len(t.obs) {
+		panic(fmt.Sprintf("trace: step %d out of range [0,%d)", i, t.Steps()))
+	}
+	return StepEnv{schema: t.schema, cur: t.obs[i], next: t.obs[i+1]}
+}
+
+// StepEnv is an expr.Env over one observation pair of a trace. It is
+// the concrete form of the paper's alphabet symbol a_i : (X ∪ X′) → D.
+type StepEnv struct {
+	schema    *Schema
+	cur, next Observation
+}
+
+// Lookup implements expr.Env.
+func (e StepEnv) Lookup(name string, primed bool) (expr.Value, bool) {
+	i := e.schema.Index(name)
+	if i < 0 {
+		return expr.Value{}, false
+	}
+	if primed {
+		return e.next[i], true
+	}
+	return e.cur[i], true
+}
+
+// HoldsAt reports whether predicate p (over X ∪ X′) holds on step i of
+// the trace. Evaluation errors are returned rather than swallowed so
+// that schema/predicate mismatches surface in tests.
+func (t *Trace) HoldsAt(p expr.Expr, i int) (bool, error) {
+	v, err := p.Eval(t.StepEnv(i))
+	if err != nil {
+		return false, err
+	}
+	if v.T != expr.Bool {
+		return false, fmt.Errorf("trace: predicate %s evaluated to %s, want bool", p, v.T)
+	}
+	return v.B, nil
+}
+
+// EventSchema is the schema used by single-variable event traces: one
+// symbol variable named "event".
+func EventSchema() *Schema {
+	return MustSchema(VarDef{Name: "event", Type: expr.Sym})
+}
+
+// FromEvents builds an event trace (schema: event:sym) from a sequence
+// of event names.
+func FromEvents(events []string) *Trace {
+	t := New(EventSchema())
+	for _, ev := range events {
+		t.MustAppend(Observation{expr.SymVal(ev)})
+	}
+	return t
+}
+
+// Events extracts the event-name sequence from a trace whose schema
+// contains a Sym variable named "event".
+func (t *Trace) Events() ([]string, error) {
+	i := t.schema.Index("event")
+	if i < 0 || t.schema.Var(i).Type != expr.Sym {
+		return nil, fmt.Errorf("trace: schema has no sym variable %q", "event")
+	}
+	out := make([]string, len(t.obs))
+	for j, obs := range t.obs {
+		out[j] = obs[i].S
+	}
+	return out, nil
+}

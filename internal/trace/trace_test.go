@@ -1,0 +1,285 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+)
+
+func intSymSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		VarDef{Name: "x", Type: expr.Int},
+		VarDef{Name: "ev", Type: expr.Sym},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(VarDef{Name: "x", Type: expr.Int}, VarDef{Name: "x", Type: expr.Sym}); err == nil {
+		t.Error("duplicate variable accepted")
+	}
+	if _, err := NewSchema(VarDef{Name: "", Type: expr.Int}); err == nil {
+		t.Error("empty variable name accepted")
+	}
+	s := intSymSchema(t)
+	if got := s.Index("ev"); got != 1 {
+		t.Errorf("Index(ev) = %d, want 1", got)
+	}
+	if got := s.Index("zzz"); got != -1 {
+		t.Errorf("Index(zzz) = %d, want -1", got)
+	}
+	ty := s.Types()
+	if ty["x"] != expr.Int || ty["ev"] != expr.Sym {
+		t.Errorf("Types() = %v", ty)
+	}
+	if names := s.Names(); len(names) != 2 || names[0] != "x" || names[1] != "ev" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	tr := New(intSymSchema(t))
+	if err := tr.Append(Observation{expr.IntVal(1)}); err == nil {
+		t.Error("short observation accepted")
+	}
+	if err := tr.Append(Observation{expr.SymVal("a"), expr.SymVal("b")}); err == nil {
+		t.Error("mistyped observation accepted")
+	}
+	if err := tr.Append(Observation{expr.IntVal(1), expr.SymVal("read")}); err != nil {
+		t.Errorf("valid observation rejected: %v", err)
+	}
+	if tr.Len() != 1 || tr.Steps() != 0 {
+		t.Errorf("Len=%d Steps=%d, want 1, 0", tr.Len(), tr.Steps())
+	}
+}
+
+func TestStepEnvAndHoldsAt(t *testing.T) {
+	tr := New(intSymSchema(t))
+	tr.MustAppend(Observation{expr.IntVal(3), expr.SymVal("read")})
+	tr.MustAppend(Observation{expr.IntVal(2), expr.SymVal("write")})
+	tr.MustAppend(Observation{expr.IntVal(3), expr.SymVal("read")})
+
+	p := expr.MustParse("ev = 'read' && x' = x - 1", tr.Schema().Types())
+	ok, err := tr.HoldsAt(p, 0)
+	if err != nil || !ok {
+		t.Errorf("HoldsAt step 0 = %v, %v; want true", ok, err)
+	}
+	ok, err = tr.HoldsAt(p, 1)
+	if err != nil || ok {
+		t.Errorf("HoldsAt step 1 = %v, %v; want false", ok, err)
+	}
+
+	// Non-bool predicate is an error.
+	if _, err := tr.HoldsAt(expr.MustParse("x + 1", tr.Schema().Types()), 0); err == nil {
+		t.Error("non-bool predicate accepted by HoldsAt")
+	}
+
+	// Observation mutation after Append must not alias the trace.
+	obs := Observation{expr.IntVal(9), expr.SymVal("reset")}
+	tr.MustAppend(obs)
+	obs[0] = expr.IntVal(-1)
+	if v, _ := tr.Value(3, "x"); v.I != 9 {
+		t.Errorf("Append aliased caller storage: got %v", v)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := New(intSymSchema(t))
+	for i := 0; i < 10; i++ {
+		tr.MustAppend(Observation{expr.IntVal(int64(i * i)), expr.SymVal([]string{"read", "write"}[i%2])})
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip length %d, want %d", back.Len(), tr.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		for j := 0; j < tr.Schema().Len(); j++ {
+			if !back.At(i)[j].Equal(tr.At(i)[j]) {
+				t.Errorf("obs %d var %d: %v != %v", i, j, back.At(i)[j], tr.At(i)[j])
+			}
+		}
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	schema := MustSchema(
+		VarDef{Name: "a", Type: expr.Int},
+		VarDef{Name: "b", Type: expr.Bool},
+		VarDef{Name: "c", Type: expr.Sym},
+	)
+	syms := []string{"alpha", "beta", "gamma with space", "delta,comma"}
+	f := func(ints []int64, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New(schema)
+		for _, n := range ints {
+			tr.MustAppend(Observation{
+				expr.IntVal(n),
+				expr.BoolVal(r.Intn(2) == 0),
+				expr.SymVal(syms[r.Intn(len(syms))]),
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tr); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Len() != tr.Len() {
+			return false
+		}
+		for i := 0; i < tr.Len(); i++ {
+			for j := 0; j < schema.Len(); j++ {
+				if !back.At(i)[j].Equal(tr.At(i)[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	bad := []string{
+		"",                                // no header
+		"x\n1\n",                          // header missing type
+		"x:float\n1\n",                    // unknown type
+		"x:int\nnope\n",                   // bad int
+		"x:int,y:int\n1\n",                // short row handled by csv reader/arity check
+		"x:bool\nmaybe\n",                 // bad bool
+		"x:int,x:int\n1,2\n",              // duplicate variable
+		"x:int\n9999999999999999999999\n", // overflow
+	}
+	for _, src := range bad {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadCSV(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestEventsRoundTrip(t *testing.T) {
+	tr := FromEvents([]string{"a", "b", "c", "a"})
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEvents(strings.NewReader("# comment\n" + buf.String() + "\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := back.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c", "a"}
+	if len(evs) != len(want) {
+		t.Fatalf("events %v, want %v", evs, want)
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Fatalf("events %v, want %v", evs, want)
+		}
+	}
+	// Events on a non-event trace fails.
+	other := New(MustSchema(VarDef{Name: "x", Type: expr.Int}))
+	if _, err := other.Events(); err == nil {
+		t.Error("Events on int trace succeeded, want error")
+	}
+	if err := WriteEvents(&buf, other); err == nil {
+		t.Error("WriteEvents on int trace succeeded, want error")
+	}
+}
+
+func TestParseFtrace(t *testing.T) {
+	log := `# tracer: nop
+#
+pi_stress-2314  [000] d..3  107.111195: sched_switch: prev_comm=pi_stress prev_state=S next_comm=rcu_preempt
+pi_stress-2314  [000]  107.111207: sched_waking: comm=pi_stress pid=2314
+<idle>-0  [000] d..3  107.111300: sched_switch: prev_comm=swapper next_comm=pi_stress
+`
+	evs, err := ParseFtrace(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(evs))
+	}
+	if evs[0].Task != "pi_stress-2314" || evs[0].Name != "sched_switch" || evs[0].CPU != 0 {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if evs[0].Timestamp <= 107 || evs[0].Timestamp >= 108 {
+		t.Errorf("event 0 timestamp = %v", evs[0].Timestamp)
+	}
+	if !strings.Contains(evs[0].Detail, "prev_comm=pi_stress") {
+		t.Errorf("event 0 detail = %q", evs[0].Detail)
+	}
+	// Second line has no flags column and must still parse.
+	if evs[1].Name != "sched_waking" {
+		t.Errorf("event 1 = %+v", evs[1])
+	}
+
+	tr := FtraceToTrace(evs, "pi_stress-2314", nil)
+	got, _ := tr.Events()
+	if len(got) != 2 || got[0] != "sched_switch" || got[1] != "sched_waking" {
+		t.Errorf("FtraceToTrace events = %v", got)
+	}
+
+	// Rename hook and drop via empty string.
+	tr = FtraceToTrace(evs, "", func(ev FtraceEvent) string {
+		if ev.Name == "sched_waking" {
+			return ""
+		}
+		return "X_" + ev.Name
+	})
+	got, _ = tr.Events()
+	if len(got) != 2 || got[0] != "X_sched_switch" || got[1] != "X_sched_switch" {
+		t.Errorf("renamed events = %v", got)
+	}
+}
+
+func TestParseFtraceErrors(t *testing.T) {
+	bad := []string{
+		"task",
+		"task-1 (000) 1.0: ev: d",
+		"task-1 [xx] 1.0: ev: d",
+		"task-1 [000] notatime: ev: d",
+		"task-1 [000]",
+		"task-1 [000] d..3",
+	}
+	for _, line := range bad {
+		if _, err := ParseFtrace(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("ParseFtrace(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := FromEvents([]string{"a", "b", "c", "d"})
+	sub := tr.Slice(1, 3)
+	evs, _ := sub.Events()
+	if len(evs) != 2 || evs[0] != "b" || evs[1] != "c" {
+		t.Errorf("Slice events = %v", evs)
+	}
+	if sub.Schema() != tr.Schema() {
+		t.Error("Slice changed schema identity")
+	}
+}

@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+const sampleVCD = `$date today $end
+$version repro test $end
+$timescale 1ns $end
+$scope module top $end
+$var wire 1 ! clk $end
+$var wire 1 " valid $end
+$scope module fifo $end
+$var reg 8 # count [7:0] $end
+$upscope $end
+$upscope $end
+$enddefinitions $end
+$dumpvars
+0!
+0"
+b00000000 #
+$end
+#10
+1!
+#20
+0!
+1"
+b00000001 #
+#30
+1!
+b00000010 #
+#40
+0!
+0"
+bz0000x11 #
+`
+
+func TestVCDSignals(t *testing.T) {
+	sigs, err := VCDSignals(strings.NewReader(sampleVCD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != 3 {
+		t.Fatalf("signals = %d, want 3", len(sigs))
+	}
+	if sigs[0].Name != "top.clk" || sigs[0].Width != 1 {
+		t.Errorf("signal 0 = %+v", sigs[0])
+	}
+	if sigs[2].Name != "top.fifo.count" || sigs[2].Width != 8 {
+		t.Errorf("signal 2 = %+v", sigs[2])
+	}
+}
+
+func TestReadVCDAllSignals(t *testing.T) {
+	tr, err := ReadVCD(strings.NewReader(sampleVCD), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observations: dumpvars snapshot + four timestamps with changes.
+	if tr.Len() != 5 {
+		t.Fatalf("observations = %d, want 5", tr.Len())
+	}
+	if tr.Schema().Len() != 3 {
+		t.Fatalf("schema vars = %d, want 3", tr.Schema().Len())
+	}
+	// 1-bit signals are Bool, the bus is Int.
+	if tr.Schema().Var(0).Type != expr.Bool || tr.Schema().Var(2).Type != expr.Int {
+		t.Error("schema types wrong")
+	}
+	// Values hold between changes: at #20, count becomes 1 and valid true.
+	v, _ := tr.Value(2, "top.fifo.count")
+	if v.I != 1 {
+		t.Errorf("count at #20 = %d, want 1", v.I)
+	}
+	v, _ = tr.Value(2, "top.valid")
+	if !v.B {
+		t.Errorf("valid at #20 = %v, want true", v)
+	}
+	// clk held at #20's observation? clk changed to 0 at #20.
+	v, _ = tr.Value(2, "top.clk")
+	if v.B {
+		t.Errorf("clk at #20 = %v, want false", v)
+	}
+	// x/z bits collapse to 0: z0000x11 → 00000011 = 3.
+	v, _ = tr.Value(4, "top.fifo.count")
+	if v.I != 3 {
+		t.Errorf("count at #40 = %d, want 3", v.I)
+	}
+}
+
+func TestReadVCDSelectedSignals(t *testing.T) {
+	// Select by unambiguous last component and by full name.
+	tr, err := ReadVCD(strings.NewReader(sampleVCD), []string{"count", "top.valid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Schema().Len() != 2 {
+		t.Fatalf("schema vars = %d, want 2", tr.Schema().Len())
+	}
+	if tr.Schema().Var(0).Name != "top.fifo.count" {
+		t.Errorf("var 0 = %q", tr.Schema().Var(0).Name)
+	}
+	// Observations only at timestamps where a WATCHED signal changed:
+	// dumpvars, #20, #30, #40 (clk-only changes at #10 are dropped).
+	if tr.Len() != 4 {
+		t.Fatalf("observations = %d, want 4", tr.Len())
+	}
+}
+
+func TestReadVCDErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		vcd     string
+		signals []string
+	}{
+		{"empty", "", nil},
+		{"no signals", "$enddefinitions $end\n#0\n", nil},
+		{"unknown signal", sampleVCD, []string{"nope"}},
+		{"ambiguous name", `$scope module a $end
+$var wire 1 ! x $end
+$upscope $end
+$scope module b $end
+$var wire 1 " x $end
+$upscope $end
+$enddefinitions $end
+#0
+1!
+`, []string{"x"}},
+		{"bad width", "$var wire zero ! x $end\n$enddefinitions $end\n#0\n1!\n", nil},
+		{"no changes", sampleVCD[:strings.Index(sampleVCD, "$dumpvars")], nil},
+		{"bad bus bit", `$var wire 4 ! n $end
+$enddefinitions $end
+#0
+b10q1 !
+`, nil},
+	}
+	for _, c := range cases {
+		if _, err := ReadVCD(strings.NewReader(c.vcd), c.signals); err == nil {
+			t.Errorf("%s: ReadVCD succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestSanitizeVCDName(t *testing.T) {
+	cases := map[string]string{
+		"top.fifo.count": "top.fifo.count",
+		"sig[3]":         "sig_3_",
+		"9lives":         "_9lives",
+		"a-b":            "a_b",
+	}
+	for in, want := range cases {
+		if got := sanitizeVCDName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestVCDToLearning runs a learned model end to end from a synthetic
+// waveform of an up/down counter.
+func TestVCDToLearning(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("$scope module dut $end\n$var reg 8 ! cnt $end\n$upscope $end\n$enddefinitions $end\n$dumpvars\nb0 !\n$end\n")
+	x, dir := 0, 1
+	for i := 0; i < 40; i++ {
+		if x >= 5 {
+			dir = -1
+		} else if x <= 0 {
+			dir = 1
+		}
+		x += dir
+		b.WriteString("#" + strings.Repeat("1", 1+i%3) + "\n") // arbitrary times
+		b.WriteString("b")
+		for k := 7; k >= 0; k-- {
+			if x&(1<<k) != 0 {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		b.WriteString(" !\n")
+	}
+	tr, err := ReadVCD(strings.NewReader(b.String()), []string{"cnt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 41 {
+		t.Fatalf("observations = %d, want 41", tr.Len())
+	}
+	for i := 0; i < tr.Steps(); i++ {
+		a, _ := tr.Value(i, "dut.cnt")
+		c, _ := tr.Value(i+1, "dut.cnt")
+		d := c.I - a.I
+		if d != 1 && d != -1 {
+			t.Fatalf("step %d: %d -> %d", i, a.I, c.I)
+		}
+	}
+}

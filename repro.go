@@ -1,0 +1,280 @@
+// Package repro is the public API of this reproduction of
+// "Learning Concise Models from Long Execution Traces" (Jeppu, Melham,
+// Kroening, O'Leary; DAC 2020): passive learning of concise
+// finite-state models, with program-synthesized transition predicates,
+// from a single long execution trace.
+//
+// The pipeline is
+//
+//	trace  →  predicate sequence P  →  automaton
+//
+// where the predicate sequence is produced by per-window program
+// synthesis (internal/synth, internal/predicate) and the automaton by
+// a SAT-based minimal-automaton search with segmentation and
+// compliance refinement (internal/learn, internal/sat).
+//
+// Quick start:
+//
+//	tr := trace.FromEvents([]string{"open", "read", "close", ...})
+//	model, err := repro.Learn(tr, repro.LearnOptions{})
+//	fmt.Println(model.Automaton.DOT("mymodel"))
+//
+// The state-merge baselines the paper compares against (kTails, EDSM,
+// MINT) are exposed through LearnBaseline. The six benchmark systems
+// of the paper's evaluation live under internal/systems and are
+// runnable through cmd/tracegen and cmd/repro.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/automaton"
+	"repro/internal/core"
+	"repro/internal/learn"
+	"repro/internal/predicate"
+	"repro/internal/statemerge"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// Re-exported core types: the trace model and the learned automata.
+type (
+	// Trace is an execution trace: a sequence of observations of a
+	// fixed variable vector.
+	Trace = trace.Trace
+	// Schema is the observed-variable declaration of a trace.
+	Schema = trace.Schema
+	// VarDef declares one observed variable.
+	VarDef = trace.VarDef
+	// NFA is a learned automaton (every state accepting).
+	NFA = automaton.NFA
+	// Predicate is a synthesized transition predicate.
+	Predicate = predicate.Predicate
+)
+
+// LearnOptions tunes the full pipeline. The zero value reproduces the
+// paper's configuration: observation window 3 (2 for pure event
+// traces), segment window 3, compliance length 2, minimal search from
+// 2 states, segmentation on.
+type LearnOptions struct {
+	// PredicateWindow is the observation window w used for
+	// transition-predicate synthesis (Algorithm 1,
+	// GeneratePredicate). Zero selects the schema default.
+	PredicateWindow int
+	// SegmentWindow is the window w used to segment the predicate
+	// sequence for model construction. Zero means 3.
+	SegmentWindow int
+	// ComplianceLen is the compliance-check sequence length l. Zero
+	// means 2.
+	ComplianceLen int
+	// StartStates is the initial automaton size N. Zero means 2.
+	StartStates int
+	// MaxStates caps the search. Zero means 64.
+	MaxStates int
+	// NonSegmented disables trace segmentation in model
+	// construction (the paper's full-trace baseline).
+	NonSegmented bool
+	// NoSymmetryBreaking disables the state-ordering symmetry break
+	// in the SAT encoding (ablation).
+	NoSymmetryBreaking bool
+	// Timeout bounds the model-construction search.
+	Timeout time.Duration
+	// Synth tunes the predicate synthesizer.
+	Synth synth.Options
+}
+
+// Model is a learned model: the automaton, its predicate alphabet, the
+// intermediate predicate sequence, and the monitoring interface
+// (Check, Explain) of internal/core.
+type Model = core.Model
+
+// Violation is the first unexplained behaviour found by Model.Check.
+type Violation = core.Violation
+
+// StateInvariant is a candidate per-state invariant extracted by
+// Model.StateInvariants (the paper's invariant-synthesis prospect).
+type StateInvariant = core.StateInvariant
+
+// Sentinel errors re-exported from the pipeline stages.
+var (
+	// ErrTimeout reports that LearnOptions.Timeout elapsed.
+	ErrTimeout = learn.ErrTimeout
+	// ErrNoAutomaton reports that no automaton within MaxStates
+	// satisfies the constraints.
+	ErrNoAutomaton = learn.ErrNoAutomaton
+)
+
+// Learn runs the paper's full pipeline on a trace: predicate synthesis
+// over sliding windows, then SAT-based model construction with
+// segmentation.
+func Learn(tr *Trace, opts LearnOptions) (*Model, error) {
+	if tr == nil || tr.Len() < 2 {
+		return nil, errors.New("repro: trace must have at least 2 observations")
+	}
+	p, err := NewPipeline(tr.Schema(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.Learn(tr)
+}
+
+// Pipeline is a reusable learner over one trace schema: learning
+// several traces of the same system through one Pipeline yields a
+// consistent predicate alphabet, and its models can Check fresh
+// traces (the paper's monitoring application).
+type Pipeline = core.Pipeline
+
+// NewPipeline builds a Pipeline for the schema with the given options.
+func NewPipeline(schema *Schema, opts LearnOptions) (*Pipeline, error) {
+	if schema == nil {
+		return nil, errors.New("repro: nil schema")
+	}
+	return core.NewPipeline(schema, core.Options{
+		Predicate: predicate.Options{
+			Window: opts.PredicateWindow,
+			Synth:  opts.Synth,
+		},
+		Learn: learn.Options{
+			Window:             opts.SegmentWindow,
+			ComplianceLen:      opts.ComplianceLen,
+			StartStates:        opts.StartStates,
+			MaxStates:          opts.MaxStates,
+			Segmented:          !opts.NonSegmented,
+			Timeout:            opts.Timeout,
+			NoSymmetryBreaking: opts.NoSymmetryBreaking,
+		},
+	})
+}
+
+// LearnEvents is a convenience wrapper learning directly from an event
+// sequence (predicates are the event guards).
+func LearnEvents(events []string, opts LearnOptions) (*Model, error) {
+	return Learn(trace.FromEvents(events), opts)
+}
+
+// LearnTraces learns one model from several runs of the same system
+// (shared schema and predicate alphabet; the model accepts every run
+// from its initial state).
+func LearnTraces(trs []*Trace, opts LearnOptions) (*Model, error) {
+	if len(trs) == 0 {
+		return nil, errors.New("repro: no traces")
+	}
+	p, err := NewPipeline(trs[0].Schema(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.LearnAll(trs)
+}
+
+// SaveModel serialises a learned model (automaton, predicate alphabet,
+// schema, and the synthesizer seeds that keep fresh-trace abstraction
+// consistent) in a human-readable text format.
+func SaveModel(w io.Writer, m *Model) error { return core.WriteModel(w, m) }
+
+// LoadModel deserialises a model written by SaveModel. The loaded
+// model supports Check and Explain exactly like the original.
+func LoadModel(r io.Reader) (*Model, error) { return core.ReadModel(r) }
+
+// Baseline selects a state-merge algorithm for LearnBaseline.
+type Baseline int
+
+// The three baselines of the paper's Table II comparison.
+const (
+	KTails Baseline = iota
+	EDSM
+	MINT
+)
+
+// String names the baseline.
+func (b Baseline) String() string {
+	switch b {
+	case KTails:
+		return "ktails"
+	case EDSM:
+		return "edsm"
+	case MINT:
+		return "mint"
+	default:
+		return fmt.Sprintf("Baseline(%d)", int(b))
+	}
+}
+
+// BaselineOptions tunes LearnBaseline.
+type BaselineOptions struct {
+	// K is the kTails horizon (KTails only). Zero means 2.
+	K int
+	// EvidenceThreshold is the EDSM/MINT minimum merge score. Zero
+	// means 1.
+	EvidenceThreshold int
+	// Timeout bounds the run.
+	Timeout time.Duration
+}
+
+// BaselineResult is a state-merge outcome.
+type BaselineResult struct {
+	Automaton *NFA
+	States    int
+	Merges    int
+	Duration  time.Duration
+}
+
+// LearnBaseline runs one of the state-merge baselines on raw trace
+// tokens — the same input MINT consumes in the paper's comparison.
+func LearnBaseline(b Baseline, words [][]string, opts BaselineOptions) (*BaselineResult, error) {
+	smOpts := statemerge.Options{
+		K:                 opts.K,
+		EvidenceThreshold: opts.EvidenceThreshold,
+		Timeout:           opts.Timeout,
+	}
+	var (
+		res *statemerge.Result
+		err error
+	)
+	switch b {
+	case KTails:
+		res, err = statemerge.KTails(words, smOpts)
+	case EDSM:
+		res, err = statemerge.EDSM(words, smOpts)
+	case MINT:
+		res, err = statemerge.MINT(words, smOpts)
+	default:
+		return nil, fmt.Errorf("repro: unknown baseline %d", b)
+	}
+	if err != nil {
+		if errors.Is(err, statemerge.ErrTimeout) {
+			return nil, fmt.Errorf("repro: baseline %s: %w", b, ErrTimeout)
+		}
+		return nil, err
+	}
+	return &BaselineResult{
+		Automaton: res.Automaton,
+		States:    res.States,
+		Merges:    res.Merges,
+		Duration:  res.Duration,
+	}, nil
+}
+
+// Tokenize renders a trace as raw tokens for the baselines: event
+// traces become their event sequence; other traces render each
+// observation as a "name=value" tuple token, exactly the view a
+// state-merge tool has without predicate synthesis.
+func Tokenize(tr *Trace) []string {
+	if evs, err := tr.Events(); err == nil && tr.Schema().Len() == 1 {
+		return evs
+	}
+	out := make([]string, tr.Len())
+	for i := 0; i < tr.Len(); i++ {
+		tok := ""
+		for j := 0; j < tr.Schema().Len(); j++ {
+			if j > 0 {
+				tok += ","
+			}
+			tok += tr.Schema().Var(j).Name + "=" + tr.At(i)[j].String()
+		}
+		out[i] = tok
+	}
+	return out
+}

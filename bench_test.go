@@ -23,6 +23,7 @@ import (
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/predicate"
 	"repro/internal/trace"
 )
 
@@ -246,6 +247,32 @@ func BenchmarkPredicateGeneration(b *testing.B) {
 		}
 	}
 }
+
+// benchSequence isolates predicate-sequence generation (no SAT phase)
+// on the longest trace with a fixed worker count. Comparing the two
+// benchmarks below measures the parallel engine's speedup; on a
+// single-core runner they coincide.
+func benchSequence(b *testing.B, workers int) {
+	b.Helper()
+	tr, err := experiments.GenIntegrator()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := predicate.NewGenerator(tr.Schema(), predicate.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.Sequence(tr); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(g.Stats().UniqueWindows), "uniq")
+	}
+}
+
+func BenchmarkSequenceSerial(b *testing.B)   { benchSequence(b, 1) }
+func BenchmarkSequenceParallel(b *testing.B) { benchSequence(b, 0) }
 
 // BenchmarkFtraceParse isolates the tracing front end on the kernel
 // benchmark's full system log.

@@ -28,10 +28,11 @@ func main() {
 		in        = flag.String("in", "", "trace file to check (required; - for stdin)")
 		informat  = flag.String("informat", "", "input format: csv, events, ftrace (default by extension)")
 		task      = flag.String("task", "", "ftrace: task to analyse (comm-pid)")
+		workers   = flag.Int("j", 0, "predicate-synthesis workers for trace abstraction (0 = one per CPU, 1 = serial)")
 		quiet     = flag.Bool("q", false, "suppress the conforming-trace message")
 	)
 	flag.Parse()
-	code, err := run(*modelPath, *in, *informat, *task, *quiet)
+	code, err := run(*modelPath, *in, *informat, *task, *workers, *quiet)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "monitor:", err)
 		os.Exit(2)
@@ -39,7 +40,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(modelPath, in, informat, task string, quiet bool) (int, error) {
+func run(modelPath, in, informat, task string, workers int, quiet bool) (int, error) {
 	if modelPath == "" || in == "" {
 		return 2, fmt.Errorf("both -model and -in are required")
 	}
@@ -52,6 +53,7 @@ func run(modelPath, in, informat, task string, quiet bool) (int, error) {
 	if err != nil {
 		return 2, err
 	}
+	model.SetWorkers(workers)
 
 	tr, err := readTrace(in, informat, task)
 	if err != nil {

@@ -25,6 +25,7 @@ import (
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -34,8 +35,10 @@ func main() {
 		fullTimeout  = flag.Duration("full-timeout", 60*time.Second, "timeout for non-segmented runs (Table I, Fig 7)")
 		mergeTimeout = flag.Duration("merge-timeout", 60*time.Second, "timeout for state-merge runs (Table II)")
 		maxExp       = flag.Int("max-exp", 15, "largest 2^k trace length for Fig 7")
+		workers      = flag.Int("j", 0, "predicate-synthesis workers (0 = one per CPU, 1 = serial; results identical)")
 	)
 	flag.Parse()
+	experiments.Workers = *workers
 	if err := run(*exp, *dotDir, *fullTimeout, *mergeTimeout, *maxExp); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
@@ -104,6 +107,7 @@ func runFigure(fig, dotDir string) error {
 	}
 	fmt.Printf("== %s (%s): learned %d states (paper: %d) in %s\n",
 		fig, c.Name, m.States, c.PaperStates, time.Since(start).Round(time.Millisecond))
+	fmt.Print(pipeline.Format(m.Stages))
 	fmt.Print(m.Automaton.String())
 	if fig == "fig2" {
 		// Fig 2 contrasts the state-merge model (2a) with ours (2b).

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/automaton"
 	"repro/internal/learn"
+	"repro/internal/pipeline"
 	"repro/internal/predicate"
 	"repro/internal/trace"
 )
@@ -62,8 +63,38 @@ type Model struct {
 
 	PredicateStats predicate.Stats
 	LearnStats     learn.Stats
+	// Stages is the per-stage metrics report for this learning run:
+	// wall/CPU time and counters for the predicate-abstraction and
+	// model-construction stages.
+	Stages []pipeline.StageMetrics
 
 	pipeline *Pipeline
+}
+
+// SetWorkers sets the worker count the model's predicate generator
+// uses when abstracting further traces (Check); see
+// predicate.Options.Workers.
+func (m *Model) SetWorkers(n int) { m.pipeline.gen.SetWorkers(n) }
+
+// predicateSpan ends a predicate-abstraction span with the stage's
+// counters, computed as the generator-stats delta across the stage.
+func predicateSpan(sp *pipeline.Span, d predicate.Stats) {
+	sp.Add("windows", int64(d.Windows)).
+		Add("memo_hits", int64(d.MemoHits)).
+		Add("unique_windows", int64(d.UniqueWindows)).
+		Add("synth_calls", int64(d.SynthCalls)).
+		Add("seed_hits", int64(d.SeedHits)).
+		End()
+}
+
+// modelSpan ends a model-construction span with the solver counters.
+func modelSpan(sp *pipeline.Span, s learn.Stats) {
+	sp.Add("segments", int64(s.Segments)).
+		Add("solver_calls", int64(s.SolverCalls)).
+		Add("refinements", int64(s.Refinements+s.AcceptRefinements)).
+		Add("sat_conflicts", s.SATConflicts).
+		Add("states", int64(s.FinalStates)).
+		End()
 }
 
 // Learn runs the full pipeline on one trace.
@@ -71,27 +102,34 @@ func (p *Pipeline) Learn(tr *trace.Trace) (*Model, error) {
 	if tr == nil || tr.Len() < 2 {
 		return nil, errors.New("core: trace must have at least 2 observations")
 	}
+	var metrics pipeline.Metrics
+	before := p.gen.Stats()
+	sp := metrics.Start("predicate")
 	preds, err := p.gen.Sequence(tr)
 	if err != nil {
 		return nil, err
 	}
+	predicateSpan(sp, p.gen.Stats().Minus(before))
 	P := make([]string, len(preds))
 	alphabet := make(map[string]*predicate.Predicate)
 	for i, pr := range preds {
 		P[i] = pr.Key
 		alphabet[pr.Key] = pr
 	}
+	sp = metrics.Start("model")
 	res, err := learn.GenerateModel(P, p.opts.Learn)
 	if err != nil {
 		return nil, fmt.Errorf("core: model construction: %w", err)
 	}
+	modelSpan(sp, res.Stats)
 	return &Model{
 		Automaton:      res.Automaton,
 		P:              P,
 		Alphabet:       alphabet,
 		States:         res.Stats.FinalStates,
-		PredicateStats: p.gen.Stats,
+		PredicateStats: p.gen.Stats(),
 		LearnStats:     res.Stats,
+		Stages:         metrics.Stages(),
 		pipeline:       p,
 	}, nil
 }
@@ -104,6 +142,9 @@ func (p *Pipeline) LearnAll(trs []*trace.Trace) (*Model, error) {
 	if len(trs) == 0 {
 		return nil, errors.New("core: no traces")
 	}
+	var metrics pipeline.Metrics
+	before := p.gen.Stats()
+	sp := metrics.Start("predicate")
 	Ps := make([][]string, len(trs))
 	alphabet := make(map[string]*predicate.Predicate)
 	for i, tr := range trs {
@@ -121,10 +162,13 @@ func (p *Pipeline) LearnAll(trs []*trace.Trace) (*Model, error) {
 		}
 		Ps[i] = P
 	}
+	predicateSpan(sp, p.gen.Stats().Minus(before))
+	sp = metrics.Start("model")
 	res, err := learn.GenerateModelMulti(Ps, p.opts.Learn)
 	if err != nil {
 		return nil, fmt.Errorf("core: model construction: %w", err)
 	}
+	modelSpan(sp, res.Stats)
 	var flat []string
 	for _, P := range Ps {
 		flat = append(flat, P...)
@@ -134,8 +178,9 @@ func (p *Pipeline) LearnAll(trs []*trace.Trace) (*Model, error) {
 		P:              flat,
 		Alphabet:       alphabet,
 		States:         res.Stats.FinalStates,
-		PredicateStats: p.gen.Stats,
+		PredicateStats: p.gen.Stats(),
 		LearnStats:     res.Stats,
+		Stages:         metrics.Stages(),
 		pipeline:       p,
 	}, nil
 }

@@ -9,7 +9,7 @@ import (
 	"repro/internal/trace"
 )
 
-func pipeline(t *testing.T, schema *trace.Schema) *Pipeline {
+func testPipeline(t *testing.T, schema *trace.Schema) *Pipeline {
 	t.Helper()
 	p, err := NewPipeline(schema, Options{Learn: learn.Options{Segmented: true}})
 	if err != nil {
@@ -24,7 +24,7 @@ func TestPipelineValidation(t *testing.T) {
 	}); err == nil {
 		t.Error("window 1 accepted")
 	}
-	p := pipeline(t, trace.EventSchema())
+	p := testPipeline(t, trace.EventSchema())
 	if _, err := p.Learn(nil); err == nil {
 		t.Error("nil trace accepted")
 	}
@@ -34,7 +34,7 @@ func TestPipelineValidation(t *testing.T) {
 }
 
 func TestLearnAndCheck(t *testing.T) {
-	p := pipeline(t, trace.EventSchema())
+	p := testPipeline(t, trace.EventSchema())
 	var evs []string
 	for i := 0; i < 10; i++ {
 		evs = append(evs, "a", "b")
@@ -66,7 +66,7 @@ func TestLearnAndCheck(t *testing.T) {
 }
 
 func TestCheckSchemaMismatch(t *testing.T) {
-	p := pipeline(t, trace.EventSchema())
+	p := testPipeline(t, trace.EventSchema())
 	m, err := p.Learn(trace.FromEvents([]string{"a", "b", "a", "b"}))
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +86,7 @@ func TestExplainAllSymbols(t *testing.T) {
 	for _, v := range []int64{1, 2, 3, 4, 5, 4, 3, 2, 1, 2, 3, 4, 5, 4, 3, 2, 1} {
 		tr.MustAppend(trace.Observation{expr.IntVal(v)})
 	}
-	p := pipeline(t, schema)
+	p := testPipeline(t, schema)
 	m, err := p.Learn(tr)
 	if err != nil {
 		t.Fatal(err)
@@ -109,7 +109,7 @@ func TestExplainAllSymbols(t *testing.T) {
 
 func TestPipelineSharedAlphabet(t *testing.T) {
 	schema := trace.EventSchema()
-	p := pipeline(t, schema)
+	p := testPipeline(t, schema)
 	m1, err := p.Learn(trace.FromEvents([]string{"x", "y", "x", "y", "x"}))
 	if err != nil {
 		t.Fatal(err)

@@ -9,7 +9,7 @@ import (
 
 func TestStateInvariantsCounter(t *testing.T) {
 	tr := counterTrace(t, 60)
-	p := pipeline(t, tr.Schema())
+	p := testPipeline(t, tr.Schema())
 	m, err := p.Learn(tr)
 	if err != nil {
 		t.Fatal(err)
@@ -80,7 +80,7 @@ func TestStateInvariantsCounter(t *testing.T) {
 }
 
 func TestStateInvariantsEventTrace(t *testing.T) {
-	p := pipeline(t, trace.EventSchema())
+	p := testPipeline(t, trace.EventSchema())
 	var evs []string
 	for i := 0; i < 10; i++ {
 		evs = append(evs, "a", "b")

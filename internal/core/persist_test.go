@@ -29,7 +29,7 @@ func counterTrace(t *testing.T, n int) *trace.Trace {
 
 func TestModelRoundTrip(t *testing.T) {
 	tr := counterTrace(t, 40)
-	p := pipeline(t, tr.Schema())
+	p := testPipeline(t, tr.Schema())
 	m, err := p.Learn(tr)
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +84,7 @@ func TestModelRoundTrip(t *testing.T) {
 }
 
 func TestModelRoundTripEventSchema(t *testing.T) {
-	p := pipeline(t, trace.EventSchema())
+	p := testPipeline(t, trace.EventSchema())
 	var evs []string
 	for i := 0; i < 12; i++ {
 		evs = append(evs, "a", "b", "c")
@@ -137,7 +137,7 @@ func TestReadModelErrors(t *testing.T) {
 
 func TestSeedsSurviveReload(t *testing.T) {
 	tr := counterTrace(t, 40)
-	p := pipeline(t, tr.Schema())
+	p := testPipeline(t, tr.Schema())
 	m, err := p.Learn(tr)
 	if err != nil {
 		t.Fatal(err)

@@ -60,6 +60,19 @@ func Cases() []Case {
 	}
 }
 
+// Workers is the predicate-synthesis worker count applied to every
+// experiment run (cmd/repro's -j flag). Zero means one worker per
+// available CPU; 1 forces the serial path. Results are identical
+// either way — only wall-clock time changes.
+var Workers int
+
+// withWorkers applies the package-level worker count to a run's
+// options.
+func withWorkers(opts repro.LearnOptions) repro.LearnOptions {
+	opts.Workers = Workers
+	return opts
+}
+
 // CaseByName finds a case by its table name.
 func CaseByName(name string) (Case, error) {
 	for _, c := range Cases() {
@@ -76,7 +89,7 @@ func LearnCase(c Case, timeout time.Duration) (*repro.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := c.Options
+	opts := withWorkers(c.Options)
 	opts.Timeout = timeout
 	return repro.Learn(tr, opts)
 }
@@ -104,7 +117,7 @@ func Table1(cases []Case, fullTimeout time.Duration) ([]Table1Row, error) {
 			return nil, fmt.Errorf("%s: %w", c.Name, err)
 		}
 		// Discover N with a plain segmented run.
-		opts := c.Options
+		opts := withWorkers(c.Options)
 		probe, err := repro.Learn(tr, opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s: probe: %w", c.Name, err)
@@ -186,7 +199,7 @@ func Table2(cases []Case, mergeTimeout time.Duration) ([]Table2Row, error) {
 		}
 
 		learnStart := time.Now()
-		model, err := repro.Learn(tr, c.Options)
+		model, err := repro.Learn(tr, withWorkers(c.Options))
 		if err != nil {
 			return nil, fmt.Errorf("%s: learn: %w", c.Name, err)
 		}
@@ -226,13 +239,13 @@ func Fig7(lengths []int, fullTimeout time.Duration) ([]Fig7Point, error) {
 			return nil, err
 		}
 		segStart := time.Now()
-		if _, err := repro.Learn(tr, repro.LearnOptions{}); err != nil {
+		if _, err := repro.Learn(tr, withWorkers(repro.LearnOptions{})); err != nil {
 			return nil, fmt.Errorf("fig7 len %d segmented: %w", n, err)
 		}
 		segTime := time.Since(segStart)
 
 		fullStart := time.Now()
-		_, err = repro.Learn(tr, repro.LearnOptions{NonSegmented: true, Timeout: fullTimeout})
+		_, err = repro.Learn(tr, withWorkers(repro.LearnOptions{NonSegmented: true, Timeout: fullTimeout}))
 		fullTime := time.Since(fullStart)
 		timedOut := false
 		if err != nil {

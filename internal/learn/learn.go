@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/automaton"
+	"repro/internal/pipeline"
 	"repro/internal/sat"
 )
 
@@ -94,6 +95,11 @@ type Stats struct {
 	SATDecisions      int64
 	SATPropagations   int64
 	Duration          time.Duration
+	// CPU is the process CPU time consumed by the search. On a
+	// single run it tracks Duration (the solver is single-threaded);
+	// it exists so stage reports can separate solver cost from the
+	// parallel predicate stage, whose CPU exceeds its wall time.
+	CPU time.Duration
 }
 
 // Result is a learned automaton plus bookkeeping.
@@ -140,6 +146,7 @@ func GenerateModelMulti(Ps [][]string, opts Options) (*Result, error) {
 		}
 	}
 	start := time.Now()
+	cpuStart := pipeline.CPUTime()
 	deadline := time.Time{}
 	if opts.Timeout > 0 {
 		deadline = start.Add(opts.Timeout)
@@ -254,6 +261,7 @@ func GenerateModelMulti(Ps [][]string, opts Options) (*Result, error) {
 		for {
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				stats.Duration = time.Since(start)
+				stats.CPU = pipeline.CPUTime() - cpuStart
 				return &Result{Stats: stats}, ErrTimeout
 			}
 			stats.SolverCalls++
@@ -264,6 +272,7 @@ func GenerateModelMulti(Ps [][]string, opts Options) (*Result, error) {
 			prevSAT = enc.solver.Stats
 			if status == sat.Unknown {
 				stats.Duration = time.Since(start)
+				stats.CPU = pipeline.CPUTime() - cpuStart
 				return &Result{Stats: stats}, ErrTimeout
 			}
 			if status == sat.Unsat {
@@ -292,6 +301,7 @@ func GenerateModelMulti(Ps [][]string, opts Options) (*Result, error) {
 				stats.Segments = len(segments)
 				stats.FinalStates = n
 				stats.Duration = time.Since(start)
+				stats.CPU = pipeline.CPUTime() - cpuStart
 				return &Result{Automaton: m, AcceptsInput: true, Stats: stats}, nil
 			}
 			stats.AcceptRefinements++
@@ -319,6 +329,7 @@ func GenerateModelMulti(Ps [][]string, opts Options) (*Result, error) {
 		}
 	}
 	stats.Duration = time.Since(start)
+	stats.CPU = pipeline.CPUTime() - cpuStart
 	return &Result{Stats: stats}, fmt.Errorf("%w (max %d states, %d segments)", ErrNoAutomaton, opts.MaxStates, len(segments))
 }
 

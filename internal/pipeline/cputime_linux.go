@@ -1,0 +1,22 @@
+//go:build linux
+
+package pipeline
+
+import (
+	"syscall"
+	"time"
+)
+
+// CPUTime returns the process's cumulative CPU time (user + system,
+// summed over all threads). Stage CPU columns are deltas of this.
+func CPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return timevalDuration(ru.Utime) + timevalDuration(ru.Stime)
+}
+
+func timevalDuration(tv syscall.Timeval) time.Duration {
+	return time.Duration(tv.Sec)*time.Second + time.Duration(tv.Usec)*time.Microsecond
+}

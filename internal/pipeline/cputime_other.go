@@ -1,0 +1,8 @@
+//go:build !linux
+
+package pipeline
+
+import "time"
+
+// CPUTime is unavailable without rusage; stage CPU columns read zero.
+func CPUTime() time.Duration { return 0 }

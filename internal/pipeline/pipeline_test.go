@@ -1,0 +1,82 @@
+package pipeline
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsStage(t *testing.T) {
+	var m Metrics
+	sp := m.Start("predicate")
+	time.Sleep(2 * time.Millisecond)
+	sp.Add("windows", 10).Add("memo_hits", 7)
+	sm := sp.End()
+
+	if sm.Name != "predicate" {
+		t.Fatalf("stage name = %q, want predicate", sm.Name)
+	}
+	if sm.Wall <= 0 {
+		t.Errorf("wall time not recorded: %v", sm.Wall)
+	}
+	if sm.CPU < 0 {
+		t.Errorf("negative CPU time: %v", sm.CPU)
+	}
+	if got := sm.Counter("windows"); got != 10 {
+		t.Errorf("windows counter = %d, want 10", got)
+	}
+	if got := sm.Counter("memo_hits"); got != 7 {
+		t.Errorf("memo_hits counter = %d, want 7", got)
+	}
+	if got := sm.Counter("missing"); got != 0 {
+		t.Errorf("missing counter = %d, want 0", got)
+	}
+
+	stages := m.Stages()
+	if len(stages) != 1 || stages[0].Name != "predicate" {
+		t.Fatalf("Stages() = %+v, want one predicate stage", stages)
+	}
+}
+
+func TestFormatListsCountersInOrder(t *testing.T) {
+	var m Metrics
+	m.Start("model").Add("states", 3).Add("transitions", 5).End()
+	s := m.String()
+	if !strings.Contains(s, "model") || !strings.Contains(s, "states=3") || !strings.Contains(s, "transitions=5") {
+		t.Errorf("Format output missing fields:\n%s", s)
+	}
+	if strings.Index(s, "states=3") > strings.Index(s, "transitions=5") {
+		t.Errorf("counters out of insertion order:\n%s", s)
+	}
+}
+
+func TestMetricsConcurrentSpans(t *testing.T) {
+	var m Metrics
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Start("stage").Add("n", 1).End()
+		}()
+	}
+	wg.Wait()
+	if got := len(m.Stages()); got != 8 {
+		t.Fatalf("recorded %d stages, want 8", got)
+	}
+}
+
+func TestCPUTimeMonotone(t *testing.T) {
+	a := CPUTime()
+	// Burn a little CPU so the second reading can only be ≥ the first.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i
+	}
+	_ = x
+	b := CPUTime()
+	if b < a {
+		t.Errorf("CPUTime went backwards: %v then %v", a, b)
+	}
+}

@@ -1,0 +1,263 @@
+// Parallel predicate synthesis: Sequence deduplicates windows by
+// content, fans the unique windows out to a bounded worker pool, and
+// reassembles the predicate sequence in original order with output
+// bit-for-bit identical to the serial path.
+//
+// The challenge is that the serial path is stateful: previously
+// synthesised next functions seed later windows, and whether a window
+// reuses a seed or synthesises afresh depends on the seed pool *at the
+// moment that window is processed*. The engine therefore splits each
+// unique window's work in two:
+//
+//  1. Speculation (parallel): run the window build — the expensive
+//     enumeration — and record the outcome of every synthesizer call,
+//     seeding each search with a snapshot of the current pool (see
+//     speculate for why that preserves determinism). Because the CEGIS
+//     search ignores seeds once the seed pass misses, the minimal
+//     expression for a call depends only on the window content, so the
+//     record is valid no matter when it is computed.
+//
+//  2. Replay (serial, in first-occurrence order): re-run the build
+//     replacing each synthesizer call with the serial decision rule —
+//     size-sorted seed pass against the authoritative pool first, the
+//     speculative minimal expression otherwise — and evolve the seed
+//     pool, memo, interning table and stats exactly as the serial path
+//     would. Replay does no enumeration, so it is cheap; the control
+//     flow of the build depends only on window content and error
+//     class, so replay consumes the speculation record in lockstep.
+//
+// The one divergence — speculation aborted on a "no solution within
+// size bound" error that the authoritative seed pool rescues — leaves
+// the replay without records for the remaining calls of that window;
+// those calls fall back to full serial synthesis, which is exactly the
+// serial semantics.
+//
+// The first window whose replay fails cancels the context, stopping
+// in-flight workers promptly; the error index matches the serial path
+// because replay runs in original order and synthesis failures are
+// deterministic in (window content, seed pool).
+package predicate
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/expr"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// synthRecord is the speculative outcome of one synthesizer call.
+type synthRecord struct {
+	f   expr.Expr
+	err error
+}
+
+// specJob is one unique window content awaiting speculation.
+type specJob struct {
+	win  *trace.Trace
+	key  string
+	recs []synthRecord
+	done chan struct{} // closed when recs is populated
+}
+
+// sequenceParallel is Sequence's fan-out path. Callers validated the
+// trace; workers ≥ 2.
+func (g *Generator) sequenceParallel(tr *trace.Trace, workers int) ([]*Predicate, error) {
+	k := tr.Len() + 1 - g.w
+
+	// Stage 1: window keys, computed in parallel chunks. The key is
+	// needed for every window (dedupe is by content even when the
+	// memo is off), and on memo-dominated traces it is the bulk of
+	// the serial runtime.
+	keys := make([]string, k)
+	chunk := (k + workers - 1) / workers
+	var kw sync.WaitGroup
+	for lo := 0; lo < k; lo += chunk {
+		hi := lo + chunk
+		if hi > k {
+			hi = k
+		}
+		kw.Add(1)
+		go func(lo, hi int) {
+			defer kw.Done()
+			for i := lo; i < hi; i++ {
+				keys[i] = windowKey(tr.Slice(i, i+g.w))
+			}
+		}(lo, hi)
+	}
+	kw.Wait()
+
+	// Stage 2: one speculation job per unique window content not
+	// already memoised, in first-occurrence order (the order replay
+	// will consume them, so the pool pipelines with the replay).
+	g.mu.Lock()
+	jobByKey := make(map[string]*specJob, k)
+	var jobs []*specJob
+	for i := 0; i < k; i++ {
+		key := keys[i]
+		if _, ok := jobByKey[key]; ok {
+			continue
+		}
+		if !g.opts.NoMemo {
+			if _, ok := g.memo[key]; ok {
+				continue
+			}
+		}
+		job := &specJob{win: tr.Slice(i, i+g.w), key: key, done: make(chan struct{})}
+		jobByKey[key] = job
+		jobs = append(jobs, job)
+	}
+	g.mu.Unlock()
+
+	// Stage 3: bounded worker pool speculating on unique windows.
+	ctx, cancel := context.WithCancel(context.Background())
+	var ww sync.WaitGroup
+	defer ww.Wait() // after cancel (defers run LIFO): no goroutine outlives the call
+	defer cancel()
+	var cursor atomic.Int64
+	for w := 0; w < workers && w < len(jobs); w++ {
+		ww.Add(1)
+		go func() {
+			defer ww.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(jobs) || ctx.Err() != nil {
+					return
+				}
+				job := jobs[i]
+				job.recs = g.speculate(ctx, job.win)
+				close(job.done)
+			}
+		}()
+	}
+
+	// Stage 4: replay in original order against the authoritative
+	// generator state.
+	out := make([]*Predicate, 0, k)
+	for i := 0; i < k; i++ {
+		key := keys[i]
+		g.mu.Lock()
+		g.stats.Windows++
+		if !g.opts.NoMemo {
+			if p, ok := g.memo[key]; ok {
+				g.stats.MemoHits++
+				g.mu.Unlock()
+				out = append(out, p)
+				continue
+			}
+		}
+		g.mu.Unlock()
+
+		job := jobByKey[key]
+		<-job.done
+
+		g.mu.Lock()
+		g.stats.UniqueWindows++
+		p, err := g.replay(job)
+		if err == nil && !g.opts.NoMemo {
+			g.memo[key] = p
+		}
+		g.mu.Unlock()
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("predicate: window at observation %d: %w", i, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// speculate runs the window build with speculative synthesis,
+// recording every synthesizer call's outcome. Each call seeds the
+// search with a snapshot of the current seed pool: pools only grow
+// during the run, so the snapshot is a subset of the pool the replay
+// will consult, and whenever the replay's authoritative seed pass
+// misses — the only case that consumes the record — the snapshot pass
+// must have missed too, leaving the recorded value the seed-independent
+// minimal expression. The snapshot costs a brief lock per call but
+// spares most repeated-pattern windows the full enumeration.
+func (g *Generator) speculate(ctx context.Context, win *trace.Trace) []synthRecord {
+	var recs []synthRecord
+	next := func(name string, examples []synth.Example) (expr.Expr, error) {
+		opts := g.opts.Synth
+		opts.DiffVars = []string{name}
+		if !g.opts.NoReuse {
+			g.mu.Lock()
+			opts.Seeds = g.sortedSeeds(name)
+			g.mu.Unlock()
+		}
+		f, err := synth.SynthesizeContext(ctx, g.synthVars, examples, opts)
+		recs = append(recs, synthRecord{f: f, err: err})
+		return f, err
+	}
+	// The build result is discarded: only the recorded synthesis
+	// outcomes matter, and the replay recomputes the predicate with
+	// the authoritative seed decisions.
+	_, _ = g.buildExpr(win, next)
+	return recs
+}
+
+// replay re-runs one window's build with the serial decision rule,
+// consuming the speculation record. Callers hold g.mu.
+func (g *Generator) replay(job *specJob) (*Predicate, error) {
+	cur := 0
+	next := func(name string, examples []synth.Example) (expr.Expr, error) {
+		var rec *synthRecord
+		if cur < len(job.recs) {
+			rec = &job.recs[cur]
+			cur++
+		}
+		return g.replayNext(name, examples, rec)
+	}
+	e, err := g.buildExpr(job.win, next)
+	if err != nil {
+		return nil, err
+	}
+	return g.intern(e), nil
+}
+
+// replayNext reproduces exactly what synthesizeNext would have
+// returned at this point of the seed-pool evolution, substituting the
+// speculative record for the enumeration. rec is nil when speculation
+// aborted before reaching this call. Callers hold g.mu.
+func (g *Generator) replayNext(name string, examples []synth.Example, rec *synthRecord) (expr.Expr, error) {
+	g.stats.SynthCalls++
+	// Serial order inside synth.Synthesize: consistency check, then
+	// seed pass, then search.
+	if err := synth.CheckExamples(examples); err != nil {
+		return nil, err
+	}
+	var f expr.Expr
+	if !g.opts.NoReuse {
+		for _, s := range g.sortedSeeds(name) {
+			if synth.ConsistentWith(s, examples) {
+				f = s
+				break
+			}
+		}
+	}
+	if f == nil {
+		switch {
+		case rec == nil:
+			// Speculation aborted before this call: synthesise
+			// serially (seed pass inside misses again; only the
+			// CEGIS search runs).
+			var err error
+			f, err = g.searchNext(name, examples)
+			if err != nil {
+				return nil, err
+			}
+		case rec.err != nil:
+			// The seed pool could not rescue the speculative
+			// failure, so the serial path fails identically.
+			return nil, rec.err
+		default:
+			f = rec.f
+		}
+	}
+	g.noteResult(name, f)
+	return f, nil
+}

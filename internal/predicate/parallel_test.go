@@ -1,0 +1,310 @@
+package predicate
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// The parallel Sequence path must be bit-for-bit identical to the
+// serial one: same predicate pointers (interning), same seed pools,
+// same stats, same first error. The tests below check that over
+// randomized traces of every schema shape the generator supports.
+
+type schemaGen struct {
+	name   string
+	schema *trace.Schema
+	step   func(rng *rand.Rand, tr *trace.Trace, i int)
+}
+
+func schemaGens() []schemaGen {
+	intSchema := trace.MustSchema(trace.VarDef{Name: "x", Type: expr.Int})
+	eventSchema := trace.MustSchema(trace.VarDef{Name: "event", Type: expr.Sym})
+	mixedSchema := trace.MustSchema(
+		trace.VarDef{Name: "event", Type: expr.Sym},
+		trace.VarDef{Name: "x", Type: expr.Int},
+	)
+	boolSchema := trace.MustSchema(
+		trace.VarDef{Name: "b", Type: expr.Bool, Role: trace.Input},
+		trace.VarDef{Name: "x", Type: expr.Int},
+	)
+	return []schemaGen{
+		{
+			// Random walk with repeating ±1 runs: memo hits, seed
+			// reuse, and turning-point windows.
+			name: "int", schema: intSchema,
+			step: func(rng *rand.Rand, tr *trace.Trace, i int) {
+				var x int64
+				if i > 0 {
+					x = tr.At(i - 1)[0].I
+				}
+				switch rng.Intn(6) {
+				case 0:
+					x = int64(rng.Intn(5))
+				case 1, 2:
+					x++
+				case 3, 4:
+					x--
+				}
+				tr.MustAppend(trace.Observation{expr.IntVal(x)})
+			},
+		},
+		{
+			// Pure event trace: guards only, no synthesis.
+			name: "events", schema: eventSchema,
+			step: func(rng *rand.Rand, tr *trace.Trace, i int) {
+				evs := []string{"open", "read", "write", "close"}
+				tr.MustAppend(trace.Observation{expr.SymVal(evs[rng.Intn(len(evs))])})
+			},
+		},
+		{
+			// Event-guarded counter: mixed windows branch on the
+			// event; occasional resets force ite updates.
+			name: "mixed", schema: mixedSchema,
+			step: func(rng *rand.Rand, tr *trace.Trace, i int) {
+				var x int64
+				if i > 0 {
+					x = tr.At(i - 1)[1].I
+				}
+				ev := "write"
+				switch rng.Intn(5) {
+				case 0:
+					ev, x = "reset", 0
+				case 1, 2:
+					ev, x = "read", x-1
+				default:
+					x++
+				}
+				tr.MustAppend(trace.Observation{expr.SymVal(ev), expr.IntVal(x)})
+			},
+		},
+		{
+			// Boolean input steering an integer state: bool guards
+			// group the window steps.
+			name: "boolinput", schema: boolSchema,
+			step: func(rng *rand.Rand, tr *trace.Trace, i int) {
+				var x int64
+				if i > 0 {
+					x = tr.At(i - 1)[1].I
+				}
+				b := rng.Intn(2) == 0
+				if b {
+					x++
+				} else {
+					x--
+				}
+				tr.MustAppend(trace.Observation{expr.BoolVal(b), expr.IntVal(x)})
+			},
+		},
+	}
+}
+
+func randTrace(rng *rand.Rand, sg schemaGen, n int) *trace.Trace {
+	tr := trace.New(sg.schema)
+	for i := 0; i < n; i++ {
+		sg.step(rng, tr, i)
+	}
+	return tr
+}
+
+// seedStrings renders the per-variable seed pools for comparison.
+func seedStrings(g *Generator) map[string][]string {
+	out := map[string][]string{}
+	for name, es := range g.Seeds() {
+		ss := make([]string, len(es))
+		for i, e := range es {
+			ss[i] = e.String()
+		}
+		out[name] = ss
+	}
+	return out
+}
+
+func alphabetKeys(g *Generator) map[string]bool {
+	out := map[string]bool{}
+	for _, p := range g.Alphabet() {
+		out[p.Key] = true
+	}
+	return out
+}
+
+// compareRun checks that a parallel run over the same traces is
+// indistinguishable from the serial baseline.
+func compareRun(t *testing.T, workers int, noMemo bool, trs []*trace.Trace) {
+	t.Helper()
+	opts := Options{NoMemo: noMemo, Workers: 1}
+	gS, err := NewGenerator(trs[0].Schema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = workers
+	gP, err := NewGenerator(trs[0].Schema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, tr := range trs {
+		psS, errS := gS.Sequence(tr)
+		psP, errP := gP.Sequence(tr)
+		if (errS == nil) != (errP == nil) {
+			t.Fatalf("trace %d: serial err %v, parallel err %v", ti, errS, errP)
+		}
+		if errS != nil {
+			if errS.Error() != errP.Error() {
+				t.Fatalf("trace %d: error mismatch:\nserial:   %v\nparallel: %v", ti, errS, errP)
+			}
+			continue
+		}
+		if len(psS) != len(psP) {
+			t.Fatalf("trace %d: length %d vs %d", ti, len(psS), len(psP))
+		}
+		for i := range psS {
+			if psS[i].Key != psP[i].Key {
+				t.Fatalf("trace %d window %d: key %q vs %q", ti, i, psS[i].Key, psP[i].Key)
+			}
+		}
+		// Interning: equal predicates must be pointer-equal in both
+		// runs, with the same sharing structure.
+		for i := range psS {
+			for j := i + 1; j < len(psS); j++ {
+				if (psS[i] == psS[j]) != (psP[i] == psP[j]) {
+					t.Fatalf("trace %d: sharing differs at (%d,%d): serial %v, parallel %v",
+						ti, i, j, psS[i] == psS[j], psP[i] == psP[j])
+				}
+			}
+		}
+	}
+	if gS.Stats() != gP.Stats() {
+		t.Errorf("stats differ:\nserial:   %+v\nparallel: %+v", gS.Stats(), gP.Stats())
+	}
+	sS, sP := seedStrings(gS), seedStrings(gP)
+	if len(sS) != len(sP) {
+		t.Fatalf("seed pools differ: %v vs %v", sS, sP)
+	}
+	for name, es := range sS {
+		ep := sP[name]
+		if len(es) != len(ep) {
+			t.Fatalf("seed pool %q: %v vs %v", name, es, ep)
+		}
+		for i := range es {
+			if es[i] != ep[i] {
+				t.Errorf("seed pool %q[%d]: %q vs %q", name, i, es[i], ep[i])
+			}
+		}
+	}
+	aS, aP := alphabetKeys(gS), alphabetKeys(gP)
+	if len(aS) != len(aP) {
+		t.Errorf("alphabet sizes differ: %d vs %d", len(aS), len(aP))
+	}
+	for k := range aS {
+		if !aP[k] {
+			t.Errorf("alphabet missing %q in parallel run", k)
+		}
+	}
+}
+
+func TestSequenceParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, sg := range schemaGens() {
+		// Two traces per run: the second exercises a generator whose
+		// memo and seed pools are already populated.
+		trs := []*trace.Trace{randTrace(rng, sg, 48), randTrace(rng, sg, 48)}
+		for _, workers := range []int{2, 8} {
+			for _, noMemo := range []bool{false, true} {
+				name := sg.name
+				if noMemo {
+					name += "/nomemo"
+				}
+				t.Run(name, func(t *testing.T) {
+					compareRun(t, workers, noMemo, trs)
+				})
+			}
+		}
+	}
+}
+
+// TestSequenceParallelErrorIndex checks the error path: a window whose
+// synthesis fails must surface the same observation index and message
+// as the serial run, and cancel the in-flight workers.
+func TestSequenceParallelErrorIndex(t *testing.T) {
+	// With MaxSize 2 the window [5,9,13] needs x + 4 (size 3) and
+	// fails with ErrNoSolution; the preceding [5,5,9] window is
+	// inconsistent and falls back to the explicit relation without
+	// error. The first failing window starts at observation 4.
+	tr := intTrace(t, 5, 5, 5, 5, 5, 9, 13)
+	opts := Options{Synth: synth.Options{MaxSize: 2}, Workers: 1}
+	gS, err := NewGenerator(tr.Schema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errS := gS.Sequence(tr)
+	if errS == nil {
+		t.Fatal("serial run unexpectedly succeeded")
+	}
+	opts.Workers = 8
+	gP, err := NewGenerator(tr.Schema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errP := gP.Sequence(tr)
+	if errP == nil {
+		t.Fatal("parallel run unexpectedly succeeded")
+	}
+	if errS.Error() != errP.Error() {
+		t.Errorf("error mismatch:\nserial:   %v\nparallel: %v", errS, errP)
+	}
+	want := "predicate: window at observation 4"
+	if len(errP.Error()) < len(want) || errP.Error()[:len(want)] != want {
+		t.Errorf("parallel error %q does not name observation 4", errP)
+	}
+}
+
+// TestGeneratorConcurrentUse hammers one Generator from many
+// goroutines (run under -race in CI). Interleaved calls may observe
+// different seed orders, so the test checks safety and soundness, not
+// cross-call determinism: no data race, every sequence sound, and
+// interning consistent within each result.
+func TestGeneratorConcurrentUse(t *testing.T) {
+	vals := []int64{1, 2, 3, 4, 5, 4, 3, 2, 1, 2, 3, 4, 5, 4, 3, 2, 1}
+	tr := intTrace(t, vals...)
+	g, err := NewGenerator(tr.Schema(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				ps, err := g.Sequence(tr)
+				if err != nil {
+					t.Errorf("Sequence: %v", err)
+					return
+				}
+				for j, p := range ps {
+					if err := Verify(p, tr.Slice(j, j+g.Window())); err != nil {
+						t.Errorf("window %d: %v", j, err)
+					}
+				}
+			} else {
+				for j := 0; j+g.Window() <= tr.Len(); j++ {
+					if _, err := g.FromWindow(tr.Slice(j, j+g.Window())); err != nil {
+						t.Errorf("FromWindow %d: %v", j, err)
+					}
+				}
+			}
+			_ = g.Stats()
+			_ = g.Alphabet()
+			_ = g.Seeds()
+		}(i)
+	}
+	wg.Wait()
+	want := tr.Len() + 1 - g.Window()
+	if got := g.Stats().Windows; got != 8*want {
+		t.Errorf("windows = %d, want %d", got, 8*want)
+	}
+}

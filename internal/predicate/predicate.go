@@ -16,13 +16,23 @@
 //     synthesizer as seeds and reused whenever they already explain a
 //     new window, so equivalent behaviour always yields the same
 //     predicate text (and therefore the same alphabet symbol).
+//
+// Sequence additionally exploits the first observation for parallelism:
+// because repeated windows collapse onto few unique ones, it
+// deduplicates windows up front and fans only the unique windows out to
+// a bounded worker pool (see parallel.go), reassembling the sequence in
+// original order. The parallel path is bit-for-bit identical to the
+// serial one — same predicates, same interning (pointer equality), same
+// seed-pool evolution, same stats, same first error.
 package predicate
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/expr"
 	"repro/internal/synth"
@@ -54,29 +64,62 @@ type Options struct {
 	// NoMemo disables whole-window memoisation (for the ablation
 	// benches).
 	NoMemo bool
+	// Workers caps the number of concurrent synthesis workers
+	// Sequence fans unique windows out to. Zero selects
+	// runtime.GOMAXPROCS(0); 1 forces the serial path. Every worker
+	// count produces identical output (see parallel.go).
+	Workers int
 }
 
 // Generator produces predicates for windows of one trace schema.
+//
+// A Generator is safe for concurrent use: the memo, interning table,
+// seed pools and stats are guarded by one mutex, so concurrent
+// FromWindow/Sequence calls serialise their mutations. Determinism is
+// only guaranteed when calls do not overlap — interleaved callers
+// observe a seed-pool order that depends on scheduling.
 type Generator struct {
 	schema *trace.Schema
 	opts   Options
 	w      int
 
-	synthVars []synth.Var
-	memo      map[string]*Predicate
-	interned  map[string]*Predicate
-	seeds     map[string][]expr.Expr // per-variable next-function seeds
+	synthVars []synth.Var // immutable after NewGenerator
 
-	// Stats counts generator work for the scalability experiments.
-	Stats Stats
+	mu       sync.Mutex
+	memo     map[string]*Predicate
+	interned map[string]*Predicate
+	seeds    map[string][]expr.Expr // per-variable next-function seeds
+	stats    Stats
 }
 
 // Stats counts predicate-generation work.
 type Stats struct {
-	Windows    int // windows processed
-	MemoHits   int // windows answered from the memo
-	SynthCalls int // synthesizer invocations (per variable)
-	SeedHits   int // synthesizer calls answered by a reused seed
+	Windows       int // windows processed
+	MemoHits      int // windows answered from the memo
+	UniqueWindows int // windows actually synthesised (memo misses)
+	SynthCalls    int // synthesizer invocations (per variable)
+	SeedHits      int // synthesizer calls answered by a reused seed
+}
+
+// Stats returns a snapshot of the generator's work counters. The
+// returned value is a copy: callers cannot race on it, and two
+// snapshots bracket a Sequence call to measure that call's work.
+func (g *Generator) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Minus returns the counter-wise difference s − o, for measuring one
+// pipeline stage out of a stateful generator's running totals.
+func (s Stats) Minus(o Stats) Stats {
+	return Stats{
+		Windows:       s.Windows - o.Windows,
+		MemoHits:      s.MemoHits - o.MemoHits,
+		UniqueWindows: s.UniqueWindows - o.UniqueWindows,
+		SynthCalls:    s.SynthCalls - o.SynthCalls,
+		SeedHits:      s.SeedHits - o.SeedHits,
+	}
 }
 
 // DefaultWindow returns the default observation window for a schema:
@@ -117,9 +160,30 @@ func NewGenerator(schema *trace.Schema, opts Options) (*Generator, error) {
 // Window returns the observation window size in effect.
 func (g *Generator) Window() int { return g.w }
 
+// workers resolves the effective worker count for Sequence.
+func (g *Generator) workers() int {
+	if g.opts.Workers > 0 {
+		return g.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the worker count (command-line -j flags on
+// pipelines reconstructed from a saved model).
+func (g *Generator) SetWorkers(n int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.opts.Workers = n
+}
+
 // Sequence computes the predicate sequence P = p1 … pk for the trace,
 // k = n+1−w (Algorithm 1 lines 9–14). Returned predicates are
 // interned: equal keys are pointer-equal.
+//
+// With more than one worker configured (Options.Workers; the default
+// uses every core) the unique windows are synthesised concurrently;
+// the result — predicates, interning, seed pools, stats, and the first
+// error — is identical to the serial path.
 func (g *Generator) Sequence(tr *trace.Trace) ([]*Predicate, error) {
 	if !tr.Schema().Equal(g.schema) {
 		return nil, errors.New("predicate: trace schema does not match generator schema")
@@ -127,6 +191,9 @@ func (g *Generator) Sequence(tr *trace.Trace) ([]*Predicate, error) {
 	n := tr.Len()
 	if n < g.w {
 		return nil, fmt.Errorf("predicate: trace length %d shorter than window %d", n, g.w)
+	}
+	if w := g.workers(); w > 1 && n+1-g.w > 1 {
+		return g.sequenceParallel(tr, w)
 	}
 	out := make([]*Predicate, 0, n+1-g.w)
 	for i := 0; i+g.w <= n; i++ {
@@ -145,19 +212,23 @@ func (g *Generator) FromWindow(win *trace.Trace) (*Predicate, error) {
 	if win.Len() != g.w {
 		return nil, fmt.Errorf("predicate: window has %d observations, want %d", win.Len(), g.w)
 	}
-	g.Stats.Windows++
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stats.Windows++
 	var key string
 	if !g.opts.NoMemo {
 		key = windowKey(win)
 		if p, ok := g.memo[key]; ok {
-			g.Stats.MemoHits++
+			g.stats.MemoHits++
 			return p, nil
 		}
 	}
-	p, err := g.build(win)
+	g.stats.UniqueWindows++
+	e, err := g.buildExpr(win, g.synthesizeNext)
 	if err != nil {
 		return nil, err
 	}
+	p := g.intern(e)
 	if !g.opts.NoMemo {
 		g.memo[key] = p
 	}
@@ -176,12 +247,20 @@ func windowKey(win *trace.Trace) string {
 	return b.String()
 }
 
-// build constructs the window predicate as a conjunction in schema
+// nextFunc synthesises one variable's next function from a window's
+// examples. buildExpr is parameterised on it so the same control flow
+// drives the serial path (synthesizeNext), the speculative parallel
+// workers (seed-free recording) and the deterministic replay — the
+// three must agree on the sequence of synthesis calls, which this
+// sharing guarantees by construction.
+type nextFunc func(name string, examples []synth.Example) (expr.Expr, error)
+
+// buildExpr constructs the window predicate as a conjunction in schema
 // order: symbolic variables contribute equality guards when their
 // value is constant across the window's step sources; every other
 // variable contributes an update conjunct var' = next(X) with next
-// synthesised from the window's steps.
-func (g *Generator) build(win *trace.Trace) (*Predicate, error) {
+// synthesised from the window's steps. The caller interns the result.
+func (g *Generator) buildExpr(win *trace.Trace, next nextFunc) (expr.Expr, error) {
 	steps := win.Steps()
 	var conjuncts []expr.Expr
 
@@ -227,7 +306,7 @@ func (g *Generator) build(win *trace.Trace) (*Predicate, error) {
 			}
 			examples[s] = synth.Example{In: in, Out: win.At(s + 1)[vi]}
 		}
-		f, err := g.updateFunction(win, vd, examples)
+		f, err := g.updateFunction(win, vd, examples, next)
 		if err != nil {
 			if errors.Is(err, synth.ErrInconsistent) {
 				// No function fits: fall back to the explicit
@@ -257,7 +336,7 @@ func (g *Generator) build(win *trace.Trace) (*Predicate, error) {
 			in := map[string]expr.Value{vd.Name: win.At(s)[vi]}
 			examples[s] = synth.Example{In: in, Out: win.At(s + 1)[vi]}
 		}
-		f, err := g.synthesizeNext(vd.Name, examples)
+		f, err := next(vd.Name, examples)
 		if err != nil {
 			if errors.Is(err, synth.ErrInconsistent) {
 				f = nil
@@ -277,8 +356,7 @@ func (g *Generator) build(win *trace.Trace) (*Predicate, error) {
 	for _, c := range conjuncts[1:] {
 		e = expr.And(e, c)
 	}
-	e = expr.Simplify(e)
-	return g.intern(e), nil
+	return expr.Simplify(e), nil
 }
 
 // uniformSource reports whether variable vi has the same value at the
@@ -304,10 +382,10 @@ func (g *Generator) uniformSource(win *trace.Trace, vi int) (expr.Value, bool) {
 // x + 1)) instead of window-local minimal fits that memorise one
 // queue length each; the per-value branches are exactly the control
 // structure the guard variables carry.
-func (g *Generator) updateFunction(win *trace.Trace, vd trace.VarDef, examples []synth.Example) (expr.Expr, error) {
+func (g *Generator) updateFunction(win *trace.Trace, vd trace.VarDef, examples []synth.Example, next nextFunc) (expr.Expr, error) {
 	bi := g.branchVar(win)
 	if bi < 0 {
-		return g.synthesizeNext(vd.Name, examples)
+		return next(vd.Name, examples)
 	}
 	bd := g.schema.Var(bi)
 	groups := map[string][]synth.Example{}
@@ -323,7 +401,7 @@ func (g *Generator) updateFunction(win *trace.Trace, vd trace.VarDef, examples [
 		groups[k] = append(groups[k], ex)
 	}
 	if len(groups) < 2 {
-		return g.synthesizeNext(vd.Name, examples)
+		return next(vd.Name, examples)
 	}
 	// Canonical branch order: sorted by value text, so windows that
 	// see the same step set in a different order intern to the same
@@ -331,7 +409,7 @@ func (g *Generator) updateFunction(win *trace.Trace, vd trace.VarDef, examples [
 	sort.Strings(keys)
 	fs := make([]expr.Expr, len(keys))
 	for i, k := range keys {
-		f, err := g.synthesizeNext(vd.Name, groups[k])
+		f, err := next(vd.Name, groups[k])
 		if err != nil {
 			return nil, err
 		}
@@ -376,32 +454,50 @@ func (g *Generator) branchVar(win *trace.Trace) int {
 // function, seeding it with previously synthesised functions for the
 // same variable, smallest first — so a steady-state window reuses the
 // simple update (op, or op + ip) rather than whichever boundary
-// predicate happened to be synthesised earlier.
+// predicate happened to be synthesised earlier. Callers hold g.mu.
 func (g *Generator) synthesizeNext(name string, examples []synth.Example) (expr.Expr, error) {
-	g.Stats.SynthCalls++
-	opts := g.opts.Synth
-	opts.DiffVars = []string{name}
-	if !g.opts.NoReuse {
-		seeds := append([]expr.Expr(nil), g.seeds[name]...)
-		sort.SliceStable(seeds, func(i, j int) bool { return seeds[i].Size() < seeds[j].Size() })
-		opts.Seeds = seeds
-	}
-	f, err := synth.Synthesize(g.synthVars, examples, opts)
+	g.stats.SynthCalls++
+	f, err := g.searchNext(name, examples)
 	if err != nil {
 		return nil, err
 	}
-	reused := false
+	g.noteResult(name, f)
+	return f, nil
+}
+
+// searchNext is the synthesis search of synthesizeNext without the
+// accounting: size-sorted seed pass, then CEGIS. Callers hold g.mu.
+func (g *Generator) searchNext(name string, examples []synth.Example) (expr.Expr, error) {
+	opts := g.opts.Synth
+	opts.DiffVars = []string{name}
+	if !g.opts.NoReuse {
+		opts.Seeds = g.sortedSeeds(name)
+	}
+	return synth.Synthesize(g.synthVars, examples, opts)
+}
+
+// sortedSeeds returns a copy of the variable's seed pool ordered
+// smallest-first (stable, so equal sizes keep insertion order). Callers
+// hold g.mu.
+func (g *Generator) sortedSeeds(name string) []expr.Expr {
+	seeds := append([]expr.Expr(nil), g.seeds[name]...)
+	sort.SliceStable(seeds, func(i, j int) bool { return seeds[i].Size() < seeds[j].Size() })
+	return seeds
+}
+
+// noteResult records a synthesis result: a pool member counts as a
+// seed hit; a fresh expression joins the pool (unless reuse is off).
+// Callers hold g.mu.
+func (g *Generator) noteResult(name string, f expr.Expr) {
 	for _, s := range g.seeds[name] {
 		if s == f {
-			reused = true
-			g.Stats.SeedHits++
-			break
+			g.stats.SeedHits++
+			return
 		}
 	}
-	if !reused && !g.opts.NoReuse {
+	if !g.opts.NoReuse {
 		g.seeds[name] = append(g.seeds[name], f)
 	}
-	return f, nil
 }
 
 // explicitRelation is the fallback predicate for a variable whose
@@ -438,7 +534,8 @@ func explicitRelation(schema *trace.Schema, win *trace.Trace, vi int) expr.Expr 
 	return disj
 }
 
-// intern returns the canonical *Predicate for the expression.
+// intern returns the canonical *Predicate for the expression. Callers
+// hold g.mu.
 func (g *Generator) intern(e expr.Expr) *Predicate {
 	key := e.String()
 	if p, ok := g.interned[key]; ok {
@@ -453,6 +550,8 @@ func (g *Generator) intern(e expr.Expr) *Predicate {
 // far, in insertion order. Model persistence saves them so that a
 // reloaded model abstracts fresh traces to the same predicate text.
 func (g *Generator) Seeds() map[string][]expr.Expr {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	out := make(map[string][]expr.Expr, len(g.seeds))
 	for name, es := range g.seeds {
 		out[name] = append([]expr.Expr(nil), es...)
@@ -463,6 +562,8 @@ func (g *Generator) Seeds() map[string][]expr.Expr {
 // SetSeeds replaces the per-variable seed pools (used when loading a
 // persisted model).
 func (g *Generator) SetSeeds(seeds map[string][]expr.Expr) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.seeds = make(map[string][]expr.Expr, len(seeds))
 	for name, es := range seeds {
 		g.seeds[name] = append([]expr.Expr(nil), es...)
@@ -472,6 +573,8 @@ func (g *Generator) SetSeeds(seeds map[string][]expr.Expr) {
 // Alphabet returns all predicates interned so far, in no particular
 // order.
 func (g *Generator) Alphabet() []*Predicate {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	out := make([]*Predicate, 0, len(g.interned))
 	for _, p := range g.interned {
 		out = append(out, p)

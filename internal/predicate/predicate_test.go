@@ -179,11 +179,11 @@ func TestMemoisation(t *testing.T) {
 	if _, err := g.Sequence(tr); err != nil {
 		t.Fatal(err)
 	}
-	if g.Stats.MemoHits == 0 {
+	if g.Stats().MemoHits == 0 {
 		t.Error("no memo hits on a periodic trace")
 	}
-	if g.Stats.Windows != tr.Len()+1-g.Window() {
-		t.Errorf("windows = %d, want %d", g.Stats.Windows, tr.Len()+1-g.Window())
+	if g.Stats().Windows != tr.Len()+1-g.Window() {
+		t.Errorf("windows = %d, want %d", g.Stats().Windows, tr.Len()+1-g.Window())
 	}
 	// Without memoisation, every window is rebuilt but results agree.
 	g2, _ := NewGenerator(tr.Schema(), Options{NoMemo: true})
@@ -201,7 +201,7 @@ func TestMemoisation(t *testing.T) {
 			t.Errorf("window %d: %q (no memo) vs %q (memo)", i, ps2[i].Key, ps3[i].Key)
 		}
 	}
-	if g2.Stats.MemoHits != 0 {
+	if g2.Stats().MemoHits != 0 {
 		t.Error("NoMemo still hit the memo")
 	}
 }
@@ -230,7 +230,7 @@ func TestSeedReuseStabilisesAlphabet(t *testing.T) {
 	if count(psReuse) > count(psNo) {
 		t.Errorf("reuse enlarged alphabet: %d vs %d", count(psReuse), count(psNo))
 	}
-	if gReuse.Stats.SeedHits == 0 {
+	if gReuse.Stats().SeedHits == 0 {
 		t.Error("no seed hits with reuse enabled")
 	}
 }

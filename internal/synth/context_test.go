@@ -1,0 +1,77 @@
+package synth
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+)
+
+func TestSynthesizeContextCancelled(t *testing.T) {
+	vars := []Var{{Name: "x", Type: expr.Int}}
+	examples := []Example{
+		{In: map[string]expr.Value{"x": expr.IntVal(1)}, Out: expr.IntVal(2)},
+		{In: map[string]expr.Value{"x": expr.IntVal(2)}, Out: expr.IntVal(3)},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SynthesizeContext(ctx, vars, examples, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSynthesizeContextCancelMidSearch(t *testing.T) {
+	// A near-random mapping over several inputs has no small
+	// expression, so the enumeration runs long enough for a
+	// concurrent cancel to land mid-search. The call must return
+	// promptly with the context's error (or, on a fast machine,
+	// finish with ErrNoSolution before the cancel lands — both are
+	// deterministic outcomes of the race, and neither may hang).
+	rng := rand.New(rand.NewSource(3))
+	vars := []Var{{Name: "x", Type: expr.Int}}
+	examples := make([]Example, 10)
+	for i := range examples {
+		examples[i] = Example{
+			In:  map[string]expr.Value{"x": expr.IntVal(int64(i))},
+			Out: expr.IntVal(rng.Int63n(1000) - 500),
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := SynthesizeContext(ctx, vars, examples, Options{MaxSize: 14})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, ErrNoSolution) {
+			t.Fatalf("err = %v, want context.Canceled or ErrNoSolution", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("SynthesizeContext did not return after cancellation")
+	}
+}
+
+func TestSynthesizeContextBackgroundMatchesSynthesize(t *testing.T) {
+	vars := []Var{{Name: "x", Type: expr.Int}}
+	examples := []Example{
+		{In: map[string]expr.Value{"x": expr.IntVal(1)}, Out: expr.IntVal(2)},
+		{In: map[string]expr.Value{"x": expr.IntVal(5)}, Out: expr.IntVal(6)},
+	}
+	a, errA := Synthesize(vars, examples, Options{})
+	b, errB := SynthesizeContext(context.Background(), vars, examples, Options{})
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("errors differ: %v vs %v", errA, errB)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("results differ: %s vs %s", a, b)
+	}
+}

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"strings"
 
 	"repro/internal/expr"
@@ -19,6 +20,7 @@ type cand struct {
 
 // enumerator carries the state of one bottom-up search.
 type enumerator struct {
+	ctx      context.Context
 	vars     []Var
 	examples []Example
 	pools    pools
@@ -30,20 +32,24 @@ type enumerator struct {
 	bools [][]cand
 	syms  [][]cand
 
-	seen   map[string]bool // observational-equivalence filter
-	target []expr.Value    // wanted output vector
-	work   int
+	seen      map[string]bool // observational-equivalence filter
+	target    []expr.Value    // wanted output vector
+	work      int
+	cancelled bool
 }
 
 // enumerate returns the smallest expression of the examples' output
 // type whose value vector equals the outputs, searching in strict size
-// order so the first hit is minimal.
-func enumerate(vars []Var, examples []Example, p pools, opts Options) (expr.Expr, error) {
+// order so the first hit is minimal. A cancelled ctx aborts the search
+// with the context's error; cancellation never changes the result of a
+// search that completes.
+func enumerate(ctx context.Context, vars []Var, examples []Example, p pools, opts Options) (expr.Expr, error) {
 	maxSize := opts.MaxSize
 	if maxSize <= 0 {
 		maxSize = DefaultMaxSize
 	}
 	en := &enumerator{
+		ctx:      ctx,
 		vars:     vars,
 		examples: examples,
 		pools:    p,
@@ -66,11 +72,30 @@ func enumerate(vars []Var, examples []Example, p pools, opts Options) (expr.Expr
 		if hit := en.compose(size, outType); hit != nil {
 			return hit, nil
 		}
+		if en.cancelled {
+			return nil, en.ctx.Err()
+		}
 		if en.work > maxWork {
 			return nil, ErrNoSolution
 		}
 	}
+	if en.cancelled {
+		return nil, en.ctx.Err()
+	}
 	return nil, ErrNoSolution
+}
+
+// stop reports whether the search should be abandoned: the work budget
+// is exhausted or the context was cancelled. The context is polled
+// every 1024 candidates to keep the check out of the hot loop.
+func (en *enumerator) stop() bool {
+	if en.work > maxWork || en.cancelled {
+		return true
+	}
+	if en.work&1023 == 0 && en.ctx.Err() != nil {
+		en.cancelled = true
+	}
+	return en.cancelled
 }
 
 // add registers a candidate of the given size unless an observationally
@@ -213,7 +238,7 @@ func (en *enumerator) compose(size int, outType expr.Type) expr.Expr {
 				if hit := en.intPairs(size, l, r, outType); hit != nil {
 					return hit
 				}
-				if en.work > maxWork {
+				if en.stop() {
 					return nil
 				}
 			}
@@ -234,7 +259,7 @@ func (en *enumerator) compose(size int, outType expr.Type) expr.Expr {
 					return hit
 				}
 			}
-			if en.work > maxWork {
+			if en.stop() {
 				return nil
 			}
 		}
@@ -257,7 +282,7 @@ func (en *enumerator) compose(size int, outType expr.Type) expr.Expr {
 				if hit := en.add(size, cand{e: expr.Or(l.e, r.e), vals: orVals}, outType); hit != nil {
 					return hit
 				}
-				if en.work > maxWork {
+				if en.stop() {
 					return nil
 				}
 			}
@@ -284,7 +309,7 @@ func (en *enumerator) compose(size int, outType expr.Type) expr.Expr {
 						}
 					}
 				}
-				if en.work > maxWork {
+				if en.stop() {
 					return nil
 				}
 				for _, t := range en.syms[ts] {

@@ -21,9 +21,17 @@
 //     neighbours) rather than supplied by the user, reproducing the
 //     fastsynth behaviour the paper prefers over grammar-guided CVC4
 //     (Section VII).
+//
+// Goroutine safety: the package keeps no mutable package-level state —
+// every search allocates its own enumerator — so Enumerate and
+// Synthesize are safe to call from multiple goroutines concurrently,
+// provided the caller does not mutate the examples or option slices
+// while a call is in flight. The parallel predicate engine
+// (internal/predicate) relies on this.
 package synth
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -104,16 +112,24 @@ var ErrNoSolution = errors.New("synth: no expression within size bound fits the 
 // all examples, using a CEGIS loop around Enumerate. The result type
 // is the type of the example outputs.
 func Synthesize(vars []Var, examples []Example, opts Options) (expr.Expr, error) {
+	return SynthesizeContext(context.Background(), vars, examples, opts)
+}
+
+// SynthesizeContext is Synthesize with cancellation: when ctx is
+// cancelled mid-search the context's error is returned promptly. A
+// completed search is unaffected by ctx, so results are identical to
+// Synthesize whenever the call runs to completion.
+func SynthesizeContext(ctx context.Context, vars []Var, examples []Example, opts Options) (expr.Expr, error) {
 	if len(examples) == 0 {
 		return nil, errors.New("synth: no examples")
 	}
-	if err := checkConsistent(examples); err != nil {
+	if err := CheckExamples(examples); err != nil {
 		return nil, err
 	}
 	// Seed pass: reuse a previously synthesised expression when it
 	// already explains this window.
 	for _, seed := range opts.Seeds {
-		if consistent(seed, examples) {
+		if ConsistentWith(seed, examples) {
 			return seed, nil
 		}
 	}
@@ -124,7 +140,10 @@ func Synthesize(vars []Var, examples []Example, opts Options) (expr.Expr, error)
 	pools := minePools(vars, examples, opts)
 	sub := []Example{examples[0]}
 	for {
-		cand, err := enumerate(vars, sub, pools, opts)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cand, err := enumerate(ctx, vars, sub, pools, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -144,11 +163,26 @@ func Enumerate(vars []Var, examples []Example, opts Options) (expr.Expr, error) 
 	if len(examples) == 0 {
 		return nil, errors.New("synth: no examples")
 	}
-	if err := checkConsistent(examples); err != nil {
+	if err := CheckExamples(examples); err != nil {
 		return nil, err
 	}
 	pools := minePools(vars, examples, opts)
-	return enumerate(vars, examples, pools, opts)
+	return enumerate(context.Background(), vars, examples, pools, opts)
+}
+
+// CheckExamples rejects example sets no function can fit: two examples
+// with the same input valuation but different outputs. Synthesize runs
+// it before its seed pass, so callers replaying the seed pass (the
+// parallel predicate engine) can reproduce the error order exactly.
+func CheckExamples(examples []Example) error {
+	return checkConsistent(examples)
+}
+
+// ConsistentWith reports whether the expression matches every example
+// — the predicate the seed pass uses. Exposed so the parallel
+// predicate engine can replay seed decisions deterministically.
+func ConsistentWith(e expr.Expr, examples []Example) bool {
+	return consistent(e, examples)
 }
 
 func checkConsistent(examples []Example) error {

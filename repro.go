@@ -82,6 +82,11 @@ type LearnOptions struct {
 	NoSymmetryBreaking bool
 	// Timeout bounds the model-construction search.
 	Timeout time.Duration
+	// Workers bounds the predicate-synthesis worker pool. Zero means
+	// one worker per available CPU; 1 forces the serial path. The
+	// result is bit-for-bit identical either way (see
+	// predicate.Options.Workers).
+	Workers int
 	// Synth tunes the predicate synthesizer.
 	Synth synth.Options
 }
@@ -134,8 +139,9 @@ func NewPipeline(schema *Schema, opts LearnOptions) (*Pipeline, error) {
 	}
 	return core.NewPipeline(schema, core.Options{
 		Predicate: predicate.Options{
-			Window: opts.PredicateWindow,
-			Synth:  opts.Synth,
+			Window:  opts.PredicateWindow,
+			Workers: opts.Workers,
+			Synth:   opts.Synth,
 		},
 		Learn: learn.Options{
 			Window:             opts.SegmentWindow,

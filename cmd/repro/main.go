@@ -35,10 +35,12 @@ func main() {
 		fullTimeout  = flag.Duration("full-timeout", 60*time.Second, "timeout for non-segmented runs (Table I, Fig 7)")
 		mergeTimeout = flag.Duration("merge-timeout", 60*time.Second, "timeout for state-merge runs (Table II)")
 		maxExp       = flag.Int("max-exp", 15, "largest 2^k trace length for Fig 7")
-		workers      = flag.Int("j", 0, "predicate-synthesis workers (0 = one per CPU, 1 = serial; results identical)")
+		workers      = flag.Int("j", 0, "predicate-synthesis / solver-portfolio workers (0 = one per CPU, 1 = serial; results identical)")
+		portfolio    = flag.Int("portfolio", 0, "race this many SAT solver configurations per solve (0/1 = serial; results identical)")
 	)
 	flag.Parse()
 	experiments.Workers = *workers
+	experiments.Portfolio = *portfolio
 	if err := run(*exp, *dotDir, *fullTimeout, *mergeTimeout, *maxExp); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)

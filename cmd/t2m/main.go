@@ -46,17 +46,18 @@ func main() {
 		maxStates = flag.Int("max-states", 0, "state-count cap (0 = 64)")
 		noSeg     = flag.Bool("no-segmentation", false, "disable segmentation (full-trace mode)")
 		timeout   = flag.Duration("timeout", 0, "search timeout (0 = none)")
-		workers   = flag.Int("j", 0, "predicate-synthesis workers (0 = one per CPU, 1 = serial; results identical)")
+		workers   = flag.Int("j", 0, "predicate-synthesis / solver-portfolio workers (0 = one per CPU, 1 = serial; results identical)")
+		portfolio = flag.Int("portfolio", 0, "race this many SAT solver configurations per solve (0/1 = serial; results identical)")
 		quiet     = flag.Bool("q", false, "print only the automaton")
 	)
 	flag.Parse()
-	if err := run(*in, *informat, *task, *signals, *dotOut, *saveOut, *predW, *segW, *compliL, *maxStates, *workers, *noSeg, *timeout, *quiet); err != nil {
+	if err := run(*in, *informat, *task, *signals, *dotOut, *saveOut, *predW, *segW, *compliL, *maxStates, *workers, *portfolio, *noSeg, *timeout, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "t2m:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, informat, task, signals, dotOut, saveOut string, predW, segW, compliL, maxStates, workers int, noSeg bool, timeout time.Duration, quiet bool) error {
+func run(in, informat, task, signals, dotOut, saveOut string, predW, segW, compliL, maxStates, workers, portfolio int, noSeg bool, timeout time.Duration, quiet bool) error {
 	if in == "" {
 		return fmt.Errorf("missing -in")
 	}
@@ -73,6 +74,7 @@ func run(in, informat, task, signals, dotOut, saveOut string, predW, segW, compl
 		MaxStates:       maxStates,
 		NonSegmented:    noSeg,
 		Timeout:         timeout,
+		Portfolio:       portfolio,
 		Workers:         workers,
 	})
 	if err != nil {
@@ -86,6 +88,9 @@ func run(in, informat, task, signals, dotOut, saveOut string, predW, segW, compl
 		fmt.Printf("segments: %d, solver calls: %d, refinements: %d+%d\n",
 			model.LearnStats.Segments, model.LearnStats.SolverCalls,
 			model.LearnStats.Refinements, model.LearnStats.AcceptRefinements)
+		fmt.Printf("solver: %d conflicts, %d decisions, %d propagations, %d learned clauses\n",
+			model.LearnStats.SATConflicts, model.LearnStats.SATDecisions,
+			model.LearnStats.SATPropagations, model.LearnStats.SATLearned)
 		fmt.Printf("learned %d-state automaton in %s\n", model.States, elapsed.Round(time.Millisecond))
 		fmt.Print(pipeline.Format(model.Stages))
 		fmt.Println()

@@ -93,6 +93,9 @@ func modelSpan(sp *pipeline.Span, s learn.Stats) {
 		Add("solver_calls", int64(s.SolverCalls)).
 		Add("refinements", int64(s.Refinements+s.AcceptRefinements)).
 		Add("sat_conflicts", s.SATConflicts).
+		Add("sat_decisions", s.SATDecisions).
+		Add("sat_propagations", s.SATPropagations).
+		Add("sat_learned", s.SATLearned).
 		Add("states", int64(s.FinalStates)).
 		End()
 }

@@ -66,10 +66,17 @@ func Cases() []Case {
 // either way — only wall-clock time changes.
 var Workers int
 
-// withWorkers applies the package-level worker count to a run's
-// options.
+// Portfolio is the SAT solver portfolio size applied to every
+// experiment run (cmd/repro's -portfolio flag). Zero or one runs the
+// serial solver. The learned models are identical either way; see
+// internal/learn's determinism rule.
+var Portfolio int
+
+// withWorkers applies the package-level worker count and portfolio
+// size to a run's options.
 func withWorkers(opts repro.LearnOptions) repro.LearnOptions {
 	opts.Workers = Workers
+	opts.Portfolio = Portfolio
 	return opts
 }
 

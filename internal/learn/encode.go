@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/automaton"
@@ -40,26 +41,54 @@ import (
 // slot states along every segment, so the extracted model contains
 // exactly the witnessed transitions. t variables are given a false
 // preferred polarity for the same reason.
+//
+// The encoding is incremental in two directions. Within a state count,
+// blockGram and addSegment extend the live solver, which keeps its
+// learned clauses. Across state counts, an encoding may be built with
+// capacity > n: the CNF then allocates capacity states, and the search
+// for an n-state automaton runs under the single assumption that the
+// symmetry chain's last link is false — no slot holds a state ≥ n —
+// which restricts every slot to the first n states and makes the
+// restricted formula equisatisfiable with the plain n-state encoding.
+// When the n-state search turns out unsatisfiable, promote drops the
+// assumption and the same solver, learned clauses and all, continues
+// at n+1 states.
 type encoding struct {
-	n        int
+	n        int // states the current search targets
+	capacity int // states the CNF allocates (n, or more for speculation)
 	numSyms  int
-	segments [][]int
 	solver   *sat.Solver
+
+	segments [][]int
+	anchored []bool
 
 	slotVars [][][]int // [segment][slot][state]
 	tVars    [][][]int // [state][symbol][state']
+
+	// Symmetry-chain tail: maxGE variables of the last processed slot,
+	// indexed s-1 for "some slot so far holds a state ≥ s". Nil until
+	// the first slot when ordering is enabled, always nil otherwise.
+	chainTail []int
 }
 
-func newEncoding(n, numSyms int, segments [][]int, anchored []bool, orderStates bool) *encoding {
-	e := &encoding{n: n, numSyms: numSyms, segments: segments, solver: sat.New()}
+// newEncoding builds the hypothesis for n states (allocating capacity
+// ≥ n) over the given segments. Segments are added through the same
+// addSegment used for live extension, so an encoding built with k
+// segments is variable-for-variable identical to one built with fewer
+// and extended afterwards.
+func newEncoding(n, capacity, numSyms int, segments [][]int, anchored []bool, orderStates bool) *encoding {
+	if capacity < n {
+		capacity = n
+	}
+	e := &encoding{n: n, capacity: capacity, numSyms: numSyms, solver: sat.New()}
 
-	// Transition-function variables.
-	e.tVars = make([][][]int, n)
-	for s := 0; s < n; s++ {
+	// Transition-function variables, over the full capacity.
+	e.tVars = make([][][]int, capacity)
+	for s := 0; s < capacity; s++ {
 		e.tVars[s] = make([][]int, numSyms)
 		for p := 0; p < numSyms; p++ {
-			e.tVars[s][p] = make([]int, n)
-			for s2 := 0; s2 < n; s2++ {
+			e.tVars[s][p] = make([]int, capacity)
+			for s2 := 0; s2 < capacity; s2++ {
 				v := e.solver.NewVar()
 				e.solver.SetPreferredPolarity(v, false)
 				e.tVars[s][p][s2] = v
@@ -67,115 +96,152 @@ func newEncoding(n, numSyms int, segments [][]int, anchored []bool, orderStates 
 		}
 	}
 
-	// Slot variables with one-hot constraints.
-	e.slotVars = make([][][]int, len(segments))
-	for i, seg := range segments {
-		slots := make([][]int, len(seg)+1)
-		for j := range slots {
-			states := make([]int, n)
-			for s := 0; s < n; s++ {
-				states[s] = e.solver.NewVar()
-			}
-			slots[j] = states
-			// At least one state.
-			lits := make([]sat.Lit, n)
-			for s := 0; s < n; s++ {
-				lits[s] = sat.Pos(states[s])
-			}
-			e.solver.AddClause(lits...)
-			// At most one state.
-			for a := 0; a < n; a++ {
-				for b := a + 1; b < n; b++ {
-					e.solver.AddClause(sat.Neg(states[a]), sat.Neg(states[b]))
-				}
-			}
-		}
-		e.slotVars[i] = slots
-	}
-
-	// Anchors: segments that are prefixes of P start at the initial
-	// state, pinned to 0 (this includes segment 0, the w-prefix, and
-	// any acceptance-refinement windows reaching back to position 0).
-	for i := range segments {
-		if anchored[i] {
-			e.solver.AddClause(sat.Pos(e.slotVars[i][0][0]))
-		}
-	}
-
-	// Link clauses.
-	for i, seg := range segments {
-		for j, p := range seg {
-			from := e.slotVars[i][j]
-			to := e.slotVars[i][j+1]
-			for s := 0; s < e.n; s++ {
-				for s2 := 0; s2 < e.n; s2++ {
-					e.solver.AddClause(
-						sat.Neg(from[s]), sat.Neg(to[s2]), sat.Pos(e.tVars[s][p][s2]))
-				}
-			}
-		}
-	}
-
 	// Determinism: at most one successor per (state, predicate).
-	for s := 0; s < n; s++ {
+	for s := 0; s < capacity; s++ {
 		for p := 0; p < numSyms; p++ {
-			for a := 0; a < n; a++ {
-				for b := a + 1; b < n; b++ {
+			for a := 0; a < capacity; a++ {
+				for b := a + 1; b < capacity; b++ {
 					e.solver.AddClause(sat.Neg(e.tVars[s][p][a]), sat.Neg(e.tVars[s][p][b]))
 				}
 			}
 		}
 	}
 
-	// Symmetry breaking: states must be first used in slot order —
-	// a slot may hold state t > 0 only if some earlier slot (in
-	// segment-major order, anchored segments first by construction
-	// of the caller's segment list) already holds state t−1 or
-	// higher. Every automaton has exactly one such labelling, so
-	// this prunes the (N−1)! relabellings that otherwise bloat the
-	// UNSAT escalation proofs. maxGE[j][s] means "some slot ≤ j
-	// holds a state ≥ s".
-	if orderStates && n > 1 {
-		var prev []int // maxGE for the previous slot, indexed s-1
-		first := true
-		for i := range e.slotVars {
-			for j := range e.slotVars[i] {
-				states := e.slotVars[i][j]
-				cur := make([]int, n-1)
-				for s := 1; s < n; s++ {
-					v := e.solver.NewVar()
-					e.solver.SetPreferredPolarity(v, false)
-					cur[s-1] = v
-					// y[j][t] → maxGE[j][s] for t ≥ s.
-					for t := s; t < n; t++ {
-						e.solver.AddClause(sat.Neg(states[t]), sat.Pos(v))
-					}
-					if !first {
-						// Monotone in j.
-						e.solver.AddClause(sat.Neg(prev[s-1]), sat.Pos(v))
-					}
-				}
-				// y[j][t] allowed only if maxGE[j-1][t-1] (t ≥ 1);
-				// the very first slot may only hold state 0.
-				for t := 1; t < n; t++ {
-					if first {
-						e.solver.AddClause(sat.Neg(states[t]))
-					} else {
-						e.solver.AddClause(sat.Neg(states[t]), sat.Pos(prev[t-1]))
-					}
-				}
-				prev = cur
-				first = false
+	if orderStates && capacity > 1 {
+		e.chainTail = []int{} // non-nil: ordering enabled, no slot yet
+	}
+
+	for i := range segments {
+		e.addSegment(segments[i], anchored[i])
+	}
+	return e
+}
+
+// addSegment appends one segment to the live encoding: slot variables
+// with one-hot constraints, the anchor when the segment is a sequence
+// prefix, link clauses tying the slots to the transition function, and
+// the extension of the state-ordering symmetry chain. Deduplication is
+// the caller's job.
+func (e *encoding) addSegment(seg []int, anchor bool) {
+	e.segments = append(e.segments, append([]int(nil), seg...))
+	e.anchored = append(e.anchored, anchor)
+
+	slots := make([][]int, len(seg)+1)
+	for j := range slots {
+		states := make([]int, e.capacity)
+		for s := 0; s < e.capacity; s++ {
+			states[s] = e.solver.NewVar()
+		}
+		slots[j] = states
+		// At least one state.
+		lits := make([]sat.Lit, e.capacity)
+		for s := 0; s < e.capacity; s++ {
+			lits[s] = sat.Pos(states[s])
+		}
+		e.solver.AddClause(lits...)
+		// At most one state.
+		for a := 0; a < e.capacity; a++ {
+			for b := a + 1; b < e.capacity; b++ {
+				e.solver.AddClause(sat.Neg(states[a]), sat.Neg(states[b]))
+			}
+		}
+	}
+	e.slotVars = append(e.slotVars, slots)
+
+	// Anchor: segments that are prefixes of P start at the initial
+	// state, pinned to 0 (this includes segment 0, the w-prefix, and
+	// any acceptance-refinement windows reaching back to position 0).
+	if anchor {
+		e.solver.AddClause(sat.Pos(slots[0][0]))
+	}
+
+	// Link clauses.
+	for j, p := range seg {
+		from := slots[j]
+		to := slots[j+1]
+		for s := 0; s < e.capacity; s++ {
+			for s2 := 0; s2 < e.capacity; s2++ {
+				e.solver.AddClause(
+					sat.Neg(from[s]), sat.Neg(to[s2]), sat.Pos(e.tVars[s][p][s2]))
 			}
 		}
 	}
 
-	return e
+	// Symmetry breaking: states must be first used in slot order — a
+	// slot may hold state t > 0 only if some earlier slot (in
+	// segment-major order) already holds state t−1 or higher. Every
+	// automaton has exactly one such labelling, so this prunes the
+	// (N−1)! relabellings that otherwise bloat the UNSAT escalation
+	// proofs. maxGE[j][s] means "some slot ≤ j holds a state ≥ s"; the
+	// chain threads across addSegment calls through chainTail, and its
+	// final link doubles as the capacity restriction (see assumptions).
+	if e.chainTail != nil {
+		prev := e.chainTail
+		first := len(prev) == 0
+		for j := range slots {
+			states := slots[j]
+			cur := make([]int, e.capacity-1)
+			for s := 1; s < e.capacity; s++ {
+				v := e.solver.NewVar()
+				e.solver.SetPreferredPolarity(v, false)
+				cur[s-1] = v
+				// y[j][t] → maxGE[j][s] for t ≥ s.
+				for t := s; t < e.capacity; t++ {
+					e.solver.AddClause(sat.Neg(states[t]), sat.Pos(v))
+				}
+				if !first {
+					// Monotone in j.
+					e.solver.AddClause(sat.Neg(prev[s-1]), sat.Pos(v))
+				}
+			}
+			// y[j][t] allowed only if maxGE[j-1][t-1] (t ≥ 1); the
+			// very first slot may only hold state 0.
+			for t := 1; t < e.capacity; t++ {
+				if first {
+					e.solver.AddClause(sat.Neg(states[t]))
+				} else {
+					e.solver.AddClause(sat.Neg(states[t]), sat.Pos(prev[t-1]))
+				}
+			}
+			prev = cur
+			first = false
+		}
+		e.chainTail = prev
+	}
 }
+
+// anchorSegment upgrades segment i to anchored: its first slot is
+// pinned to the initial state. A no-op when already anchored.
+func (e *encoding) anchorSegment(i int) {
+	if e.anchored[i] {
+		return
+	}
+	e.anchored[i] = true
+	e.solver.AddClause(sat.Pos(e.slotVars[i][0][0]))
+}
+
+// assumptions returns the capacity restriction for the current n: the
+// symmetry chain's last link at index n must be false, which forbids
+// every slot from holding a state ≥ n. Empty when the encoding is at
+// full capacity (or holds no slots yet, in which case there is nothing
+// to restrict).
+func (e *encoding) assumptions() []sat.Lit {
+	if e.n < e.capacity && len(e.chainTail) > 0 {
+		return []sat.Lit{sat.Neg(e.chainTail[e.n-1])}
+	}
+	return nil
+}
+
+// promote raises the search target to the full capacity, dropping the
+// restriction assumption. The solver keeps every clause learned while
+// the restriction was in force: learned clauses derive from the
+// problem clauses alone, never from assumptions, so they remain valid.
+func (e *encoding) promote() { e.n = e.capacity }
 
 // blockGram forbids every state path realising the symbol-id word g:
 // for all state paths s0..sl, at least one of the involved transitions
-// must be absent.
+// must be absent. Paths range over the full capacity so that blocking
+// clauses stay sufficient after promote.
 func (e *encoding) blockGram(g []int) {
 	l := len(g)
 	path := make([]int, l+1)
@@ -189,7 +255,7 @@ func (e *encoding) blockGram(g []int) {
 			e.solver.AddClause(lits...)
 			return
 		}
-		for s := 0; s < e.n; s++ {
+		for s := 0; s < e.capacity; s++ {
 			path[depth] = s
 			rec(depth + 1)
 		}
@@ -197,46 +263,107 @@ func (e *encoding) blockGram(g []int) {
 	rec(0)
 }
 
-// solve runs the SAT solver, honouring the deadline by solving in
-// conflict-budget chunks so that a single hard instance cannot
-// overshoot a timeout unboundedly. It returns the status: Sat, Unsat,
-// or Unknown when the deadline expired mid-solve.
-func (e *encoding) solve(deadline time.Time) sat.Status {
-	if deadline.IsZero() {
+// solveChunkConflicts is the conflict budget per solver call when a
+// deadline or stop flag is in force; a variable so tests can shrink it
+// to pin mid-solve behaviour deterministically.
+var solveChunkConflicts int64 = 20000
+
+// solve runs the SAT solver under the capacity-restriction
+// assumptions. With neither deadline nor stop flag the solver runs
+// unbounded; otherwise it solves in conflict-budget chunks so that a
+// single hard instance cannot overshoot a timeout (or outlive a
+// portfolio decision) unboundedly. It returns Sat, Unsat, or Unknown
+// when interrupted mid-solve.
+func (e *encoding) solve(deadline time.Time, stop *atomic.Bool) sat.Status {
+	if deadline.IsZero() && stop == nil {
 		e.solver.MaxConflicts = 0
-		return e.solver.Solve()
+		return e.solver.SolveAssuming(e.assumptions()...)
 	}
-	e.solver.MaxConflicts = 20000
+	e.solver.MaxConflicts = solveChunkConflicts
 	for {
-		st := e.solver.Solve()
+		st := e.solver.SolveAssuming(e.assumptions()...)
 		if st != sat.Unknown {
 			return st
 		}
-		if time.Now().After(deadline) {
+		if stop != nil && stop.Load() {
+			return sat.Unknown
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
 			return sat.Unknown
 		}
 	}
 }
 
-// extract decodes the model into an NFA over the symbol names,
-// containing exactly the transitions witnessed by segment slots. The
+// preferTransitions sets the preferred polarity of every transition
+// variable — the canonical encoding biases them false so extracted
+// automata stay sparse; a portfolio variant may flip them as a
+// diversification knob.
+func (e *encoding) preferTransitions(polarity bool) {
+	for _, bySym := range e.tVars {
+		for _, row := range bySym {
+			for _, v := range row {
+				e.solver.SetPreferredPolarity(v, polarity)
+			}
+		}
+	}
+}
+
+// canonicalize pins the solver's model to the canonical one: the
+// lexicographically least transition relation (in state, symbol,
+// successor order) consistent with the current constraints. For each
+// transition variable that is true in the current model it asks, with
+// one incremental assumption solve, whether the formula stays
+// satisfiable with the variable false, fixing the answer as a further
+// assumption either way. The resulting projection is a function of the
+// constraint set alone — independent of learned clauses, activity
+// scores, saved phases, chunking, or which portfolio member raced
+// ahead — which is what makes incremental, scratch and portfolio
+// construction extract identical automata. The solver must be in a Sat
+// state; it is left in a Sat state whose model realises the canonical
+// relation. Cost: one cheap solve per true transition variable
+// (roughly, per transition of the model).
+func (e *encoding) canonicalize() {
+	e.solver.MaxConflicts = 0
+	fixed := append([]sat.Lit(nil), e.assumptions()...)
+	for s := 0; s < e.n; s++ {
+		for p := 0; p < e.numSyms; p++ {
+			for s2 := 0; s2 < e.n; s2++ {
+				v := e.tVars[s][p][s2]
+				if !e.solver.Value(v) {
+					// The current model already satisfies every fixed
+					// literal, so v can stay false: no solve needed.
+					fixed = append(fixed, sat.Neg(v))
+					continue
+				}
+				if e.solver.SolveAssuming(append(fixed, sat.Neg(v))...) == sat.Sat {
+					fixed = append(fixed, sat.Neg(v))
+					continue
+				}
+				fixed = append(fixed, sat.Pos(v))
+				// Restore a model consistent with the fixes (the
+				// pre-probe model is one, so this must succeed).
+				if e.solver.SolveAssuming(fixed...) != sat.Sat {
+					panic("learn: canonicalize lost satisfiability")
+				}
+			}
+		}
+	}
+}
+
+// extract decodes the model into an NFA over the symbol names: the
+// automaton's transition relation is exactly the set of true
+// transition variables. Callers canonicalize first, so the relation —
+// and with it the extracted automaton — is the canonical one. The
 // solver must be in a Sat state.
 func (e *encoding) extract(symbols []string) *automaton.NFA {
 	m := automaton.MustNew(e.n, 0)
-	stateOf := func(states []int) automaton.State {
-		for s, v := range states {
-			if e.solver.Value(v) {
-				return automaton.State(s)
+	for s := 0; s < e.n; s++ {
+		for p := 0; p < e.numSyms; p++ {
+			for s2 := 0; s2 < e.n; s2++ {
+				if e.solver.Value(e.tVars[s][p][s2]) {
+					m.MustAddTransition(automaton.State(s), symbols[p], automaton.State(s2))
+				}
 			}
-		}
-		// One-hot constraints make this unreachable.
-		panic("learn: slot with no state")
-	}
-	for i, seg := range e.segments {
-		for j, p := range seg {
-			from := stateOf(e.slotVars[i][j])
-			to := stateOf(e.slotVars[i][j+1])
-			m.MustAddTransition(from, symbols[p], to)
 		}
 	}
 	return m

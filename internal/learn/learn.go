@@ -24,6 +24,7 @@ package learn
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -63,6 +64,21 @@ type Options struct {
 	// in the encoding (for the ablation benchmarks; the UNSAT
 	// escalation proofs are substantially slower without it).
 	NoSymmetryBreaking bool
+	// Portfolio races this many solver configurations per solve
+	// (bounded by the built-in table: canonical, speculative N+1,
+	// restart and decay variants). Zero or one selects the serial
+	// path. The learned automaton is identical for every Portfolio
+	// and Workers setting; see portfolio.go for the determinism rule.
+	Portfolio int
+	// Workers bounds the portfolio's concurrency. Zero means one per
+	// CPU; one runs the canonical member only.
+	Workers int
+	// ScratchRefinement rebuilds the encoding from scratch after each
+	// compliance or acceptance refinement instead of extending the
+	// live solvers — the pre-incremental behaviour, kept for
+	// equivalence testing and ablation benchmarks. Canonical model
+	// extraction makes the learned automaton identical either way.
+	ScratchRefinement bool
 }
 
 func (o Options) withDefaults() Options {
@@ -94,6 +110,7 @@ type Stats struct {
 	SATConflicts      int64
 	SATDecisions      int64
 	SATPropagations   int64
+	SATLearned        int64 // clauses learned (and kept across solves)
 	Duration          time.Duration
 	// CPU is the process CPU time consumed by the search. On a
 	// single run it tracks Duration (the solver is single-threaded);
@@ -121,6 +138,15 @@ var ErrNoAutomaton = errors.New("learn: no automaton within state bound")
 
 // ErrTimeout is returned when Options.Timeout elapses mid-search.
 var ErrTimeout = errors.New("learn: timeout")
+
+// ErrBudgetExceeded is returned when the SAT solver runs out of budget
+// mid-solve — the deadline expired inside a solver call rather than
+// between refinement iterations. It must never be conflated with
+// UNSAT: treating an aborted solve as "no N-state automaton" would
+// silently bump N and report a wrong, non-minimal model. It wraps
+// ErrTimeout, so errors.Is(err, ErrTimeout) continues to hold for
+// callers that only care that the search ran out of time.
+var ErrBudgetExceeded = fmt.Errorf("learn: solver budget exceeded mid-solve: %w", ErrTimeout)
 
 // GenerateModel learns an automaton from the symbol sequence P (the
 // canonical predicate keys, or raw event names for event traces).
@@ -191,19 +217,22 @@ func GenerateModelMulti(Ps [][]string, opts Options) (*Result, error) {
 	var segments [][]int
 	var anchored []bool
 	segIndex := map[string]int{}
-	addSegment := func(win []int, anchor bool) bool {
+	// recordSegment adds win to the segment set (or upgrades an
+	// existing segment to anchored) and reports what changed, so the
+	// caller can mirror the change onto live encodings.
+	recordSegment := func(win []int, anchor bool) (idx int, added, anchorUp bool) {
 		key := intsKey(win)
 		if i, ok := segIndex[key]; ok {
 			if anchor && !anchored[i] {
 				anchored[i] = true
-				return true
+				return i, false, true
 			}
-			return false
+			return i, false, false
 		}
 		segIndex[key] = len(segments)
 		segments = append(segments, append([]int(nil), win...))
 		anchored = append(anchored, anchor)
-		return true
+		return len(segments) - 1, true, false
 	}
 	windowFor := func(seq []int) int {
 		w := opts.Window
@@ -220,10 +249,10 @@ func GenerateModelMulti(Ps [][]string, opts Options) (*Result, error) {
 		}
 		if opts.Segmented {
 			for i := 0; i+w <= len(seq); i++ {
-				addSegment(seq[i:i+w], i == 0)
+				recordSegment(seq[i:i+w], i == 0)
 			}
 		} else {
-			addSegment(seq, true)
+			recordSegment(seq, true)
 		}
 	}
 
@@ -250,34 +279,56 @@ func GenerateModelMulti(Ps [][]string, opts Options) (*Result, error) {
 		}
 	}
 
-	for n := opts.StartStates; n <= opts.MaxStates; n++ {
-	rebuild:
-		enc := newEncoding(n, len(symbols), segments, anchored, !opts.NoSymmetryBreaking)
-		for _, g := range blocked {
-			enc.blockGram(g)
-		}
-		var prevSAT sat.Stats
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	orderStates := !opts.NoSymmetryBreaking
+	buildPortfolio := func(n int, warm *encoding) *portfolio {
+		return newPortfolio(n, opts.Portfolio, workers, len(symbols), opts.MaxStates,
+			segments, anchored, blocked, orderStates, warm)
+	}
+	finish := func() {
+		stats.Duration = time.Since(start)
+		stats.CPU = pipeline.CPUTime() - cpuStart
+	}
+
+	var warm *encoding
+	for n := opts.StartStates; n <= opts.MaxStates; {
+		pf := buildPortfolio(n, warm)
+		warm = nil
 		refinements := 0
-		for {
+		bumped := false
+		for !bumped {
 			if !deadline.IsZero() && time.Now().After(deadline) {
-				stats.Duration = time.Since(start)
-				stats.CPU = pipeline.CPUTime() - cpuStart
+				finish()
 				return &Result{Stats: stats}, ErrTimeout
 			}
 			stats.SolverCalls++
-			status := enc.solve(deadline)
-			stats.SATConflicts += enc.solver.Stats.Conflicts - prevSAT.Conflicts
-			stats.SATDecisions += enc.solver.Stats.Decisions - prevSAT.Decisions
-			stats.SATPropagations += enc.solver.Stats.Propagations - prevSAT.Propagations
-			prevSAT = enc.solver.Stats
+			status, capUnsat := pf.solve(deadline)
+			pf.addStats(&stats)
 			if status == sat.Unknown {
-				stats.Duration = time.Since(start)
-				stats.CPU = pipeline.CPUTime() - cpuStart
-				return &Result{Stats: stats}, ErrTimeout
+				finish()
+				return &Result{Stats: stats}, ErrBudgetExceeded
 			}
 			if status == sat.Unsat {
-				break // no N-state automaton: increment N
+				// No n-state automaton: escalate. When the
+				// speculative member proved its unrestricted
+				// capacity unsatisfiable too, n+1 is already
+				// settled and the search skips to n+2, promoting
+				// the speculative solver as a warm start
+				// otherwise.
+				next := n + 1
+				if capUnsat {
+					next = n + 2
+				}
+				warm = pf.takeWarm(next)
+				n = next
+				bumped = true
+				continue
 			}
+			enc := pf.canonical()
+			enc.canonicalize()
 			m := enc.extract(symbols)
 
 			// Compliance check (Algorithm 1 lines 38–45).
@@ -288,9 +339,16 @@ func GenerateModelMulti(Ps [][]string, opts Options) (*Result, error) {
 				if refinements > opts.MaxRefinements {
 					return nil, fmt.Errorf("learn: more than %d refinements at N=%d", opts.MaxRefinements, n)
 				}
-				for _, g := range invalid {
-					blocked = append(blocked, g)
-					enc.blockGram(g)
+				blocked = append(blocked, invalid...)
+				if opts.ScratchRefinement {
+					// Pre-incremental behaviour: re-encode with the
+					// blocking clauses instead of extending the live
+					// solvers.
+					pf = buildPortfolio(n, nil)
+				} else {
+					for _, g := range invalid {
+						pf.blockGram(g)
+					}
 				}
 				continue
 			}
@@ -300,8 +358,7 @@ func GenerateModelMulti(Ps [][]string, opts Options) (*Result, error) {
 			if rt < 0 {
 				stats.Segments = len(segments)
 				stats.FinalStates = n
-				stats.Duration = time.Since(start)
-				stats.CPU = pipeline.CPUTime() - cpuStart
+				finish()
 				return &Result{Automaton: m, AcceptsInput: true, Stats: stats}, nil
 			}
 			stats.AcceptRefinements++
@@ -309,12 +366,15 @@ func GenerateModelMulti(Ps [][]string, opts Options) (*Result, error) {
 				return nil, fmt.Errorf("learn: more than %d acceptance refinements at N=%d", opts.MaxRefinements, n)
 			}
 			seq := seqs[rt]
+			var idx int
+			var added, anchorUp bool
 			for {
 				lo := k + 1 - acceptWindow
 				if lo < 0 {
 					lo = 0
 				}
-				if addSegment(seq[lo:k+1], lo == 0) {
+				idx, added, anchorUp = recordSegment(seq[lo:k+1], lo == 0)
+				if added || anchorUp {
 					break
 				}
 				// The window is already constrained; widen it.
@@ -325,7 +385,16 @@ func GenerateModelMulti(Ps [][]string, opts Options) (*Result, error) {
 				}
 				acceptWindow *= 2
 			}
-			goto rebuild
+			if opts.ScratchRefinement {
+				// Pre-incremental behaviour: discard the live
+				// solvers and re-encode from scratch.
+				pf = buildPortfolio(n, nil)
+				refinements = 0
+			} else if added {
+				pf.addSegment(segments[idx], anchored[idx])
+			} else {
+				pf.anchorSegment(idx)
+			}
 		}
 	}
 	stats.Duration = time.Since(start)

@@ -18,10 +18,17 @@ func ReadDIMACS(r io.Reader) (*Solver, error) {
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var clause []Lit
 	sawHeader := false
-	ensureVar := func(v int) {
+	// Allocating per-variable state for an absurd header ("p cnf
+	// 2000000000 0") would exhaust memory before any clause is read.
+	const maxVars = 1 << 22
+	ensureVar := func(v int) error {
+		if v < 0 || v > maxVars { // v < 0: negation overflow on MinInt
+			return fmt.Errorf("dimacs: variable %d exceeds limit %d", v, maxVars)
+		}
 		for s.NumVars() < v {
 			s.NewVar()
 		}
+		return nil
 	}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -40,7 +47,9 @@ func ReadDIMACS(r io.Reader) (*Solver, error) {
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("dimacs: bad variable count in %q", line)
 			}
-			ensureVar(n)
+			if err := ensureVar(n); err != nil {
+				return nil, err
+			}
 			sawHeader = true
 			continue
 		}
@@ -58,7 +67,9 @@ func ReadDIMACS(r io.Reader) (*Solver, error) {
 			if v < 0 {
 				v = -v
 			}
-			ensureVar(v)
+			if err := ensureVar(v); err != nil {
+				return nil, err
+			}
 			if n > 0 {
 				clause = append(clause, Pos(v-1))
 			} else {
@@ -76,11 +87,32 @@ func ReadDIMACS(r io.Reader) (*Solver, error) {
 }
 
 // WriteDIMACS writes the solver's problem clauses (not learned
-// clauses) in DIMACS CNF format.
+// clauses) in DIMACS CNF format. AddClause stores unit clauses as
+// level-0 assignments rather than clause objects, so those are written
+// back as units; a solver already unsatisfiable at the top level is
+// written with an explicit empty clause.
 func WriteDIMACS(w io.Writer, s *Solver) error {
+	units := s.trail
+	if len(s.trailLim) > 0 {
+		units = s.trail[:s.trailLim[0]]
+	}
+	extra := len(units)
+	if !s.ok {
+		extra++ // the empty clause
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.clauses)); err != nil {
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.clauses)+extra); err != nil {
 		return err
+	}
+	if !s.ok {
+		if _, err := bw.WriteString("0\n"); err != nil {
+			return err
+		}
+	}
+	for _, l := range units {
+		if _, err := fmt.Fprintf(bw, "%s 0\n", l); err != nil {
+			return err
+		}
 	}
 	for _, c := range s.clauses {
 		for _, l := range c.lits {

@@ -16,10 +16,16 @@
 //   - VSIDS variable activity with exponential decay and phase saving,
 //   - Luby-sequence restarts,
 //   - activity-driven learned-clause deletion,
-//   - incremental use: clauses may be added between Solve calls.
+//   - incremental use: clauses may be added between Solve calls, and
+//     SolveAssuming solves under temporary assumptions while keeping
+//     every learned clause for the next call; a failed assumption set
+//     yields an UnsatCore.
 package sat
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Lit is a literal: a propositional variable or its negation.
 // Internally a literal is 2*v for the positive and 2*v+1 for the
@@ -108,6 +114,20 @@ type Solver struct {
 
 	ok bool // false once the formula is known unsat at level 0
 
+	// assumptions of the current SolveAssuming call; placed as the
+	// first decision levels of the search.
+	assumptions []Lit
+	// core is the final conflict of the last failed SolveAssuming
+	// call: a subset of the assumptions that is jointly inconsistent
+	// with the clauses. Empty (non-nil) when the formula is unsat
+	// regardless of assumptions; nil when the last solve did not end
+	// in Unsat.
+	core []Lit
+
+	// stop aborts the in-progress solve with Unknown when set (see
+	// Interrupt); cleared on entry to SolveAssuming.
+	stop atomic.Bool
+
 	// analyze scratch.
 	seen      []bool
 	analyzeTS []Lit
@@ -118,6 +138,15 @@ type Solver struct {
 	// MaxConflicts, when positive, aborts Solve with Unknown after
 	// that many conflicts. Zero means no limit.
 	MaxConflicts int64
+
+	// RestartBase scales the Luby restart sequence: the first restart
+	// fires after RestartBase conflicts. Zero means 100, the default.
+	// Portfolio solving races solvers that differ in this knob.
+	RestartBase int64
+
+	// Decay is the VSIDS activity decay divisor in (0, 1); smaller
+	// values focus harder on recent conflicts. Zero means 0.95.
+	Decay float64
 }
 
 // Stats counts solver work, exposed for the scalability experiments.
@@ -432,7 +461,30 @@ func (s *Solver) bumpClause(c *clause) {
 	}
 }
 
-func (s *Solver) decayActivities() { s.varInc /= 0.95 }
+func (s *Solver) decayActivities() {
+	d := s.Decay
+	if d == 0 {
+		d = 0.95
+	}
+	s.varInc /= d
+}
+
+// BumpActivity raises variable v's activity by the given amount.
+// Seeding activities before the first solve changes the initial
+// branching order — one of the portfolio's diversification knobs.
+func (s *Solver) BumpActivity(v int, amount float64) {
+	if amount <= 0 {
+		return
+	}
+	s.activity[v] += amount
+	s.heap.update(v)
+}
+
+// Interrupt makes the in-progress (or next) solve return Unknown at
+// the next conflict or decision. It is the only Solver method safe to
+// call from another goroutine; a portfolio uses it to stop losing
+// solvers promptly. The flag clears when a new solve starts.
+func (s *Solver) Interrupt() { s.stop.Store(true) }
 
 // backtrack undoes assignments above the given level.
 func (s *Solver) backtrack(level int) {
@@ -565,32 +617,53 @@ func quickMedian(xs []float64) float64 {
 }
 
 // Solve searches for a satisfying assignment of all added clauses. It
-// may be called repeatedly, with clauses added in between.
-func (s *Solver) Solve() Status {
+// may be called repeatedly, with clauses added in between; learned
+// clauses persist across calls.
+func (s *Solver) Solve() Status { return s.SolveAssuming() }
+
+// SolveAssuming solves the added clauses under the given temporary
+// assumptions, placed as the first decision levels of the search. The
+// assumptions hold for this call only; clauses learned during the
+// search mention none of them and persist for the next call, which is
+// what makes repeated solve/block/solve loops cheap. An Unsat result
+// caused by the assumptions (rather than the clauses alone) leaves the
+// solver reusable — ok stays true — and records the subset of
+// assumptions responsible, available from UnsatCore.
+func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
+	s.stop.Store(false)
+	s.core = nil
 	if !s.ok {
+		s.core = []Lit{}
 		return Unsat
 	}
+	s.backtrack(0)
 	if c := s.propagate(); c != nil {
 		s.ok = false
+		s.core = []Lit{}
 		return Unsat
+	}
+	s.assumptions = append(s.assumptions[:0], assumptions...)
+	defer func() { s.assumptions = s.assumptions[:0] }()
+
+	base := s.RestartBase
+	if base <= 0 {
+		base = 100
 	}
 	var restarts int64
 	conflictsAtStart := s.Stats.Conflicts
 	maxLearnts := int64(len(s.clauses)/3 + 100)
 	for {
 		restarts++
-		budget := 100 * luby(restarts)
+		budget := base * luby(restarts)
 		st := s.search(budget, &maxLearnts)
 		if st != Unknown {
-			if st == Sat {
-				// Leave the model readable, then reset the
-				// trail for incremental reuse on the next
-				// Solve call (model values are copied out by
-				// Value before any further AddClause, per the
-				// documented usage).
-				return Sat
-			}
+			// On Sat the trail is left intact so the model stays
+			// readable; AddClause and the next solve backtrack it.
 			return st
+		}
+		if s.stop.Load() {
+			s.backtrack(0)
+			return Unknown
 		}
 		s.Stats.Restarts++
 		if s.MaxConflicts > 0 && s.Stats.Conflicts-conflictsAtStart >= s.MaxConflicts {
@@ -600,17 +673,33 @@ func (s *Solver) Solve() Status {
 	}
 }
 
+// UnsatCore returns the final conflict of the last Unsat result: a
+// subset of the assumptions passed to SolveAssuming that is jointly
+// inconsistent with the clauses. It is empty but non-nil when the
+// clauses are unsatisfiable regardless of the assumptions, and nil
+// when the last solve did not return Unsat. The slice is only valid
+// until the next solve.
+func (s *Solver) UnsatCore() []Lit { return s.core }
+
 // search runs CDCL until a result, a conflict budget exhaustion
-// (returns Unknown, triggering a restart), or a learned-clause limit.
+// (returns Unknown, triggering a restart), or an interrupt. Pending
+// assumptions are installed as decision levels before any free
+// decision; an assumption found false ends the search with Unsat and
+// a final conflict, without condemning the clause set.
 func (s *Solver) search(budget int64, maxLearnts *int64) Status {
 	var conflicts int64
 	for {
+		if s.stop.Load() {
+			s.backtrack(0)
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.Stats.Conflicts++
 			conflicts++
 			if len(s.trailLim) == 0 {
 				s.ok = false
+				s.core = []Lit{}
 				return Unsat
 			}
 			learnt, btLevel := s.analyze(confl)
@@ -618,6 +707,7 @@ func (s *Solver) search(budget int64, maxLearnts *int64) Status {
 			if len(learnt) == 1 {
 				if !s.enqueue(learnt[0], nil) {
 					s.ok = false
+					s.core = []Lit{}
 					return Unsat
 				}
 			} else {
@@ -627,6 +717,7 @@ func (s *Solver) search(budget int64, maxLearnts *int64) Status {
 				s.watch(c)
 				if !s.enqueue(learnt[0], c) {
 					s.ok = false
+					s.core = []Lit{}
 					return Unsat
 				}
 			}
@@ -641,6 +732,33 @@ func (s *Solver) search(budget int64, maxLearnts *int64) Status {
 			s.reduceDB()
 			*maxLearnts = *maxLearnts + *maxLearnts/10
 		}
+		// Install pending assumptions as the next decision levels.
+		// A backjump may strip assumption levels, so this re-walks
+		// from the current depth every time.
+		for placed := false; len(s.trailLim) < len(s.assumptions); {
+			p := s.assumptions[len(s.trailLim)]
+			switch s.value(p) {
+			case lFalse:
+				s.analyzeFinal(p)
+				s.backtrack(0)
+				return Unsat
+			case lTrue:
+				// Already implied: open an empty level so the
+				// level index keeps tracking the assumption
+				// index.
+				s.trailLim = append(s.trailLim, len(s.trail))
+			default:
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.enqueue(p, nil)
+				placed = true
+			}
+			if placed {
+				break // propagate before the next assumption
+			}
+		}
+		if len(s.trail) > s.qhead {
+			continue // propagate the assumption just placed
+		}
 		l := s.pickBranchLit()
 		if l == -1 {
 			return Sat // all variables assigned
@@ -649,6 +767,37 @@ func (s *Solver) search(budget int64, maxLearnts *int64) Status {
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.enqueue(l, nil)
 	}
+}
+
+// analyzeFinal computes the final conflict after assumption p was
+// found false: the subset of assumptions whose propagation forced ¬p,
+// plus p itself. It walks the trail top-down from the first decision
+// level, expanding marked implied literals through their reasons and
+// collecting marked assumption decisions (the only reason-free
+// assignments above level 0 while assumptions are being placed).
+func (s *Solver) analyzeFinal(p Lit) {
+	s.core = []Lit{p}
+	if s.level[p.Var()] == 0 || len(s.trailLim) == 0 {
+		return
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if r := s.reason[v]; r == nil {
+			s.core = append(s.core, s.trail[i])
+		} else {
+			for _, q := range r.lits[1:] {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.Var()] = false
 }
 
 // ResetForNextSolve backtracks to level 0 so further clauses can be

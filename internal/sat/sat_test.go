@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // bruteForce decides satisfiability of a clause set by enumeration;
@@ -541,5 +542,267 @@ func TestQuickRandomInstances(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// bruteForceAssuming decides satisfiability of clauses plus unit
+// assumptions by enumeration.
+func bruteForceAssuming(nVars int, clauses [][]Lit, assumptions []Lit) bool {
+	all := make([][]Lit, 0, len(clauses)+len(assumptions))
+	all = append(all, clauses...)
+	for _, a := range assumptions {
+		all = append(all, []Lit{a})
+	}
+	sat, _ := bruteForce(nVars, all)
+	return sat
+}
+
+func TestSolveAssumingBasic(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(Neg(a), Pos(b)) // a → b
+	s.AddClause(Neg(b), Pos(c)) // b → c
+
+	if got := s.SolveAssuming(Pos(a), Neg(c)); got != Unsat {
+		t.Fatalf("a ∧ ¬c under a→b→c: got %v, want UNSAT", got)
+	}
+	// The assumptions, not the clauses, are at fault: the solver must
+	// stay usable and the unrestricted formula satisfiable.
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("formula without assumptions: got %v, want SAT", got)
+	}
+	if s.UnsatCore() != nil {
+		t.Errorf("core after Sat = %v, want nil", s.UnsatCore())
+	}
+	if got := s.SolveAssuming(Pos(a)); got != Sat {
+		t.Fatalf("assuming a alone: got %v, want SAT", got)
+	}
+	if !s.Value(a) || !s.Value(b) || !s.Value(c) {
+		t.Errorf("model under assumption a: a=%v b=%v c=%v, want all true",
+			s.Value(a), s.Value(b), s.Value(c))
+	}
+}
+
+func TestUnsatCore(t *testing.T) {
+	s := New()
+	a, b, c, d := s.NewVar(), s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(Neg(a), Pos(b))
+	s.AddClause(Neg(b), Neg(c))
+	_ = d // irrelevant assumption below must not enter the core
+
+	if got := s.SolveAssuming(Pos(d), Pos(a), Pos(c)); got != Unsat {
+		t.Fatalf("got %v, want UNSAT", got)
+	}
+	core := s.UnsatCore()
+	if core == nil {
+		t.Fatal("nil core after assumption UNSAT")
+	}
+	inCore := map[Lit]bool{}
+	for _, l := range core {
+		inCore[l] = true
+	}
+	if inCore[Pos(d)] {
+		t.Errorf("irrelevant assumption d in core %v", core)
+	}
+	if !inCore[Pos(a)] || !inCore[Pos(c)] {
+		t.Errorf("core %v missing a or c", core)
+	}
+}
+
+func TestUnsatCoreContradictoryAssumptions(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(Pos(v), Neg(v)) // tautology; formula has no constraints
+	if got := s.SolveAssuming(Pos(v), Neg(v)); got != Unsat {
+		t.Fatalf("got %v, want UNSAT", got)
+	}
+	core := s.UnsatCore()
+	if len(core) != 2 {
+		t.Fatalf("core %v, want both contradictory assumptions", core)
+	}
+}
+
+func TestUnsatCoreEmptyWhenFormulaUnsat(t *testing.T) {
+	nv, clauses := pigeonhole(3, 2)
+	s := mkSolver(nv, clauses)
+	if got := s.SolveAssuming(Pos(0)); got != Unsat {
+		t.Fatalf("got %v, want UNSAT", got)
+	}
+	if core := s.UnsatCore(); core == nil || len(core) != 0 {
+		t.Errorf("core %v, want empty non-nil (formula unsat regardless)", core)
+	}
+}
+
+func TestSolveAssumingRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 3 + rng.Intn(8)
+		nClauses := 2 + rng.Intn(4*nVars)
+		var clauses [][]Lit
+		for i := 0; i < nClauses; i++ {
+			var c []Lit
+			for len(c) == 0 {
+				for v := 0; v < nVars; v++ {
+					if rng.Intn(nVars) < 3 {
+						if rng.Intn(2) == 0 {
+							c = append(c, Pos(v))
+						} else {
+							c = append(c, Neg(v))
+						}
+					}
+				}
+			}
+			clauses = append(clauses, c)
+		}
+		var assumptions []Lit
+		for v := 0; v < nVars; v++ {
+			if rng.Intn(3) == 0 {
+				if rng.Intn(2) == 0 {
+					assumptions = append(assumptions, Pos(v))
+				} else {
+					assumptions = append(assumptions, Neg(v))
+				}
+			}
+		}
+		s := mkSolver(nVars, clauses)
+		got := s.SolveAssuming(assumptions...)
+		want := bruteForceAssuming(nVars, clauses, assumptions)
+		if (got == Sat) != want {
+			t.Fatalf("iter %d: got %v, brute force says sat=%v\nclauses %v assumptions %v",
+				iter, got, want, clauses, assumptions)
+		}
+		if got == Sat {
+			checkModel(t, s, clauses)
+			for _, a := range assumptions {
+				if s.Value(a.Var()) == a.Sign() {
+					t.Fatalf("iter %d: model violates assumption %v", iter, a)
+				}
+			}
+		} else {
+			core := s.UnsatCore()
+			if core == nil {
+				t.Fatalf("iter %d: nil core after UNSAT", iter)
+			}
+			inAssumptions := map[Lit]bool{}
+			for _, a := range assumptions {
+				inAssumptions[a] = true
+			}
+			for _, l := range core {
+				if !inAssumptions[l] {
+					t.Fatalf("iter %d: core literal %v not among assumptions %v", iter, l, assumptions)
+				}
+			}
+			if bruteForceAssuming(nVars, clauses, core) {
+				t.Fatalf("iter %d: core %v not actually inconsistent", iter, core)
+			}
+			// The solver must remain reusable after an
+			// assumption failure.
+			plain := s.Solve()
+			plainWant, _ := bruteForce(nVars, clauses)
+			if (plain == Sat) != plainWant {
+				t.Fatalf("iter %d: post-core Solve %v, brute force sat=%v", iter, plain, plainWant)
+			}
+		}
+	}
+}
+
+func TestInterrupt(t *testing.T) {
+	nv, clauses := pigeonhole(10, 9)
+	s := mkSolver(nv, clauses)
+	done := make(chan Status, 1)
+	go func() { done <- s.Solve() }()
+	// Solve clears the flag on entry, so a single interrupt racing
+	// the solve start could be lost; keep interrupting until the
+	// solve gives up.
+	var st Status
+loop:
+	for {
+		select {
+		case st = <-done:
+			break loop
+		default:
+			s.Interrupt()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	// Unknown is the expected outcome; Unsat is tolerated on the
+	// (unlikely) chance the solve finished before the flag landed.
+	if st == Sat {
+		t.Fatalf("PHP(10,9) returned SAT")
+	}
+	if st == Unknown {
+		// Interrupted solves must leave the solver reusable.
+		s.MaxConflicts = 10
+		if got := s.Solve(); got == Sat {
+			t.Fatal("PHP(10,9) SAT after interrupt")
+		}
+	}
+}
+
+func TestRestartBaseAndDecayKnobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		nVars := 4 + rng.Intn(6)
+		var clauses [][]Lit
+		for i := 0; i < 3*nVars; i++ {
+			var c []Lit
+			for len(c) < 3 {
+				v := rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					c = append(c, Pos(v))
+				} else {
+					c = append(c, Neg(v))
+				}
+			}
+			clauses = append(clauses, c)
+		}
+		want, _ := bruteForce(nVars, clauses)
+		s := mkSolver(nVars, clauses)
+		s.RestartBase = 25
+		s.Decay = 0.85
+		s.BumpActivity(nVars/2, 5)
+		if got := s.Solve(); (got == Sat) != want {
+			t.Fatalf("iter %d: knobs changed the answer: got %v, want sat=%v", iter, got, want)
+		}
+	}
+}
+
+func TestWriteDIMACSPreservesUnits(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(Pos(a))         // stored as a level-0 assignment
+	s.AddClause(Neg(a), Pos(b)) // forces b by propagation
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if s2.Solve() != Sat {
+		t.Fatal("round-tripped formula not SAT")
+	}
+	if !s2.Value(a) || !s2.Value(b) {
+		t.Errorf("units lost in round trip: a=%v b=%v, want both true\n%s",
+			s2.Value(a), s2.Value(b), buf.String())
+	}
+}
+
+func TestWriteDIMACSUnsatFormula(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(Pos(v))
+	s.AddClause(Neg(v)) // ok flips false
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Solve() != Unsat {
+		t.Errorf("round-tripped unsat formula solved %v\n%s", s2.Solve(), buf.String())
 	}
 }

@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzVCD feeds arbitrary bytes to the VCD header and change-dump
+// parsers. Malformed input must come back as an error, never a panic;
+// a successful parse must yield a self-consistent trace.
+func FuzzVCD(f *testing.F) {
+	f.Add([]byte(sampleVCD))
+	f.Add([]byte("$enddefinitions $end\n#0\n"))
+	f.Add([]byte("$scope module m $end\n$var wire 1 ! a $end\n"))
+	f.Add([]byte("$var wire 1 ! a $end\n$enddefinitions $end\nx!\nb101 !\n#5\n1!"))
+	f.Add([]byte("$timescale"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		sigs, err := VCDSignals(bytes.NewReader(data))
+		if err == nil {
+			for _, sg := range sigs {
+				if sg.Name == "" {
+					t.Fatalf("VCDSignals returned unnamed signal %+v", sg)
+				}
+			}
+		}
+		tr, err := ReadVCD(bytes.NewReader(data), nil)
+		if err == nil && tr != nil {
+			if tr.Len() > 0 && tr.Schema().Len() == 0 {
+				t.Fatalf("trace with %d observations but empty schema", tr.Len())
+			}
+		}
+		// A signal filter exercises selectSignals' matching paths.
+		_, _ = ReadVCD(bytes.NewReader(data), []string{"top.clk", "no.such.signal"})
+	})
+}

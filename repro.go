@@ -82,10 +82,17 @@ type LearnOptions struct {
 	NoSymmetryBreaking bool
 	// Timeout bounds the model-construction search.
 	Timeout time.Duration
-	// Workers bounds the predicate-synthesis worker pool. Zero means
-	// one worker per available CPU; 1 forces the serial path. The
-	// result is bit-for-bit identical either way (see
-	// predicate.Options.Workers).
+	// Portfolio races this many SAT solver configurations per solve
+	// during model construction (canonical, speculative N+1, restart
+	// and decay variants — see internal/learn). Zero or one selects
+	// the serial path. The learned model is identical for every
+	// Portfolio and Workers setting.
+	Portfolio int
+	// Workers bounds the predicate-synthesis worker pool and the
+	// solver portfolio's concurrency. Zero means one worker per
+	// available CPU; 1 forces the serial paths. The result is
+	// bit-for-bit identical either way (see predicate.Options.Workers
+	// and learn.Options.Workers).
 	Workers int
 	// Synth tunes the predicate synthesizer.
 	Synth synth.Options
@@ -151,6 +158,8 @@ func NewPipeline(schema *Schema, opts LearnOptions) (*Pipeline, error) {
 			Segmented:          !opts.NonSegmented,
 			Timeout:            opts.Timeout,
 			NoSymmetryBreaking: opts.NoSymmetryBreaking,
+			Portfolio:          opts.Portfolio,
+			Workers:            opts.Workers,
 		},
 	})
 }

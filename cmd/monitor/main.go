@@ -9,6 +9,10 @@
 //
 //	monitor -model system.t2m -in trace.csv [-informat csv|events|ftrace] [-task comm-pid]
 //
+// With -stream the trace is checked as it is decoded, in memory
+// bounded by the window size — the mode to use when following a long
+// or live trace (e.g. monitor -stream -in -).
+//
 // Exit status: 0 when the trace conforms, 1 on a violation, 2 on error.
 package main
 
@@ -29,10 +33,11 @@ func main() {
 		informat  = flag.String("informat", "", "input format: csv, events, ftrace (default by extension)")
 		task      = flag.String("task", "", "ftrace: task to analyse (comm-pid)")
 		workers   = flag.Int("j", 0, "predicate-synthesis workers for trace abstraction (0 = one per CPU, 1 = serial)")
+		stream    = flag.Bool("stream", false, "check the trace as it streams: bounded memory, same verdict")
 		quiet     = flag.Bool("q", false, "suppress the conforming-trace message")
 	)
 	flag.Parse()
-	code, err := run(*modelPath, *in, *informat, *task, *workers, *quiet)
+	code, err := run(*modelPath, *in, *informat, *task, *workers, *stream, *quiet)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "monitor:", err)
 		os.Exit(2)
@@ -40,7 +45,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(modelPath, in, informat, task string, workers int, quiet bool) (int, error) {
+func run(modelPath, in, informat, task string, workers int, stream, quiet bool) (int, error) {
 	if modelPath == "" || in == "" {
 		return 2, fmt.Errorf("both -model and -in are required")
 	}
@@ -55,23 +60,85 @@ func run(modelPath, in, informat, task string, workers int, quiet bool) (int, er
 	}
 	model.SetWorkers(workers)
 
-	tr, err := readTrace(in, informat, task)
-	if err != nil {
-		return 2, err
-	}
-
-	violation, err := model.Check(tr)
-	if err != nil {
-		return 2, err
-	}
-	if violation == nil {
-		if !quiet {
-			fmt.Printf("ok: model explains all %d observations\n", tr.Len())
+	var violation *repro.Violation
+	if stream {
+		src, closer, err := openSource(in, informat, task)
+		if err != nil {
+			return 2, err
 		}
-		return 0, nil
+		violation, err = model.CheckSource(src)
+		closer()
+		if err != nil {
+			return 2, err
+		}
+		if violation == nil {
+			if !quiet {
+				fmt.Println("ok: model explains the whole trace")
+			}
+			return 0, nil
+		}
+	} else {
+		tr, err := readTrace(in, informat, task)
+		if err != nil {
+			return 2, err
+		}
+		violation, err = model.Check(tr)
+		if err != nil {
+			return 2, err
+		}
+		if violation == nil {
+			if !quiet {
+				fmt.Printf("ok: model explains all %d observations\n", tr.Len())
+			}
+			return 0, nil
+		}
 	}
 	fmt.Println(violation)
 	return 1, nil
+}
+
+// openSource opens the input as a streaming source for -stream mode.
+func openSource(in, informat, task string) (repro.Source, func(), error) {
+	f := os.Stdin
+	closer := func() {}
+	if in != "-" {
+		var err error
+		f, err = os.Open(in)
+		if err != nil {
+			return nil, nil, err
+		}
+		closer = func() { f.Close() }
+	}
+	switch resolveFormat(in, informat) {
+	case "csv":
+		src, err := repro.NewCSVSource(f)
+		if err != nil {
+			closer()
+			return nil, nil, err
+		}
+		return src, closer, nil
+	case "events":
+		return repro.NewEventsSource(f), closer, nil
+	case "ftrace":
+		return repro.NewFtraceSource(f, task, nil), closer, nil
+	default:
+		closer()
+		return nil, nil, fmt.Errorf("unknown input format %q", informat)
+	}
+}
+
+func resolveFormat(in, informat string) string {
+	if informat != "" {
+		return informat
+	}
+	switch filepath.Ext(in) {
+	case ".csv":
+		return "csv"
+	case ".ftrace", ".trace":
+		return "ftrace"
+	default:
+		return "events"
+	}
 }
 
 func readTrace(in, informat, task string) (*trace.Trace, error) {
@@ -84,17 +151,7 @@ func readTrace(in, informat, task string) (*trace.Trace, error) {
 		}
 		defer f.Close()
 	}
-	if informat == "" {
-		switch filepath.Ext(in) {
-		case ".csv":
-			informat = "csv"
-		case ".ftrace", ".trace":
-			informat = "ftrace"
-		default:
-			informat = "events"
-		}
-	}
-	switch informat {
+	switch resolveFormat(in, informat) {
 	case "csv":
 		return trace.ReadCSV(f)
 	case "events":

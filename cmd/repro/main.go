@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: all, figures, fig1b, fig2, fig3, fig4, fig5, fig6, fig7, table1, table2, ablation-w, ablation-l, synth-styles, coverage")
+		exp          = flag.String("exp", "all", "experiment: all, figures, fig1b, fig2, fig3, fig4, fig5, fig6, fig7, table1, table2, ablation-w, ablation-l, synth-styles, coverage, ingest")
 		dotDir       = flag.String("dotdir", "", "write learned automata as DOT files into this directory")
 		fullTimeout  = flag.Duration("full-timeout", 60*time.Second, "timeout for non-segmented runs (Table I, Fig 7)")
 		mergeTimeout = flag.Duration("merge-timeout", 60*time.Second, "timeout for state-merge runs (Table II)")
@@ -88,6 +88,8 @@ func run(exp, dotDir string, fullTimeout, mergeTimeout time.Duration, maxExp int
 		return runSynthStyles()
 	case exp == "coverage":
 		return runCoverage()
+	case exp == "ingest":
+		return runIngest()
 	case exp == "invariants":
 		return runInvariants()
 	case exp == "properties":
@@ -301,6 +303,24 @@ func runInvariants() error {
 		for _, inv := range invs {
 			fmt.Printf("  q%d (visited %6d×): %s\n", inv.State+1, inv.Visits, inv.Expr)
 		}
+	}
+	return nil
+}
+
+func runIngest() error {
+	fmt.Println("== Ingestion: batch vs streaming (modular-counter CSV traces)")
+	rows, err := experiments.RunIngest([]int{100_000, 1_000_000})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %12s %12s %12s %12s %12s %7s %10s\n",
+		"steps", "batch", "stream", "batch peak", "stream peak", "obs/s", "states", "identical")
+	for _, r := range rows {
+		fmt.Printf("%10d %12s %12s %11.1fM %11.1fM %12d %7d %10t\n",
+			r.Steps,
+			r.BatchWall.Round(time.Millisecond), r.StreamWall.Round(time.Millisecond),
+			float64(r.BatchPeak)/1e6, float64(r.StreamPeak)/1e6,
+			r.ObsPerSec, r.States, r.Identical)
 	}
 	return nil
 }

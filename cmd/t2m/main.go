@@ -17,6 +17,12 @@
 //
 // Output is a summary plus the learned automaton, as text or Graphviz
 // DOT (-dot FILE).
+//
+// With -stream the trace file is never materialised: the decoder feeds
+// a sliding window directly into predicate synthesis and the learner
+// consumes the run-length-encoded predicate stream, so memory stays
+// bounded by the number of distinct windows regardless of trace
+// length. The learned automaton is byte-identical to the batch path.
 package main
 
 import (
@@ -48,26 +54,21 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "search timeout (0 = none)")
 		workers   = flag.Int("j", 0, "predicate-synthesis / solver-portfolio workers (0 = one per CPU, 1 = serial; results identical)")
 		portfolio = flag.Int("portfolio", 0, "race this many SAT solver configurations per solve (0/1 = serial; results identical)")
+		stream    = flag.Bool("stream", false, "stream the trace: bounded memory, identical model")
 		quiet     = flag.Bool("q", false, "print only the automaton")
 	)
 	flag.Parse()
-	if err := run(*in, *informat, *task, *signals, *dotOut, *saveOut, *predW, *segW, *compliL, *maxStates, *workers, *portfolio, *noSeg, *timeout, *quiet); err != nil {
+	if err := run(*in, *informat, *task, *signals, *dotOut, *saveOut, *predW, *segW, *compliL, *maxStates, *workers, *portfolio, *noSeg, *stream, *timeout, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "t2m:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, informat, task, signals, dotOut, saveOut string, predW, segW, compliL, maxStates, workers, portfolio int, noSeg bool, timeout time.Duration, quiet bool) error {
+func run(in, informat, task, signals, dotOut, saveOut string, predW, segW, compliL, maxStates, workers, portfolio int, noSeg, stream bool, timeout time.Duration, quiet bool) error {
 	if in == "" {
 		return fmt.Errorf("missing -in")
 	}
-	tr, err := readTrace(in, informat, task, signals)
-	if err != nil {
-		return err
-	}
-
-	start := time.Now()
-	model, err := repro.Learn(tr, repro.LearnOptions{
+	opts := repro.LearnOptions{
 		PredicateWindow: predW,
 		SegmentWindow:   segW,
 		ComplianceLen:   compliL,
@@ -76,15 +77,47 @@ func run(in, informat, task, signals, dotOut, saveOut string, predW, segW, compl
 		Timeout:         timeout,
 		Portfolio:       portfolio,
 		Workers:         workers,
-	})
-	if err != nil {
-		return err
+	}
+
+	var (
+		model   *repro.Model
+		obsSeen int64
+		nVars   int
+	)
+	start := time.Now()
+	if stream {
+		src, closer, err := openSource(in, informat, task, signals)
+		if err != nil {
+			return err
+		}
+		nVars = src.Schema().Len()
+		model, err = repro.LearnSource(src, opts)
+		closer()
+		if err != nil {
+			return err
+		}
+		for _, st := range model.Stages {
+			if st.Name == "predicate" {
+				obsSeen = st.Counter("observations")
+			}
+		}
+	} else {
+		tr, err := readTrace(in, informat, task, signals)
+		if err != nil {
+			return err
+		}
+		nVars = tr.Schema().Len()
+		obsSeen = int64(tr.Len())
+		model, err = repro.Learn(tr, opts)
+		if err != nil {
+			return err
+		}
 	}
 	elapsed := time.Since(start)
 
 	if !quiet {
-		fmt.Printf("trace: %d observations over %d variables\n", tr.Len(), tr.Schema().Len())
-		fmt.Printf("predicate sequence: %d symbols, alphabet %d\n", len(model.P), len(model.Alphabet))
+		fmt.Printf("trace: %d observations over %d variables\n", obsSeen, nVars)
+		fmt.Printf("predicate alphabet: %d symbols\n", len(model.Alphabet))
 		fmt.Printf("segments: %d, solver calls: %d, refinements: %d+%d\n",
 			model.LearnStats.Segments, model.LearnStats.SolverCalls,
 			model.LearnStats.Refinements, model.LearnStats.AcceptRefinements)
@@ -135,19 +168,7 @@ func readTrace(in, informat, task, signals string) (*trace.Trace, error) {
 		}
 		defer f.Close()
 	}
-	if informat == "" {
-		switch filepath.Ext(in) {
-		case ".csv":
-			informat = "csv"
-		case ".ftrace", ".trace":
-			informat = "ftrace"
-		case ".vcd":
-			informat = "vcd"
-		default:
-			informat = "events"
-		}
-	}
-	switch informat {
+	switch detectFormat(in, informat) {
 	case "csv":
 		return trace.ReadCSV(f)
 	case "events":
@@ -166,5 +187,65 @@ func readTrace(in, informat, task, signals string) (*trace.Trace, error) {
 		return trace.ReadVCD(f, names)
 	default:
 		return nil, fmt.Errorf("unknown input format %q", informat)
+	}
+}
+
+// detectFormat resolves the input format from the flag or the file
+// extension.
+func detectFormat(in, informat string) string {
+	if informat != "" {
+		return informat
+	}
+	switch filepath.Ext(in) {
+	case ".csv":
+		return "csv"
+	case ".ftrace", ".trace":
+		return "ftrace"
+	case ".vcd":
+		return "vcd"
+	default:
+		return "events"
+	}
+}
+
+// openSource opens the input as a streaming trace source. The returned
+// closer releases the underlying file (a no-op for stdin).
+func openSource(in, informat, task, signals string) (repro.Source, func(), error) {
+	f := os.Stdin
+	closer := func() {}
+	if in != "-" {
+		var err error
+		f, err = os.Open(in)
+		if err != nil {
+			return nil, nil, err
+		}
+		closer = func() { f.Close() }
+	}
+	switch detectFormat(in, informat) {
+	case "csv":
+		src, err := repro.NewCSVSource(f)
+		if err != nil {
+			closer()
+			return nil, nil, err
+		}
+		return src, closer, nil
+	case "events":
+		return repro.NewEventsSource(f), closer, nil
+	case "ftrace":
+		return repro.NewFtraceSource(f, task, nil), closer, nil
+	case "vcd":
+		var names []string
+		if signals != "" {
+			names = strings.Split(signals, ",")
+		}
+		src, err := repro.NewVCDSource(f, names)
+		if err != nil {
+			closer()
+			return nil, nil, err
+		}
+		return src, closer, nil
+	default:
+		closer()
+		return nil, nil, fmt.Errorf("unknown input format %q", informat)
 	}
 }

@@ -6,10 +6,15 @@
 //
 // Usage:
 //
-//	tracegen -system usbslot|usbattach|counter|serial|rtlinux|integrator
+//	tracegen -system usbslot|usbattach|counter|serial|rtlinux|integrator|fifo
 //	         [-o FILE] [-n LENGTH] [-format csv|events|ftrace]
 //
 // With no -o the trace is written to stdout.
+//
+// For ingestion benchmarks, -steps streams a synthetic trace of any
+// length straight to the output without building it in memory:
+// -system counter -steps N emits an N-step modular-counter CSV, and
+// -system fifo -steps N emits an N-cycle FIFO-occupancy VCD.
 package main
 
 import (
@@ -26,19 +31,23 @@ import (
 
 func main() {
 	var (
-		system = flag.String("system", "", "benchmark system: usbslot, usbattach, counter, serial, rtlinux, integrator")
+		system = flag.String("system", "", "benchmark system: usbslot, usbattach, counter, serial, rtlinux, integrator, fifo")
 		out    = flag.String("o", "", "output file (default stdout)")
 		length = flag.Int("n", 0, "override trace length (0 = paper default; supported for counter, serial, rtlinux, integrator)")
 		format = flag.String("format", "", "output format: csv, events, ftrace (default by schema)")
+		steps  = flag.Int("steps", 0, "stream this many steps directly to the output (counter: CSV, fifo: VCD); any length, O(1) memory")
 	)
 	flag.Parse()
-	if err := run(*system, *out, *length, *format); err != nil {
+	if err := run(*system, *out, *length, *format, *steps); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(system, out string, length int, format string) error {
+func run(system, out string, length int, format string, steps int) error {
+	if steps > 0 || system == "fifo" {
+		return runStream(system, out, format, steps)
+	}
 	var (
 		tr  *trace.Trace
 		err error
@@ -79,7 +88,7 @@ func run(system, out string, length int, format string) error {
 			tr, err = experiments.GenIntegrator()
 		}
 	case "":
-		return fmt.Errorf("missing -system (one of: usbslot, usbattach, counter, serial, rtlinux, integrator)")
+		return fmt.Errorf("missing -system (one of: usbslot, usbattach, counter, serial, rtlinux, integrator, fifo)")
 	default:
 		return fmt.Errorf("unknown system %q", system)
 	}
@@ -106,6 +115,32 @@ func run(system, out string, length int, format string) error {
 		return fmt.Errorf("-format ftrace is only supported with -system rtlinux")
 	default:
 		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+// runStream handles the direct-to-writer generators selected by
+// -steps: traces of any length in O(1) memory.
+func runStream(system, out, format string, steps int) error {
+	if steps <= 0 {
+		steps = 10000
+	}
+	switch system {
+	case "counter":
+		if format != "" && format != "csv" {
+			return fmt.Errorf("-steps with -system counter emits csv only")
+		}
+		return writeOut(out, func(w io.Writer) error {
+			return experiments.StreamCounterCSV(w, steps, 8)
+		})
+	case "fifo":
+		if format != "" && format != "vcd" {
+			return fmt.Errorf("-system fifo emits vcd only")
+		}
+		return writeOut(out, func(w io.Writer) error {
+			return experiments.StreamFIFOVCD(w, steps, 4)
+		})
+	default:
+		return fmt.Errorf("-steps supports -system counter (csv) and fifo (vcd), not %q", system)
 	}
 }
 

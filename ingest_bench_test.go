@@ -1,0 +1,74 @@
+// Ingestion benchmarks: batch (materialise the whole trace, then
+// learn) vs streaming (decode → window → RLE directly off the byte
+// stream) on generated modular-counter CSV traces. Run with
+//
+//	go test -bench 'BenchmarkIngest' -benchtime 3x .
+//
+// Each benchmark reports peak-MB, the peak live heap sampled during
+// one learn, alongside the usual ns/op; cmd/repro -exp ingest prints
+// the same comparison as a table and EXPERIMENTS.md records it.
+package repro_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// counterCSV returns the generated trace bytes for steps observations.
+func counterCSV(b *testing.B, steps int) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := experiments.StreamCounterCSV(&buf, steps, 8); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func benchIngest(b *testing.B, steps int, streaming bool) {
+	b.Helper()
+	data := counterCSV(b, steps)
+	var peak uint64
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		hs := pipeline.StartHeapSampler(time.Millisecond)
+		var m *repro.Model
+		var err error
+		if streaming {
+			var src repro.Source
+			src, err = trace.NewCSVSource(bytes.NewReader(data))
+			if err == nil {
+				m, err = repro.LearnSource(src, repro.LearnOptions{})
+			}
+		} else {
+			var tr *trace.Trace
+			tr, err = trace.ReadCSV(bytes.NewReader(data))
+			if err == nil {
+				m, err = repro.Learn(tr, repro.LearnOptions{})
+			}
+		}
+		if p := hs.Stop(); p > peak {
+			peak = p
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.States == 0 {
+			b.Fatal("no states learned")
+		}
+	}
+	b.ReportMetric(float64(peak)/(1<<20), "peak-MB")
+}
+
+func BenchmarkIngestBatch100k(b *testing.B)     { benchIngest(b, 100_000, false) }
+func BenchmarkIngestStreaming100k(b *testing.B) { benchIngest(b, 100_000, true) }
+func BenchmarkIngestBatch1M(b *testing.B)       { benchIngest(b, 1_000_000, false) }
+func BenchmarkIngestStreaming1M(b *testing.B)   { benchIngest(b, 1_000_000, true) }

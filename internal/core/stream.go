@@ -1,0 +1,123 @@
+// Streaming pipeline entry points: LearnSource and Model.CheckSource
+// drive the whole trace-file → model path off a trace.Source, so
+// resident memory is O(window + unique windows + unique grams + RLE
+// runs) instead of O(trace length). Determinism: the streaming
+// windower and the RLE learner are bit-for-bit equivalent to the batch
+// paths (see internal/predicate/stream.go and internal/learn/rle.go),
+// so LearnSource over a source and Learn over the collected trace
+// produce identical automata.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/learn"
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+	"repro/internal/trace"
+)
+
+// LearnSource runs the full pipeline on a streamed trace. The model's
+// P field is nil — the expanded predicate sequence is deliberately
+// never materialised — and the predicate stage metrics gain streaming
+// counters: observations, bytes_read (when the source reads a byte
+// stream), obs_per_sec and peak_heap.
+func (p *Pipeline) LearnSource(src trace.Source) (*Model, error) {
+	var metrics pipeline.Metrics
+	before := p.gen.Stats()
+	hs := pipeline.StartHeapSampler(0)
+	sp := metrics.Start("predicate")
+	wallStart := time.Now()
+
+	seq := learn.NewSeq()
+	alphabet := make(map[string]*predicate.Predicate)
+	err := p.gen.SequenceSource(src, func(r predicate.Run) error {
+		alphabet[r.Pred.Key] = r.Pred
+		seq.Append(r.Pred.Key, r.Count)
+		return nil
+	})
+	if err != nil {
+		hs.Stop()
+		return nil, err
+	}
+	d := p.gen.Stats().Minus(before)
+	observations := int64(d.Windows) + int64(p.gen.Window()) - 1
+	sp.Add("windows", int64(d.Windows)).
+		Add("memo_hits", int64(d.MemoHits)).
+		Add("unique_windows", int64(d.UniqueWindows)).
+		Add("synth_calls", int64(d.SynthCalls)).
+		Add("seed_hits", int64(d.SeedHits)).
+		Add("observations", observations)
+	if bs, ok := src.(trace.ByteSource); ok {
+		sp.Add("bytes_read", bs.BytesRead())
+	}
+	if secs := time.Since(wallStart).Seconds(); secs > 0 {
+		sp.Add("obs_per_sec", int64(float64(observations)/secs))
+	}
+	sp.Add("runs", int64(seq.Runs())).
+		Add("peak_heap", int64(hs.Stop())).
+		End()
+
+	sp = metrics.Start("model")
+	res, err := learn.GenerateModelSeqs([]*learn.Seq{seq}, p.opts.Learn)
+	if err != nil {
+		return nil, fmt.Errorf("core: model construction: %w", err)
+	}
+	modelSpan(sp, res.Stats)
+	return &Model{
+		Automaton:      res.Automaton,
+		Alphabet:       alphabet,
+		States:         res.Stats.FinalStates,
+		PredicateStats: p.gen.Stats(),
+		LearnStats:     res.Stats,
+		Stages:         metrics.Stages(),
+		pipeline:       p,
+	}, nil
+}
+
+// errCheckDone aborts the predicate stream once CheckSource has found
+// its violation; it never escapes.
+var errCheckDone = errors.New("core: check finished")
+
+// CheckSource abstracts a streamed trace with the model's predicate
+// generator and runs it through the automaton, returning the first
+// violation or nil. It is Check for sources: the trace is never
+// materialised, so arbitrarily long live traces can be monitored in
+// bounded memory.
+func (m *Model) CheckSource(src trace.Source) (*Violation, error) {
+	known := map[string]bool{}
+	for _, sym := range m.Automaton.Symbols() {
+		known[sym] = true
+	}
+	cur := m.Automaton.Initial()
+	pos := 0
+	var v *Violation
+	err := m.pipeline.gen.SequenceSource(src, func(r predicate.Run) error {
+		for i := 0; i < r.Count; i++ {
+			succ := m.Automaton.Successors(cur, r.Pred.Key)
+			if len(succ) == 0 {
+				v = &Violation{
+					Position:    pos,
+					Predicate:   r.Pred.Key,
+					KnownSymbol: known[r.Pred.Key],
+					State:       cur,
+				}
+				return errCheckDone
+			}
+			if succ[0] == cur {
+				// Self-loop: the rest of the run stays put.
+				pos += r.Count - i
+				break
+			}
+			cur = succ[0]
+			pos++
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errCheckDone) {
+		return nil, err
+	}
+	return v, nil
+}

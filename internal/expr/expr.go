@@ -1,9 +1,6 @@
 package expr
 
-import (
-	"fmt"
-	"strings"
-)
+import "fmt"
 
 // Op enumerates the operators of the predicate language.
 type Op uint8
@@ -57,8 +54,11 @@ type Expr interface {
 	// String renders canonical surface syntax that the package
 	// parser accepts; it doubles as the structural identity key.
 	String() string
-	// appendString writes the canonical form to b.
-	appendString(b *strings.Builder)
+	// appendTo appends the canonical form to b and returns the
+	// extended slice; the []byte plumbing keeps composite printing
+	// (And-chains, window predicates) down to one allocation per
+	// String call instead of one per node.
+	appendTo(b []byte) []byte
 }
 
 // Lit is a literal constant.
@@ -85,22 +85,17 @@ func (l *Lit) Eval(Env) (Value, error) { return l.Val, nil }
 func (l *Lit) Size() int { return 1 }
 
 // String implements Expr.
-func (l *Lit) String() string {
-	var b strings.Builder
-	l.appendString(&b)
-	return b.String()
-}
+func (l *Lit) String() string { return string(l.appendTo(nil)) }
 
-func (l *Lit) appendString(b *strings.Builder) {
+func (l *Lit) appendTo(b []byte) []byte {
 	if l.Val.T == Sym {
 		// Symbols are quoted so that event names can never be
 		// confused with variable references.
-		b.WriteByte('\'')
-		b.WriteString(l.Val.S)
-		b.WriteByte('\'')
-		return
+		b = append(b, '\'')
+		b = append(b, l.Val.S...)
+		return append(b, '\'')
 	}
-	b.WriteString(l.Val.String())
+	return l.Val.AppendString(b)
 }
 
 // Var references a trace variable, either its current value (Primed
@@ -137,17 +132,14 @@ func (v *Var) Eval(env Env) (Value, error) {
 func (v *Var) Size() int { return 1 }
 
 // String implements Expr.
-func (v *Var) String() string {
-	var b strings.Builder
-	v.appendString(&b)
-	return b.String()
-}
+func (v *Var) String() string { return string(v.appendTo(nil)) }
 
-func (v *Var) appendString(b *strings.Builder) {
-	b.WriteString(v.Name)
+func (v *Var) appendTo(b []byte) []byte {
+	b = append(b, v.Name...)
 	if v.Primed {
-		b.WriteByte('\'')
+		b = append(b, '\'')
 	}
+	return b
 }
 
 // Unary applies OpNeg (Int → Int) or OpNot (Bool → Bool).
@@ -203,17 +195,13 @@ func (u *Unary) Eval(env Env) (Value, error) {
 func (u *Unary) Size() int { return 1 + u.X.Size() }
 
 // String implements Expr.
-func (u *Unary) String() string {
-	var b strings.Builder
-	u.appendString(&b)
-	return b.String()
-}
+func (u *Unary) String() string { return string(u.appendTo(nil)) }
 
-func (u *Unary) appendString(b *strings.Builder) {
-	b.WriteString(u.Op.String())
-	b.WriteByte('(')
-	u.X.appendString(b)
-	b.WriteByte(')')
+func (u *Unary) appendTo(b []byte) []byte {
+	b = append(b, u.Op.String()...)
+	b = append(b, '(')
+	b = u.X.appendTo(b)
+	return append(b, ')')
 }
 
 // Binary applies a binary operator to two operands. Well-typedness
@@ -351,11 +339,7 @@ func (e *Binary) Eval(env Env) (Value, error) {
 func (e *Binary) Size() int { return 1 + e.L.Size() + e.R.Size() }
 
 // String implements Expr.
-func (e *Binary) String() string {
-	var b strings.Builder
-	e.appendString(&b)
-	return b.String()
-}
+func (e *Binary) String() string { return string(e.appendTo(nil)) }
 
 // precedence levels for printing and parsing; higher binds tighter.
 func precedence(op Op) int {
@@ -375,19 +359,20 @@ func precedence(op Op) int {
 	}
 }
 
-func (e *Binary) appendString(b *strings.Builder) {
-	writeOperand(b, e.L, precedence(e.Op), false)
-	b.WriteByte(' ')
-	b.WriteString(e.Op.String())
-	b.WriteByte(' ')
-	writeOperand(b, e.R, precedence(e.Op), true)
+func (e *Binary) appendTo(b []byte) []byte {
+	b = appendOperand(b, e.L, precedence(e.Op), false)
+	b = append(b, ' ')
+	b = append(b, e.Op.String()...)
+	b = append(b, ' ')
+	return appendOperand(b, e.R, precedence(e.Op), true)
 }
 
-// writeOperand writes child, parenthesised when its top-level operator
-// binds no tighter than the parent. Binary operators here are treated
-// as left-associative, so a right child at equal precedence is also
-// parenthesised; this keeps printing unambiguous and round-trippable.
-func writeOperand(b *strings.Builder, child Expr, parentPrec int, rightChild bool) {
+// appendOperand appends child, parenthesised when its top-level
+// operator binds no tighter than the parent. Binary operators here are
+// treated as left-associative, so a right child at equal precedence is
+// also parenthesised; this keeps printing unambiguous and
+// round-trippable.
+func appendOperand(b []byte, child Expr, parentPrec int, rightChild bool) []byte {
 	var childPrec int
 	switch c := child.(type) {
 	case *Binary:
@@ -397,12 +382,13 @@ func writeOperand(b *strings.Builder, child Expr, parentPrec int, rightChild boo
 	}
 	need := childPrec < parentPrec || (rightChild && childPrec == parentPrec)
 	if need {
-		b.WriteByte('(')
+		b = append(b, '(')
 	}
-	child.appendString(b)
+	b = child.appendTo(b)
 	if need {
-		b.WriteByte(')')
+		b = append(b, ')')
 	}
+	return b
 }
 
 // Ite is the conditional expression ite(cond, then, else). Then and
@@ -436,20 +422,16 @@ func (e *Ite) Eval(env Env) (Value, error) {
 func (e *Ite) Size() int { return 1 + e.Cond.Size() + e.Then.Size() + e.Else.Size() }
 
 // String implements Expr.
-func (e *Ite) String() string {
-	var b strings.Builder
-	e.appendString(&b)
-	return b.String()
-}
+func (e *Ite) String() string { return string(e.appendTo(nil)) }
 
-func (e *Ite) appendString(b *strings.Builder) {
-	b.WriteString("ite(")
-	e.Cond.appendString(b)
-	b.WriteString(", ")
-	e.Then.appendString(b)
-	b.WriteString(", ")
-	e.Else.appendString(b)
-	b.WriteByte(')')
+func (e *Ite) appendTo(b []byte) []byte {
+	b = append(b, "ite("...)
+	b = e.Cond.appendTo(b)
+	b = append(b, ", "...)
+	b = e.Then.appendTo(b)
+	b = append(b, ", "...)
+	b = e.Else.appendTo(b)
+	return append(b, ')')
 }
 
 // Vars returns the set of variable references occurring in e, as a map

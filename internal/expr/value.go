@@ -15,7 +15,10 @@
 // learner treats canonically-printed expressions as alphabet symbols.
 package expr
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Type identifies the value type of an expression or trace variable.
 type Type uint8
@@ -75,12 +78,13 @@ func (v Value) Equal(o Value) bool {
 	return false
 }
 
-// String formats the value as it appears in predicate source text.
+// String formats the value as it appears in predicate source text. It
+// is a thin wrapper over AppendString; hot paths that build composite
+// keys should call AppendString on a reused buffer instead.
 func (v Value) String() string {
 	switch v.T {
-	case Int:
-		return fmt.Sprintf("%d", v.I)
 	case Bool:
+		// Shared constants: no allocation.
 		if v.B {
 			return "true"
 		}
@@ -88,7 +92,29 @@ func (v Value) String() string {
 	case Sym:
 		return v.S
 	default:
-		return fmt.Sprintf("Value(%d)", uint8(v.T))
+		return string(v.AppendString(nil))
+	}
+}
+
+// AppendString appends the value's canonical text to b and returns the
+// extended slice, allocating only when b runs out of capacity (the
+// append contract). It is the allocation-free building block behind
+// String and the canonical-form printers.
+func (v Value) AppendString(b []byte) []byte {
+	switch v.T {
+	case Int:
+		return strconv.AppendInt(b, v.I, 10)
+	case Bool:
+		if v.B {
+			return append(b, "true"...)
+		}
+		return append(b, "false"...)
+	case Sym:
+		return append(b, v.S...)
+	default:
+		b = append(b, "Value("...)
+		b = strconv.AppendUint(b, uint64(v.T), 10)
+		return append(b, ')')
 	}
 }
 

@@ -24,13 +24,10 @@ package learn
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"strings"
+	"strconv"
 	"time"
 
 	"repro/internal/automaton"
-	"repro/internal/pipeline"
-	"repro/internal/sat"
 )
 
 // Options tunes GenerateModel.
@@ -162,262 +159,23 @@ func GenerateModel(P []string, opts Options) (*Result, error) {
 // learning the paper's prospects section motivates (exercising the
 // system several ways to close coverage holes).
 func GenerateModelMulti(Ps [][]string, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
 	if len(Ps) == 0 {
 		return nil, errors.New("learn: no input sequences")
 	}
-	for _, P := range Ps {
-		if len(P) == 0 {
-			return nil, errors.New("learn: empty input sequence")
-		}
-	}
-	start := time.Now()
-	cpuStart := pipeline.CPUTime()
-	deadline := time.Time{}
-	if opts.Timeout > 0 {
-		deadline = start.Add(opts.Timeout)
-	}
-
-	// Intern symbols across all sequences.
-	symID := map[string]int{}
-	var symbols []string
-	seqs := make([][]int, len(Ps))
+	// Convert to run-length-encoded sequences and delegate: there is
+	// one algorithm (GenerateModelSeqs), so the expanded and streamed
+	// entry points cannot diverge. An empty P converts to a zero-length
+	// Seq, which GenerateModelSeqs rejects with the same error this
+	// function always raised.
+	seqs := make([]*Seq, len(Ps))
 	for t, P := range Ps {
-		seq := make([]int, len(P))
-		for i, s := range P {
-			id, ok := symID[s]
-			if !ok {
-				id = len(symbols)
-				symID[s] = id
-				symbols = append(symbols, s)
-			}
-			seq[i] = id
+		seq := NewSeq()
+		for _, sym := range P {
+			seq.Append(sym, 1)
 		}
 		seqs[t] = seq
 	}
-
-	// Segment the sequences (Algorithm 1 line 16). Every sequence's
-	// prefix window is anchored: the encoding pins its first slot to
-	// state 0, fixing the shared initial state.
-	//
-	// Acceptance refinement: embedding every w-window does not by
-	// itself make the automaton accept P — the solver can return
-	// "parity" models whose windows all embed somewhere but whose
-	// single deterministic run dead-ends. Any automaton that accepts
-	// P embeds every sub-window of every length, so when the run of
-	// the candidate automaton dead-ends at position k we add the
-	// window of P ending at k+1 as an extra (deduplicated) path
-	// constraint and re-solve, doubling the window length when the
-	// same content recurs. Windows that reach back to position 0 are
-	// anchored at the initial state, so the loop always makes
-	// progress; in the worst case the constraint grows into the full
-	// prefix and the search degenerates soundly into the
-	// non-segmented encoding. Repeating trace patterns are still
-	// constrained only once, preserving the segmentation speedup.
-	var segments [][]int
-	var anchored []bool
-	segIndex := map[string]int{}
-	// recordSegment adds win to the segment set (or upgrades an
-	// existing segment to anchored) and reports what changed, so the
-	// caller can mirror the change onto live encodings.
-	recordSegment := func(win []int, anchor bool) (idx int, added, anchorUp bool) {
-		key := intsKey(win)
-		if i, ok := segIndex[key]; ok {
-			if anchor && !anchored[i] {
-				anchored[i] = true
-				return i, false, true
-			}
-			return i, false, false
-		}
-		segIndex[key] = len(segments)
-		segments = append(segments, append([]int(nil), win...))
-		anchored = append(anchored, anchor)
-		return len(segments) - 1, true, false
-	}
-	windowFor := func(seq []int) int {
-		w := opts.Window
-		if w > len(seq) {
-			w = len(seq)
-		}
-		return w
-	}
-	maxW := 0
-	for _, seq := range seqs {
-		w := windowFor(seq)
-		if w > maxW {
-			maxW = w
-		}
-		if opts.Segmented {
-			for i := 0; i+w <= len(seq); i++ {
-				recordSegment(seq[i:i+w], i == 0)
-			}
-		} else {
-			recordSegment(seq, true)
-		}
-	}
-
-	// Valid l-grams (the set P_l of Algorithm 1 line 42), unioned
-	// over the sequences.
-	l := opts.ComplianceLen
-	validGrams := map[string]bool{}
-	for _, seq := range seqs {
-		if l > len(seq) {
-			continue
-		}
-		for i := 0; i+l <= len(seq); i++ {
-			validGrams[intsKey(seq[i:i+l])] = true
-		}
-	}
-
-	stats := Stats{}
-	var blocked [][]int      // invalid l-grams accumulated across N
-	acceptWindow := 2 * maxW // current acceptance-refinement window length
-	maxSeqLen := 0
-	for _, seq := range seqs {
-		if len(seq) > maxSeqLen {
-			maxSeqLen = len(seq)
-		}
-	}
-
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	orderStates := !opts.NoSymmetryBreaking
-	buildPortfolio := func(n int, warm *encoding) *portfolio {
-		return newPortfolio(n, opts.Portfolio, workers, len(symbols), opts.MaxStates,
-			segments, anchored, blocked, orderStates, warm)
-	}
-	finish := func() {
-		stats.Duration = time.Since(start)
-		stats.CPU = pipeline.CPUTime() - cpuStart
-	}
-
-	var warm *encoding
-	for n := opts.StartStates; n <= opts.MaxStates; {
-		pf := buildPortfolio(n, warm)
-		warm = nil
-		refinements := 0
-		bumped := false
-		for !bumped {
-			if !deadline.IsZero() && time.Now().After(deadline) {
-				finish()
-				return &Result{Stats: stats}, ErrTimeout
-			}
-			stats.SolverCalls++
-			status, capUnsat := pf.solve(deadline)
-			pf.addStats(&stats)
-			if status == sat.Unknown {
-				finish()
-				return &Result{Stats: stats}, ErrBudgetExceeded
-			}
-			if status == sat.Unsat {
-				// No n-state automaton: escalate. When the
-				// speculative member proved its unrestricted
-				// capacity unsatisfiable too, n+1 is already
-				// settled and the search skips to n+2, promoting
-				// the speculative solver as a warm start
-				// otherwise.
-				next := n + 1
-				if capUnsat {
-					next = n + 2
-				}
-				warm = pf.takeWarm(next)
-				n = next
-				bumped = true
-				continue
-			}
-			enc := pf.canonical()
-			enc.canonicalize()
-			m := enc.extract(symbols)
-
-			// Compliance check (Algorithm 1 lines 38–45).
-			invalid := invalidSequences(m, validGrams, symID, l)
-			if len(invalid) > 0 {
-				refinements++
-				stats.Refinements++
-				if refinements > opts.MaxRefinements {
-					return nil, fmt.Errorf("learn: more than %d refinements at N=%d", opts.MaxRefinements, n)
-				}
-				blocked = append(blocked, invalid...)
-				if opts.ScratchRefinement {
-					// Pre-incremental behaviour: re-encode with the
-					// blocking clauses instead of extending the live
-					// solvers.
-					pf = buildPortfolio(n, nil)
-				} else {
-					for _, g := range invalid {
-						pf.blockGram(g)
-					}
-				}
-				continue
-			}
-
-			// Acceptance refinement, over every input sequence.
-			rt, k := firstRejectMulti(m, Ps)
-			if rt < 0 {
-				stats.Segments = len(segments)
-				stats.FinalStates = n
-				finish()
-				return &Result{Automaton: m, AcceptsInput: true, Stats: stats}, nil
-			}
-			stats.AcceptRefinements++
-			if stats.AcceptRefinements > opts.MaxRefinements {
-				return nil, fmt.Errorf("learn: more than %d acceptance refinements at N=%d", opts.MaxRefinements, n)
-			}
-			seq := seqs[rt]
-			var idx int
-			var added, anchorUp bool
-			for {
-				lo := k + 1 - acceptWindow
-				if lo < 0 {
-					lo = 0
-				}
-				idx, added, anchorUp = recordSegment(seq[lo:k+1], lo == 0)
-				if added || anchorUp {
-					break
-				}
-				// The window is already constrained; widen it.
-				if acceptWindow > 2*maxSeqLen {
-					// Unreachable: an anchored full prefix
-					// forces the run past k.
-					return nil, fmt.Errorf("learn: acceptance refinement stuck at position %d", k)
-				}
-				acceptWindow *= 2
-			}
-			if opts.ScratchRefinement {
-				// Pre-incremental behaviour: discard the live
-				// solvers and re-encode from scratch.
-				pf = buildPortfolio(n, nil)
-				refinements = 0
-			} else if added {
-				pf.addSegment(segments[idx], anchored[idx])
-			} else {
-				pf.anchorSegment(idx)
-			}
-		}
-	}
-	stats.Duration = time.Since(start)
-	stats.CPU = pipeline.CPUTime() - cpuStart
-	return &Result{Stats: stats}, fmt.Errorf("%w (max %d states, %d segments)", ErrNoAutomaton, opts.MaxStates, len(segments))
-}
-
-// firstRejectMulti runs every sequence through the (deterministic)
-// automaton from its initial state and returns the sequence index and
-// position of the first symbol with no transition, or (-1, -1) when
-// every sequence is accepted.
-func firstRejectMulti(m *automaton.NFA, Ps [][]string) (int, int) {
-	for t, P := range Ps {
-		cur := m.Initial()
-		for i, sym := range P {
-			succ := m.Successors(cur, sym)
-			if len(succ) == 0 {
-				return t, i
-			}
-			cur = succ[0]
-		}
-	}
-	return -1, -1
+	return GenerateModelSeqs(seqs, opts)
 }
 
 // invalidSequences returns the l-grams realisable in m that are not
@@ -437,9 +195,10 @@ func invalidSequences(m *automaton.NFA, validGrams map[string]bool, symID map[st
 }
 
 func intsKey(xs []int) string {
-	var b strings.Builder
+	b := make([]byte, 0, 4*len(xs))
 	for _, x := range xs {
-		fmt.Fprintf(&b, "%d,", x)
+		b = strconv.AppendInt(b, int64(x), 10)
+		b = append(b, ',')
 	}
-	return b.String()
+	return string(b)
 }

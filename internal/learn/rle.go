@@ -1,0 +1,456 @@
+// Run-length-encoded model learning: GenerateModelSeqs is
+// GenerateModelMulti over RLE symbol sequences, so the streaming
+// pipeline can hand the learner its predicate stream without ever
+// materialising the expanded sequence. Resident memory is O(runs +
+// unique segments + unique grams); on the long, repetition-dominated
+// traces the paper targets, runs ≪ length.
+//
+// Equivalence with the expanded path is structural, not tested-in:
+// GenerateModelMulti converts to Seq and delegates here, so there is
+// only one algorithm. The window visitor enumerates window occurrences
+// in position order and skips only a window identical to its
+// predecessor (which segment recording would dedupe anyway), so the
+// first-occurrence order of segments — and therefore the encoding, the
+// solver decisions and the learned automaton — is bit-for-bit the same
+// as scanning the expanded sequence.
+package learn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/automaton"
+	"repro/internal/pipeline"
+	"repro/internal/sat"
+)
+
+// Seq is a run-length-encoded symbol sequence under construction: the
+// streaming pipeline appends one run per emitted predicate run. Symbols
+// are interned locally in first-appearance order.
+type Seq struct {
+	syms   []string
+	symID  map[string]int
+	ids    []int32 // per-run local symbol ids
+	counts []int32 // per-run lengths
+	total  int
+}
+
+// NewSeq returns an empty sequence.
+func NewSeq() *Seq {
+	return &Seq{symID: map[string]int{}}
+}
+
+// Append appends count occurrences of sym, merging into the last run
+// when the symbol matches, so runs stay maximal regardless of how the
+// caller chunks its input. Runs longer than MaxInt32 are split; the
+// consumers tolerate equal adjacent runs.
+func (s *Seq) Append(sym string, count int) {
+	if count <= 0 {
+		return
+	}
+	id, ok := s.symID[sym]
+	if !ok {
+		id = len(s.syms)
+		s.symID[sym] = id
+		s.syms = append(s.syms, sym)
+	}
+	s.total += count
+	if n := len(s.ids); n > 0 && s.ids[n-1] == int32(id) && int(s.counts[n-1])+count <= math.MaxInt32 {
+		s.counts[n-1] += int32(count)
+		return
+	}
+	for count > math.MaxInt32 {
+		s.ids = append(s.ids, int32(id))
+		s.counts = append(s.counts, math.MaxInt32)
+		count -= math.MaxInt32
+	}
+	s.ids = append(s.ids, int32(id))
+	s.counts = append(s.counts, int32(count))
+}
+
+// Len returns the expanded sequence length.
+func (s *Seq) Len() int { return s.total }
+
+// Runs returns the number of stored runs.
+func (s *Seq) Runs() int { return len(s.ids) }
+
+// rleSeq is a Seq with its symbols re-interned into the global (cross-
+// sequence) id space the learner uses.
+type rleSeq struct {
+	ids    []int32 // per-run global symbol ids
+	counts []int32
+	total  int
+}
+
+// windows calls visit(pos, win) for the content of the w-window at
+// each start position in increasing order, skipping a position exactly
+// when its window equals the previous position's window — which
+// happens iff the sequence is constant on [pos−1, pos−1+w], i.e.
+// inside a run of length ≥ w+1. Position 0 is always visited (anchor
+// correctness). win is reused across calls; visitors must copy what
+// they keep.
+func (s *rleSeq) windows(w int, visit func(pos int, win []int32)) {
+	if w <= 0 || w > s.total {
+		return
+	}
+	win := make([]int32, w)
+	last := s.total - w // last valid start position
+	base := 0
+	for r := range s.ids {
+		c := int(s.counts[r])
+		o := 0
+		if c >= w {
+			// Starts 0 … c−w inside this run share one constant
+			// window: visit the first, skip the rest.
+			s.fill(win, r, 0)
+			visit(base, win)
+			o = c - w + 1
+			if o < 1 {
+				o = 1
+			}
+		}
+		for ; o < c; o++ {
+			pos := base + o
+			if pos > last {
+				break
+			}
+			s.fill(win, r, o)
+			visit(pos, win)
+		}
+		base += c
+	}
+}
+
+// fill copies the window starting at offset o of run r into win.
+func (s *rleSeq) fill(win []int32, r, o int) {
+	k := 0
+	for k < len(win) {
+		c := int(s.counts[r])
+		id := s.ids[r]
+		for ; o < c && k < len(win); o++ {
+			win[k] = id
+			k++
+		}
+		if o == c {
+			r++
+			o = 0
+		}
+	}
+}
+
+// expand materialises positions [lo, hi) as global symbol ids (the
+// acceptance-refinement windows; rare and bounded by the refinement
+// window, except in degenerate cases where it soundly grows into the
+// full prefix).
+func (s *rleSeq) expand(lo, hi int) []int32 {
+	out := make([]int32, 0, hi-lo)
+	base := 0
+	for r := 0; r < len(s.ids) && base < hi; r++ {
+		c := int(s.counts[r])
+		from, to := lo, hi
+		if from < base {
+			from = base
+		}
+		if to > base+c {
+			to = base + c
+		}
+		for p := from; p < to; p++ {
+			out = append(out, s.ids[r])
+		}
+		base += c
+	}
+	return out
+}
+
+// firstReject runs the sequence through the (deterministic) automaton
+// from its initial state and returns the position of the first symbol
+// with no transition, or −1. Runs the automaton self-loops on are
+// consumed in O(1).
+func (s *rleSeq) firstReject(m *automaton.NFA, symbols []string) int {
+	cur := m.Initial()
+	pos := 0
+	for r := range s.ids {
+		sym := symbols[s.ids[r]]
+		c := int(s.counts[r])
+		for i := 0; i < c; i++ {
+			succ := m.Successors(cur, sym)
+			if len(succ) == 0 {
+				return pos
+			}
+			if succ[0] == cur {
+				// Self-loop: the rest of the run stays put.
+				pos += c - i
+				break
+			}
+			cur = succ[0]
+			pos++
+		}
+	}
+	return -1
+}
+
+// GenerateModelSeqs learns one automaton from several run-length-
+// encoded symbol sequences. It is the engine behind GenerateModelMulti
+// (which expands nothing: it converts and delegates) and the direct
+// entry point for the streaming pipeline.
+func GenerateModelSeqs(inSeqs []*Seq, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if len(inSeqs) == 0 {
+		return nil, errors.New("learn: no input sequences")
+	}
+	for _, s := range inSeqs {
+		if s == nil || s.total == 0 {
+			return nil, errors.New("learn: empty input sequence")
+		}
+	}
+	start := time.Now()
+	cpuStart := pipeline.CPUTime()
+	deadline := time.Time{}
+	if opts.Timeout > 0 {
+		deadline = start.Add(opts.Timeout)
+	}
+
+	// Re-intern symbols into one global table, in first-appearance
+	// order across the sequences: iterating runs in order visits each
+	// symbol's first run exactly where its first expanded occurrence
+	// lies, so the order matches the expanded scan.
+	symID := map[string]int{}
+	var symbols []string
+	seqs := make([]*rleSeq, len(inSeqs))
+	for t, in := range inSeqs {
+		ids := make([]int32, len(in.ids))
+		for i, lid := range in.ids {
+			sym := in.syms[lid]
+			gid, ok := symID[sym]
+			if !ok {
+				gid = len(symbols)
+				symID[sym] = gid
+				symbols = append(symbols, sym)
+			}
+			ids[i] = int32(gid)
+		}
+		seqs[t] = &rleSeq{ids: ids, counts: in.counts, total: in.total}
+	}
+
+	// Segment the sequences (Algorithm 1 line 16). Every sequence's
+	// prefix window is anchored: the encoding pins its first slot to
+	// state 0, fixing the shared initial state.
+	//
+	// Acceptance refinement: embedding every w-window does not by
+	// itself make the automaton accept P — the solver can return
+	// "parity" models whose windows all embed somewhere but whose
+	// single deterministic run dead-ends. Any automaton that accepts
+	// P embeds every sub-window of every length, so when the run of
+	// the candidate automaton dead-ends at position k we add the
+	// window of P ending at k+1 as an extra (deduplicated) path
+	// constraint and re-solve, doubling the window length when the
+	// same content recurs. Windows that reach back to position 0 are
+	// anchored at the initial state, so the loop always makes
+	// progress; in the worst case the constraint grows into the full
+	// prefix and the search degenerates soundly into the
+	// non-segmented encoding. Repeating trace patterns are still
+	// constrained only once, preserving the segmentation speedup.
+	var segments [][]int
+	var anchored []bool
+	segIndex := map[string]int{}
+	recordSegment := func(win []int, anchor bool) (idx int, added, anchorUp bool) {
+		key := intsKey(win)
+		if i, ok := segIndex[key]; ok {
+			if anchor && !anchored[i] {
+				anchored[i] = true
+				return i, false, true
+			}
+			return i, false, false
+		}
+		segIndex[key] = len(segments)
+		segments = append(segments, append([]int(nil), win...))
+		anchored = append(anchored, anchor)
+		return len(segments) - 1, true, false
+	}
+	recordSegment32 := func(win []int32, anchor bool) (int, bool, bool) {
+		w := make([]int, len(win))
+		for i, x := range win {
+			w[i] = int(x)
+		}
+		return recordSegment(w, anchor)
+	}
+	windowFor := func(s *rleSeq) int {
+		w := opts.Window
+		if w > s.total {
+			w = s.total
+		}
+		return w
+	}
+	maxW := 0
+	for _, s := range seqs {
+		w := windowFor(s)
+		if w > maxW {
+			maxW = w
+		}
+		if opts.Segmented {
+			s.windows(w, func(pos int, win []int32) {
+				recordSegment32(win, pos == 0)
+			})
+		} else {
+			// Non-segmented baseline: the whole sequence is one
+			// segment, so this mode is O(length) resident by design.
+			recordSegment32(s.expand(0, s.total), true)
+		}
+	}
+
+	// Valid l-grams (the set P_l of Algorithm 1 line 42), unioned
+	// over the sequences. The duplicate-skipping visitor feeds a set,
+	// so the skips are free coverage-wise.
+	l := opts.ComplianceLen
+	validGrams := map[string]bool{}
+	gram := make([]int, l)
+	for _, s := range seqs {
+		s.windows(l, func(pos int, win []int32) {
+			for i, x := range win {
+				gram[i] = int(x)
+			}
+			validGrams[intsKey(gram)] = true
+		})
+	}
+
+	stats := Stats{}
+	var blocked [][]int      // invalid l-grams accumulated across N
+	acceptWindow := 2 * maxW // current acceptance-refinement window length
+	maxSeqLen := 0
+	for _, s := range seqs {
+		if s.total > maxSeqLen {
+			maxSeqLen = s.total
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	orderStates := !opts.NoSymmetryBreaking
+	buildPortfolio := func(n int, warm *encoding) *portfolio {
+		return newPortfolio(n, opts.Portfolio, workers, len(symbols), opts.MaxStates,
+			segments, anchored, blocked, orderStates, warm)
+	}
+	finish := func() {
+		stats.Duration = time.Since(start)
+		stats.CPU = pipeline.CPUTime() - cpuStart
+	}
+
+	var warm *encoding
+	for n := opts.StartStates; n <= opts.MaxStates; {
+		pf := buildPortfolio(n, warm)
+		warm = nil
+		refinements := 0
+		bumped := false
+		for !bumped {
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				finish()
+				return &Result{Stats: stats}, ErrTimeout
+			}
+			stats.SolverCalls++
+			status, capUnsat := pf.solve(deadline)
+			pf.addStats(&stats)
+			if status == sat.Unknown {
+				finish()
+				return &Result{Stats: stats}, ErrBudgetExceeded
+			}
+			if status == sat.Unsat {
+				// No n-state automaton: escalate. When the
+				// speculative member proved its unrestricted
+				// capacity unsatisfiable too, n+1 is already
+				// settled and the search skips to n+2, promoting
+				// the speculative solver as a warm start
+				// otherwise.
+				next := n + 1
+				if capUnsat {
+					next = n + 2
+				}
+				warm = pf.takeWarm(next)
+				n = next
+				bumped = true
+				continue
+			}
+			enc := pf.canonical()
+			enc.canonicalize()
+			m := enc.extract(symbols)
+
+			// Compliance check (Algorithm 1 lines 38–45).
+			invalid := invalidSequences(m, validGrams, symID, l)
+			if len(invalid) > 0 {
+				refinements++
+				stats.Refinements++
+				if refinements > opts.MaxRefinements {
+					return nil, fmt.Errorf("learn: more than %d refinements at N=%d", opts.MaxRefinements, n)
+				}
+				blocked = append(blocked, invalid...)
+				if opts.ScratchRefinement {
+					// Pre-incremental behaviour: re-encode with the
+					// blocking clauses instead of extending the live
+					// solvers.
+					pf = buildPortfolio(n, nil)
+				} else {
+					for _, g := range invalid {
+						pf.blockGram(g)
+					}
+				}
+				continue
+			}
+
+			// Acceptance refinement, over every input sequence.
+			rt, k := -1, -1
+			for t, s := range seqs {
+				if pos := s.firstReject(m, symbols); pos >= 0 {
+					rt, k = t, pos
+					break
+				}
+			}
+			if rt < 0 {
+				stats.Segments = len(segments)
+				stats.FinalStates = n
+				finish()
+				return &Result{Automaton: m, AcceptsInput: true, Stats: stats}, nil
+			}
+			stats.AcceptRefinements++
+			if stats.AcceptRefinements > opts.MaxRefinements {
+				return nil, fmt.Errorf("learn: more than %d acceptance refinements at N=%d", opts.MaxRefinements, n)
+			}
+			seq := seqs[rt]
+			var idx int
+			var added, anchorUp bool
+			for {
+				lo := k + 1 - acceptWindow
+				if lo < 0 {
+					lo = 0
+				}
+				idx, added, anchorUp = recordSegment32(seq.expand(lo, k+1), lo == 0)
+				if added || anchorUp {
+					break
+				}
+				// The window is already constrained; widen it.
+				if acceptWindow > 2*maxSeqLen {
+					// Unreachable: an anchored full prefix
+					// forces the run past k.
+					return nil, fmt.Errorf("learn: acceptance refinement stuck at position %d", k)
+				}
+				acceptWindow *= 2
+			}
+			if opts.ScratchRefinement {
+				// Pre-incremental behaviour: discard the live
+				// solvers and re-encode from scratch.
+				pf = buildPortfolio(n, nil)
+				refinements = 0
+			} else if added {
+				pf.addSegment(segments[idx], anchored[idx])
+			} else {
+				pf.anchorSegment(idx)
+			}
+		}
+	}
+	stats.Duration = time.Since(start)
+	stats.CPU = pipeline.CPUTime() - cpuStart
+	return &Result{Stats: stats}, fmt.Errorf("%w (max %d states, %d segments)", ErrNoAutomaton, opts.MaxStates, len(segments))
+}

@@ -1,0 +1,66 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// HeapSampler periodically samples the live heap and records the peak,
+// so the streaming pipeline can report peak resident memory as a stage
+// counter without instrumenting every allocation site.
+type HeapSampler struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu   sync.Mutex
+	peak uint64
+}
+
+// StartHeapSampler begins sampling runtime.MemStats.HeapAlloc every
+// interval (default 5ms when zero). Call Stop to end sampling and read
+// the peak.
+func StartHeapSampler(interval time.Duration) *HeapSampler {
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	h := &HeapSampler{stop: make(chan struct{})}
+	h.sample()
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				h.sample()
+			case <-h.stop:
+				return
+			}
+		}
+	}()
+	return h
+}
+
+func (h *HeapSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	h.mu.Lock()
+	if ms.HeapAlloc > h.peak {
+		h.peak = ms.HeapAlloc
+	}
+	h.mu.Unlock()
+}
+
+// Stop ends sampling (taking one final sample) and returns the peak
+// observed live-heap size in bytes. Stop is idempotent-unsafe: call it
+// once.
+func (h *HeapSampler) Stop() uint64 {
+	close(h.stop)
+	h.wg.Wait()
+	h.sample()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.peak
+}

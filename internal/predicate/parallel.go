@@ -58,7 +58,6 @@ type synthRecord struct {
 // specJob is one unique window content awaiting speculation.
 type specJob struct {
 	win  *trace.Trace
-	key  string
 	recs []synthRecord
 	done chan struct{} // closed when recs is populated
 }
@@ -68,36 +67,22 @@ type specJob struct {
 func (g *Generator) sequenceParallel(tr *trace.Trace, workers int) ([]*Predicate, error) {
 	k := tr.Len() + 1 - g.w
 
-	// Stage 1: window keys, computed in parallel chunks. The key is
-	// needed for every window (dedupe is by content even when the
-	// memo is off), and on memo-dominated traces it is the bulk of
-	// the serial runtime.
-	keys := make([]string, k)
-	chunk := (k + workers - 1) / workers
-	var kw sync.WaitGroup
-	for lo := 0; lo < k; lo += chunk {
-		hi := lo + chunk
-		if hi > k {
-			hi = k
-		}
-		kw.Add(1)
-		go func(lo, hi int) {
-			defer kw.Done()
-			for i := lo; i < hi; i++ {
-				keys[i] = windowKey(tr.Slice(i, i+g.w))
-			}
-		}(lo, hi)
+	// Stage 1: intern every observation once. Ids make each window key
+	// an O(w) fixed-size array copy, so the formerly parallel
+	// string-building stage collapses into this single cheap pass.
+	ids := make([]trace.ObsID, tr.Len())
+	for i := range ids {
+		ids[i] = g.obsIntern.Intern(tr.At(i))
 	}
-	kw.Wait()
 
 	// Stage 2: one speculation job per unique window content not
 	// already memoised, in first-occurrence order (the order replay
 	// will consume them, so the pool pipelines with the replay).
 	g.mu.Lock()
-	jobByKey := make(map[string]*specJob, k)
+	jobByKey := make(map[trace.WindowKey]*specJob, k)
 	var jobs []*specJob
 	for i := 0; i < k; i++ {
-		key := keys[i]
+		key := trace.MakeWindowKey(ids[i : i+g.w])
 		if _, ok := jobByKey[key]; ok {
 			continue
 		}
@@ -106,7 +91,7 @@ func (g *Generator) sequenceParallel(tr *trace.Trace, workers int) ([]*Predicate
 				continue
 			}
 		}
-		job := &specJob{win: tr.Slice(i, i+g.w), key: key, done: make(chan struct{})}
+		job := &specJob{win: tr.Slice(i, i+g.w), done: make(chan struct{})}
 		jobByKey[key] = job
 		jobs = append(jobs, job)
 	}
@@ -138,7 +123,7 @@ func (g *Generator) sequenceParallel(tr *trace.Trace, workers int) ([]*Predicate
 	// generator state.
 	out := make([]*Predicate, 0, k)
 	for i := 0; i < k; i++ {
-		key := keys[i]
+		key := trace.MakeWindowKey(ids[i : i+g.w])
 		g.mu.Lock()
 		g.stats.Windows++
 		if !g.opts.NoMemo {

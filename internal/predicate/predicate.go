@@ -31,7 +31,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 
 	"repro/internal/expr"
@@ -85,8 +84,14 @@ type Generator struct {
 
 	synthVars []synth.Var // immutable after NewGenerator
 
+	// obsIntern hash-conses observations so window identity is a
+	// fixed-size array of dense ids (trace.WindowKey) instead of a
+	// concatenated-string key. It has its own lock and never takes
+	// g.mu, so it may be consulted with or without g.mu held.
+	obsIntern *trace.Interner
+
 	mu       sync.Mutex
-	memo     map[string]*Predicate
+	memo     map[trace.WindowKey]*Predicate
 	interned map[string]*Predicate
 	seeds    map[string][]expr.Expr // per-variable next-function seeds
 	stats    Stats
@@ -143,12 +148,13 @@ func NewGenerator(schema *trace.Schema, opts Options) (*Generator, error) {
 		return nil, fmt.Errorf("predicate: window %d must be at least 2", w)
 	}
 	g := &Generator{
-		schema:   schema,
-		opts:     opts,
-		w:        w,
-		memo:     map[string]*Predicate{},
-		interned: map[string]*Predicate{},
-		seeds:    map[string][]expr.Expr{},
+		schema:    schema,
+		opts:      opts,
+		w:         w,
+		obsIntern: trace.NewInterner(),
+		memo:      map[trace.WindowKey]*Predicate{},
+		interned:  map[string]*Predicate{},
+		seeds:     map[string][]expr.Expr{},
 	}
 	for i := 0; i < schema.Len(); i++ {
 		v := schema.Var(i)
@@ -195,9 +201,16 @@ func (g *Generator) Sequence(tr *trace.Trace) ([]*Predicate, error) {
 	if w := g.workers(); w > 1 && n+1-g.w > 1 {
 		return g.sequenceParallel(tr, w)
 	}
+	// Intern each observation once; window keys are then O(w) id
+	// copies instead of O(w·|schema|) string building per window.
+	ids := make([]trace.ObsID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = g.obsIntern.Intern(tr.At(i))
+	}
 	out := make([]*Predicate, 0, n+1-g.w)
 	for i := 0; i+g.w <= n; i++ {
-		p, err := g.FromWindow(tr.Slice(i, i+g.w))
+		key := trace.MakeWindowKey(ids[i : i+g.w])
+		p, err := g.fromWindow(tr.Slice(i, i+g.w), key)
 		if err != nil {
 			return nil, fmt.Errorf("predicate: window at observation %d: %w", i, err)
 		}
@@ -212,12 +225,20 @@ func (g *Generator) FromWindow(win *trace.Trace) (*Predicate, error) {
 	if win.Len() != g.w {
 		return nil, fmt.Errorf("predicate: window has %d observations, want %d", win.Len(), g.w)
 	}
+	ids := make([]trace.ObsID, g.w)
+	for i := range ids {
+		ids[i] = g.obsIntern.Intern(win.At(i))
+	}
+	return g.fromWindow(win, trace.MakeWindowKey(ids))
+}
+
+// fromWindow is FromWindow after key computation; key is ignored when
+// memoisation is off.
+func (g *Generator) fromWindow(win *trace.Trace, key trace.WindowKey) (*Predicate, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.stats.Windows++
-	var key string
 	if !g.opts.NoMemo {
-		key = windowKey(win)
 		if p, ok := g.memo[key]; ok {
 			g.stats.MemoHits++
 			return p, nil
@@ -233,18 +254,6 @@ func (g *Generator) FromWindow(win *trace.Trace) (*Predicate, error) {
 		g.memo[key] = p
 	}
 	return p, nil
-}
-
-func windowKey(win *trace.Trace) string {
-	var b strings.Builder
-	for i := 0; i < win.Len(); i++ {
-		for _, v := range win.At(i) {
-			b.WriteString(v.String())
-			b.WriteByte('|')
-		}
-		b.WriteByte(';')
-	}
-	return b.String()
 }
 
 // nextFunc synthesises one variable's next function from a window's

@@ -1,0 +1,322 @@
+// Streaming predicate sequencing: SequenceSource slides a w-sized ring
+// of interned observation ids over a trace.Source and emits the
+// predicate sequence as maximal runs of equal predicates, so the
+// resident state is O(w + unique windows) regardless of trace length.
+//
+// Determinism matches the batch paths exactly. Observations are
+// interned in stream order (the same first-occurrence order the batch
+// pass uses), the serial path takes the very same memo-or-build branch
+// per window, and the parallel path reuses the speculate/replay engine
+// of parallel.go: a dispatcher goroutine reads the source, interns,
+// and enqueues one ordered record per window — carrying a speculation
+// job the first time a non-memoised window content is seen — while the
+// consumer replays records in stream order against the authoritative
+// generator state. Replay order equals window order, so the seed-pool
+// evolution, interning, stats and first error are identical to both
+// the serial streaming path and the batch paths.
+package predicate
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// Run is one maximal run of identical predicates in a streamed
+// sequence: Count consecutive windows all abstracted to Pred. Pointer
+// equality is the predicate identity (predicates are interned).
+type Run struct {
+	Pred  *Predicate
+	Count int
+}
+
+// SequenceSource computes the predicate sequence of the observations
+// streamed by src, emitting it as maximal runs in order. It is the
+// streaming counterpart of Sequence: the same predicates in the same
+// order (run-length encoded), the same generator-state evolution, but
+// only O(w + unique windows) resident memory.
+//
+// emit is called serially, in sequence order; an emit error aborts the
+// stream and is returned verbatim.
+func (g *Generator) SequenceSource(src trace.Source, emit func(Run) error) error {
+	if !src.Schema().Equal(g.schema) {
+		return errNoSchema
+	}
+	if w := g.workers(); w > 1 {
+		return g.sequenceSourceParallel(src, emit, w)
+	}
+	return g.sequenceSourceSerial(src, emit)
+}
+
+var errNoSchema = fmt.Errorf("predicate: trace schema does not match generator schema")
+
+// runEmitter folds a stream of per-window predicates into maximal runs.
+type runEmitter struct {
+	emit  func(Run) error
+	pred  *Predicate
+	count int
+}
+
+func (e *runEmitter) add(p *Predicate) error {
+	if p == e.pred {
+		e.count++
+		return nil
+	}
+	if err := e.flush(); err != nil {
+		return err
+	}
+	e.pred, e.count = p, 1
+	return nil
+}
+
+func (e *runEmitter) flush() error {
+	if e.count == 0 {
+		return nil
+	}
+	r := Run{Pred: e.pred, Count: e.count}
+	e.pred, e.count = nil, 0
+	return e.emit(r)
+}
+
+// slide appends id to the window ids, dropping the oldest id once the
+// window is full. It returns true when ids holds a complete window.
+func slide(ids []trace.ObsID, w int, id trace.ObsID) ([]trace.ObsID, bool) {
+	if len(ids) == w {
+		copy(ids, ids[1:])
+		ids = ids[:w-1]
+	}
+	ids = append(ids, id)
+	return ids, len(ids) == w
+}
+
+// materialize wraps the canonical observations for ids into a window
+// trace without copying values (the canonical slices are shared and
+// read-only, which buildExpr respects).
+func (g *Generator) materialize(ids []trace.ObsID) *trace.Trace {
+	obs := make([]trace.Observation, len(ids))
+	for i, id := range ids {
+		obs[i] = g.obsIntern.Obs(id)
+	}
+	return trace.FromObservations(g.schema, obs)
+}
+
+// sequenceSourceSerial is the one-worker streaming path.
+func (g *Generator) sequenceSourceSerial(src trace.Source, emit func(Run) error) error {
+	em := &runEmitter{emit: emit}
+	ids := make([]trace.ObsID, 0, g.w)
+	seen := 0
+	for {
+		obs, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		seen++
+		var full bool
+		ids, full = slide(ids, g.w, g.obsIntern.Intern(obs))
+		if !full {
+			continue
+		}
+		p, err := g.streamWindow(ids)
+		if err != nil {
+			return fmt.Errorf("predicate: window at observation %d: %w", seen-g.w, err)
+		}
+		if err := em.add(p); err != nil {
+			return err
+		}
+	}
+	if seen < g.w {
+		return fmt.Errorf("predicate: trace length %d shorter than window %d", seen, g.w)
+	}
+	return em.flush()
+}
+
+// streamWindow resolves one window given its interned ids: memo hit or
+// materialise-and-build, with the same accounting as fromWindow.
+func (g *Generator) streamWindow(ids []trace.ObsID) (*Predicate, error) {
+	key := trace.MakeWindowKey(ids)
+	g.mu.Lock()
+	g.stats.Windows++
+	if !g.opts.NoMemo {
+		if p, ok := g.memo[key]; ok {
+			g.stats.MemoHits++
+			g.mu.Unlock()
+			return p, nil
+		}
+	}
+	g.stats.UniqueWindows++
+	win := g.materialize(ids)
+	e, err := g.buildExpr(win, g.synthesizeNext)
+	if err != nil {
+		g.mu.Unlock()
+		return nil, err
+	}
+	p := g.intern(e)
+	if !g.opts.NoMemo {
+		g.memo[key] = p
+	}
+	g.mu.Unlock()
+	return p, nil
+}
+
+// streamRec is one window of the parallel streaming path, in stream
+// order: its key, and the speculation job covering its content when the
+// dispatcher saw that content for the first time outside the memo (nil
+// for windows whose content was memoised before the stream started or
+// whose job travels with an earlier record).
+type streamRec struct {
+	key trace.WindowKey
+	job *specJob
+	idx int // window index, for error positions
+}
+
+// sequenceSourceParallel overlaps source decoding and speculative
+// synthesis with in-order replay. The dispatcher is the only goroutine
+// touching src; workers are the only goroutines running the expensive
+// enumeration; the consumer (the calling goroutine) is the only one
+// mutating authoritative generator state.
+func (g *Generator) sequenceSourceParallel(src trace.Source, emit func(Run) error, workers int) error {
+	ctx, cancel := context.WithCancel(context.Background())
+
+	depth := 4 * workers
+	if depth < 64 {
+		depth = 64
+	}
+	recCh := make(chan streamRec, depth)
+	jobCh := make(chan *specJob, depth)
+
+	// Defers run LIFO: cancel first, so blocked dispatcher sends and
+	// in-flight workers unwind before Wait — no goroutine outlives the
+	// call even on an early (emit-error) return.
+	var ww sync.WaitGroup
+	defer ww.Wait()
+	defer cancel()
+
+	// Dispatcher: read, intern, slide, dedupe, enqueue in order.
+	var srcErr error
+	var seen atomic.Int64
+	go func() {
+		defer close(recCh)
+		defer close(jobCh)
+		jobByKey := map[trace.WindowKey]*specJob{}
+		ids := make([]trace.ObsID, 0, g.w)
+		idx := 0
+		for {
+			obs, err := src.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				srcErr = err
+				return
+			}
+			seen.Add(1)
+			var full bool
+			ids, full = slide(ids, g.w, g.obsIntern.Intern(obs))
+			if !full {
+				continue
+			}
+			key := trace.MakeWindowKey(ids)
+			rec := streamRec{key: key, idx: idx}
+			idx++
+			if _, ok := jobByKey[key]; !ok {
+				memoised := false
+				if !g.opts.NoMemo {
+					g.mu.Lock()
+					_, memoised = g.memo[key]
+					g.mu.Unlock()
+				}
+				if !memoised {
+					// The memo only grows, so a miss here is still a
+					// miss at replay time unless an earlier record of
+					// the same content fills it — and that record
+					// carries this very job.
+					job := &specJob{win: g.materialize(ids), done: make(chan struct{})}
+					jobByKey[key] = job
+					rec.job = job
+					select {
+					case jobCh <- job:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+			select {
+			case recCh <- rec:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Workers: speculate on unique windows as they are discovered.
+	for i := 0; i < workers; i++ {
+		ww.Add(1)
+		go func() {
+			defer ww.Done()
+			for job := range jobCh {
+				if ctx.Err() != nil {
+					// Drain without working so the dispatcher's sends
+					// never block forever during cancellation.
+					close(job.done)
+					continue
+				}
+				job.recs = g.speculate(ctx, job.win)
+				close(job.done)
+			}
+		}()
+	}
+
+	// Consumer: replay in stream order against authoritative state.
+	em := &runEmitter{emit: emit}
+	jobByKey := map[trace.WindowKey]*specJob{}
+	for rec := range recCh {
+		if rec.job != nil {
+			jobByKey[rec.key] = rec.job
+		}
+		g.mu.Lock()
+		g.stats.Windows++
+		if !g.opts.NoMemo {
+			if p, ok := g.memo[rec.key]; ok {
+				g.stats.MemoHits++
+				g.mu.Unlock()
+				if err := em.add(p); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		g.mu.Unlock()
+
+		job := jobByKey[rec.key]
+		<-job.done
+
+		g.mu.Lock()
+		g.stats.UniqueWindows++
+		p, err := g.replay(job)
+		if err == nil && !g.opts.NoMemo {
+			g.memo[rec.key] = p
+		}
+		g.mu.Unlock()
+		if err != nil {
+			cancel()
+			return fmt.Errorf("predicate: window at observation %d: %w", rec.idx, err)
+		}
+		if err := em.add(p); err != nil {
+			return err
+		}
+	}
+	if srcErr != nil {
+		return srcErr
+	}
+	if n := int(seen.Load()); n < g.w {
+		return fmt.Errorf("predicate: trace length %d shorter than window %d", n, g.w)
+	}
+	return em.flush()
+}

@@ -1,0 +1,117 @@
+package predicate
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+// expand flattens a run stream back into the per-window sequence.
+func expand(runs []Run) []*Predicate {
+	var out []*Predicate
+	for _, r := range runs {
+		for i := 0; i < r.Count; i++ {
+			out = append(out, r.Pred)
+		}
+	}
+	return out
+}
+
+// mixedTrace is a small trace exercising memo hits, seed reuse and the
+// wrap fallback: a mod-4 counter with an event variable.
+func mixedTrace(t *testing.T, n int) *trace.Trace {
+	t.Helper()
+	schema := trace.MustSchema(
+		trace.VarDef{Name: "count", Type: expr.Int},
+		trace.VarDef{Name: "event", Type: expr.Sym},
+	)
+	tr := trace.New(schema)
+	for i := 0; i < n; i++ {
+		ev := "tick"
+		if i%4 == 3 {
+			ev = "wrap"
+		}
+		tr.MustAppend(trace.Observation{expr.IntVal(int64(i % 4)), expr.SymVal(ev)})
+	}
+	return tr
+}
+
+func TestSequenceSourceMatchesBatch(t *testing.T) {
+	tr := mixedTrace(t, 64)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			gBatch, err := NewGenerator(tr.Schema(), Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := gBatch.Sequence(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			gStream, err := NewGenerator(tr.Schema(), Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var runs []Run
+			if err := gStream.SequenceSource(trace.NewTraceSource(tr), func(r Run) error {
+				runs = append(runs, r)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			stream := expand(runs)
+
+			if len(stream) != len(batch) {
+				t.Fatalf("stream yields %d windows, batch %d", len(stream), len(batch))
+			}
+			for i := range batch {
+				if stream[i].Key != batch[i].Key {
+					t.Fatalf("window %d: stream %q, batch %q", i, stream[i].Key, batch[i].Key)
+				}
+			}
+			// Runs must be maximal: no adjacent equal predicates.
+			for i := 1; i < len(runs); i++ {
+				if runs[i].Pred == runs[i-1].Pred {
+					t.Fatalf("runs %d and %d share predicate %q", i-1, i, runs[i].Pred.Key)
+				}
+			}
+			// Work accounting matches the batch path exactly.
+			if bs, ss := gBatch.Stats(), gStream.Stats(); bs != ss {
+				t.Fatalf("stats diverge: batch %+v, stream %+v", bs, ss)
+			}
+		})
+	}
+}
+
+func TestSequenceSourceShortTrace(t *testing.T) {
+	tr := mixedTrace(t, 2)
+	for _, workers := range []int{1, 4} {
+		g, err := NewGenerator(tr.Schema(), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = g.SequenceSource(trace.NewTraceSource(tr), func(Run) error { return nil })
+		if err == nil {
+			t.Fatalf("workers=%d: no error for trace shorter than window", workers)
+		}
+	}
+}
+
+func TestSequenceSourceEmitError(t *testing.T) {
+	tr := mixedTrace(t, 32)
+	sentinel := errors.New("stop")
+	for _, workers := range []int{1, 4} {
+		g, err := NewGenerator(tr.Schema(), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = g.SequenceSource(trace.NewTraceSource(tr), func(Run) error { return sentinel })
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: got %v, want sentinel emit error", workers, err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+)
+
+func TestInternerDedupes(t *testing.T) {
+	in := NewInterner()
+	a := Observation{expr.IntVal(1), expr.BoolVal(true), expr.SymVal("x")}
+	b := Observation{expr.IntVal(1), expr.BoolVal(true), expr.SymVal("x")}
+	c := Observation{expr.IntVal(2), expr.BoolVal(true), expr.SymVal("x")}
+
+	idA := in.Intern(a)
+	if got := in.Intern(b); got != idA {
+		t.Fatalf("equal observations interned to %d and %d", idA, got)
+	}
+	idC := in.Intern(c)
+	if idC == idA {
+		t.Fatalf("distinct observations share id %d", idA)
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", in.Len())
+	}
+
+	// Canonical copies must not alias the (reusable) argument buffer.
+	a[0] = expr.IntVal(99)
+	canon := in.Obs(idA)
+	if !canon[0].Equal(expr.IntVal(1)) {
+		t.Fatalf("canonical observation aliases caller buffer: %v", canon)
+	}
+}
+
+func TestInternerSteadyStateAllocs(t *testing.T) {
+	in := NewInterner()
+	obs := Observation{expr.IntVal(7), expr.SymVal("ev")}
+	in.Intern(obs)
+	allocs := testing.AllocsPerRun(100, func() {
+		if in.Intern(obs) != 0 {
+			t.Fatal("id changed")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Intern allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestMakeWindowKey(t *testing.T) {
+	small := []ObsID{1, 2, 3}
+	if MakeWindowKey(small) != MakeWindowKey([]ObsID{1, 2, 3}) {
+		t.Fatal("equal small windows produce different keys")
+	}
+	if MakeWindowKey(small) == MakeWindowKey([]ObsID{1, 2, 4}) {
+		t.Fatal("distinct small windows collide")
+	}
+	// Same ids, different width: must not collide (trailing zeros).
+	if MakeWindowKey([]ObsID{1, 2, 3, 0}) == MakeWindowKey(small) {
+		t.Fatal("width-3 and width-4 windows collide")
+	}
+
+	big := make([]ObsID, maxArrayWindow+2)
+	for i := range big {
+		big[i] = ObsID(i * 7)
+	}
+	big2 := append([]ObsID(nil), big...)
+	if MakeWindowKey(big) != MakeWindowKey(big2) {
+		t.Fatal("equal wide windows produce different keys")
+	}
+	big2[len(big2)-1]++
+	if MakeWindowKey(big) == MakeWindowKey(big2) {
+		t.Fatal("distinct wide windows collide")
+	}
+}

@@ -3,12 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/csv"
-	"fmt"
 	"io"
-	"strconv"
-	"strings"
-
-	"repro/internal/expr"
 )
 
 // WriteCSV encodes the trace in the tool's CSV format. The header row
@@ -42,85 +37,15 @@ func WriteCSV(w io.Writer, t *Trace) error {
 	return cw.Error()
 }
 
-// ReadCSV decodes a trace from the CSV format written by WriteCSV.
+// ReadCSV decodes a trace from the CSV format written by WriteCSV. It
+// is Collect over the streaming CSVSource; callers that do not need
+// the whole trace in memory should use the source directly.
 func ReadCSV(r io.Reader) (*Trace, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1
-	header, err := cr.Read()
+	src, err := NewCSVSource(r)
 	if err != nil {
-		return nil, fmt.Errorf("trace csv: reading header: %w", err)
+		return nil, err
 	}
-	vars := make([]VarDef, len(header))
-	for i, h := range header {
-		name, tyName, ok := strings.Cut(strings.TrimSpace(h), ":")
-		if !ok {
-			return nil, fmt.Errorf("trace csv: header field %q is not name:type[:input]", h)
-		}
-		role := State
-		if rest, roleName, hasRole := strings.Cut(tyName, ":"); hasRole {
-			tyName = rest
-			switch roleName {
-			case "input":
-				role = Input
-			case "state":
-				// explicit default
-			default:
-				return nil, fmt.Errorf("trace csv: unknown role %q in header field %q", roleName, h)
-			}
-		}
-		var ty expr.Type
-		switch tyName {
-		case "int":
-			ty = expr.Int
-		case "bool":
-			ty = expr.Bool
-		case "sym":
-			ty = expr.Sym
-		default:
-			return nil, fmt.Errorf("trace csv: unknown type %q in header field %q", tyName, h)
-		}
-		vars[i] = VarDef{Name: name, Type: ty, Role: role}
-	}
-	schema, err := NewSchema(vars...)
-	if err != nil {
-		return nil, fmt.Errorf("trace csv: %w", err)
-	}
-	t := New(schema)
-	for line := 2; ; line++ {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			return t, nil
-		}
-		if err != nil {
-			return nil, fmt.Errorf("trace csv: line %d: %w", line, err)
-		}
-		if len(rec) != len(vars) {
-			return nil, fmt.Errorf("trace csv: line %d has %d fields, want %d", line, len(rec), len(vars))
-		}
-		obs := make(Observation, len(rec))
-		for j, field := range rec {
-			field = strings.TrimSpace(field)
-			switch vars[j].Type {
-			case expr.Int:
-				n, err := strconv.ParseInt(field, 10, 64)
-				if err != nil {
-					return nil, fmt.Errorf("trace csv: line %d, variable %q: %w", line, vars[j].Name, err)
-				}
-				obs[j] = expr.IntVal(n)
-			case expr.Bool:
-				b, err := strconv.ParseBool(field)
-				if err != nil {
-					return nil, fmt.Errorf("trace csv: line %d, variable %q: %w", line, vars[j].Name, err)
-				}
-				obs[j] = expr.BoolVal(b)
-			case expr.Sym:
-				obs[j] = expr.SymVal(field)
-			}
-		}
-		if err := t.Append(obs); err != nil {
-			return nil, fmt.Errorf("trace csv: line %d: %w", line, err)
-		}
-	}
+	return Collect(src)
 }
 
 // WriteEvents encodes an event trace as one event name per line.
@@ -142,20 +67,8 @@ func WriteEvents(w io.Writer, t *Trace) error {
 }
 
 // ReadEvents decodes a one-event-per-line log into an event trace.
-// Blank lines and lines starting with '#' are skipped.
+// Blank lines and lines starting with '#' are skipped. It is Collect
+// over the streaming EventsSource.
 func ReadEvents(r io.Reader) (*Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	var events []string
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		events = append(events, line)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace events: %w", err)
-	}
-	return FromEvents(events), nil
+	return Collect(NewEventsSource(r))
 }

@@ -1,0 +1,325 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/expr"
+)
+
+// Source is a pull iterator over the observations of one trace. It is
+// the streaming counterpart of Trace: decoders yield observations one
+// at a time, so a consumer that only needs a sliding window (the
+// predicate windower) holds O(window) observations instead of the
+// whole trace.
+//
+// Next returns io.EOF after the last observation. The returned slice
+// is only valid until the following Next call — sources reuse their
+// observation buffer — so consumers that retain values must copy them
+// (the observation interner copies on first sight, which is the only
+// copy the streaming pipeline makes).
+type Source interface {
+	// Schema declares the observed variables, fixed for the whole
+	// stream.
+	Schema() *Schema
+	// Next returns the next observation, or io.EOF at end of stream.
+	Next() (Observation, error)
+}
+
+// ByteSource is implemented by sources that read from a byte stream
+// and can report ingestion progress; the pipeline surfaces the count
+// as a bytes_read stage counter.
+type ByteSource interface {
+	BytesRead() int64
+}
+
+// Collect materialises a source into an in-memory Trace (the bridge
+// back to the batch pipeline for small inputs and tests).
+func Collect(src Source) (*Trace, error) {
+	t := New(src.Schema())
+	for {
+		obs, err := src.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Sources reuse their observation buffer, so Append's
+		// defensive copy is load-bearing here.
+		if err := t.Append(obs); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// TraceSource adapts an in-memory Trace to the Source interface (for
+// tests and for feeding already-materialised traces through the
+// streaming pipeline).
+type TraceSource struct {
+	tr *Trace
+	i  int
+}
+
+// NewTraceSource returns a source yielding tr's observations in order.
+func NewTraceSource(tr *Trace) *TraceSource { return &TraceSource{tr: tr} }
+
+// Schema implements Source.
+func (s *TraceSource) Schema() *Schema { return s.tr.Schema() }
+
+// Next implements Source.
+func (s *TraceSource) Next() (Observation, error) {
+	if s.i >= s.tr.Len() {
+		return nil, io.EOF
+	}
+	obs := s.tr.At(s.i)
+	s.i++
+	return obs, nil
+}
+
+// countingReader counts bytes as they are consumed; every streaming
+// decoder wraps its input in one so ingestion progress is observable.
+type countingReader struct {
+	r io.Reader
+	n atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+func (c *countingReader) BytesRead() int64 { return c.n.Load() }
+
+// --- CSV -----------------------------------------------------------
+
+// CSVSource streams the tool's CSV trace format (see WriteCSV): a
+// name:type[:role] header row, one observation per subsequent row.
+type CSVSource struct {
+	cr     *csv.Reader
+	bytes  *countingReader
+	schema *Schema
+	vars   []VarDef
+	obs    Observation // reused between Next calls
+	line   int
+}
+
+// NewCSVSource reads the header and returns a source over the rows.
+func NewCSVSource(r io.Reader) (*CSVSource, error) {
+	bytes := &countingReader{r: r}
+	cr := csv.NewReader(bytes)
+	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace csv: reading header: %w", err)
+	}
+	vars := make([]VarDef, len(header))
+	for i, h := range header {
+		name, tyName, ok := strings.Cut(strings.TrimSpace(h), ":")
+		if !ok {
+			return nil, fmt.Errorf("trace csv: header field %q is not name:type[:input]", h)
+		}
+		role := State
+		if rest, roleName, hasRole := strings.Cut(tyName, ":"); hasRole {
+			tyName = rest
+			switch roleName {
+			case "input":
+				role = Input
+			case "state":
+				// explicit default
+			default:
+				return nil, fmt.Errorf("trace csv: unknown role %q in header field %q", roleName, h)
+			}
+		}
+		var ty expr.Type
+		switch tyName {
+		case "int":
+			ty = expr.Int
+		case "bool":
+			ty = expr.Bool
+		case "sym":
+			ty = expr.Sym
+		default:
+			return nil, fmt.Errorf("trace csv: unknown type %q in header field %q", tyName, h)
+		}
+		vars[i] = VarDef{Name: name, Type: ty, Role: role}
+	}
+	schema, err := NewSchema(vars...)
+	if err != nil {
+		return nil, fmt.Errorf("trace csv: %w", err)
+	}
+	return &CSVSource{
+		cr:     cr,
+		bytes:  bytes,
+		schema: schema,
+		vars:   vars,
+		obs:    make(Observation, len(vars)),
+		line:   1,
+	}, nil
+}
+
+// Schema implements Source.
+func (s *CSVSource) Schema() *Schema { return s.schema }
+
+// BytesRead implements ByteSource.
+func (s *CSVSource) BytesRead() int64 { return s.bytes.BytesRead() }
+
+// Next implements Source. The returned observation is reused by the
+// following call.
+func (s *CSVSource) Next() (Observation, error) {
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	s.line++
+	if err != nil {
+		return nil, fmt.Errorf("trace csv: line %d: %w", s.line, err)
+	}
+	if len(rec) != len(s.vars) {
+		return nil, fmt.Errorf("trace csv: line %d has %d fields, want %d", s.line, len(rec), len(s.vars))
+	}
+	for j, field := range rec {
+		field = strings.TrimSpace(field)
+		switch s.vars[j].Type {
+		case expr.Int:
+			n, err := strconv.ParseInt(field, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace csv: line %d, variable %q: %w", s.line, s.vars[j].Name, err)
+			}
+			s.obs[j] = expr.IntVal(n)
+		case expr.Bool:
+			b, err := strconv.ParseBool(field)
+			if err != nil {
+				return nil, fmt.Errorf("trace csv: line %d, variable %q: %w", s.line, s.vars[j].Name, err)
+			}
+			s.obs[j] = expr.BoolVal(b)
+		case expr.Sym:
+			// ReuseRecord recycles the []string slice only; the field
+			// strings are fresh per record, so retaining them is safe.
+			s.obs[j] = expr.SymVal(field)
+		}
+	}
+	return s.obs, nil
+}
+
+// --- Events --------------------------------------------------------
+
+// EventsSource streams a one-event-per-line log (schema: event:sym).
+// Blank lines and lines starting with '#' are skipped.
+type EventsSource struct {
+	sc     *bufio.Scanner
+	bytes  *countingReader
+	schema *Schema
+	obs    Observation
+}
+
+// NewEventsSource returns a source over the event log.
+func NewEventsSource(r io.Reader) *EventsSource {
+	bytes := &countingReader{r: r}
+	sc := bufio.NewScanner(bytes)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &EventsSource{
+		sc:     sc,
+		bytes:  bytes,
+		schema: EventSchema(),
+		obs:    make(Observation, 1),
+	}
+}
+
+// Schema implements Source.
+func (s *EventsSource) Schema() *Schema { return s.schema }
+
+// BytesRead implements ByteSource.
+func (s *EventsSource) BytesRead() int64 { return s.bytes.BytesRead() }
+
+// Next implements Source.
+func (s *EventsSource) Next() (Observation, error) {
+	for s.sc.Scan() {
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s.obs[0] = expr.SymVal(line)
+		return s.obs, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace events: %w", err)
+	}
+	return nil, io.EOF
+}
+
+// --- ftrace --------------------------------------------------------
+
+// FtraceSource streams an ftrace-style log as an event trace for one
+// task under analysis, without materialising the parsed event records:
+// the projection of ParseFtrace + FtraceToTrace, line by line.
+type FtraceSource struct {
+	sc     *bufio.Scanner
+	bytes  *countingReader
+	schema *Schema
+	task   string
+	rename func(FtraceEvent) string
+	obs    Observation
+	lineNo int
+}
+
+// NewFtraceSource returns a source over the log. Events whose Task
+// does not match task are dropped unless task is empty; rename
+// optionally rewrites raw event names (empty result drops the event).
+func NewFtraceSource(r io.Reader, task string, rename func(FtraceEvent) string) *FtraceSource {
+	bytes := &countingReader{r: r}
+	sc := bufio.NewScanner(bytes)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &FtraceSource{
+		sc:     sc,
+		bytes:  bytes,
+		schema: EventSchema(),
+		task:   task,
+		rename: rename,
+		obs:    make(Observation, 1),
+	}
+}
+
+// Schema implements Source.
+func (s *FtraceSource) Schema() *Schema { return s.schema }
+
+// BytesRead implements ByteSource.
+func (s *FtraceSource) BytesRead() int64 { return s.bytes.BytesRead() }
+
+// Next implements Source.
+func (s *FtraceSource) Next() (Observation, error) {
+	for s.sc.Scan() {
+		s.lineNo++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := parseFtraceLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("ftrace: line %d: %w", s.lineNo, err)
+		}
+		if s.task != "" && ev.Task != s.task {
+			continue
+		}
+		name := ev.Name
+		if s.rename != nil {
+			name = s.rename(ev)
+		}
+		if name == "" {
+			continue
+		}
+		s.obs[0] = expr.SymVal(name)
+		return s.obs, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return nil, fmt.Errorf("ftrace: %w", err)
+	}
+	return nil, io.EOF
+}

@@ -170,9 +170,8 @@ func (t *Trace) Value(i int, name string) (expr.Value, bool) {
 	return t.obs[i][j], true
 }
 
-// Append adds an observation, validating arity and types against the
-// schema.
-func (t *Trace) Append(obs Observation) error {
+// validate checks an observation's arity and types against the schema.
+func (t *Trace) validate(obs Observation) error {
 	if len(obs) != t.schema.Len() {
 		return fmt.Errorf("trace: observation has %d values, schema has %d variables", len(obs), t.schema.Len())
 	}
@@ -182,7 +181,29 @@ func (t *Trace) Append(obs Observation) error {
 				i, v, v.T, t.schema.Var(i).Name, want)
 		}
 	}
+	return nil
+}
+
+// Append adds an observation, validating arity and types against the
+// schema. The observation is copied, so the caller may reuse its
+// slice; decoders that hand over ownership use AppendOwned instead.
+func (t *Trace) Append(obs Observation) error {
+	if err := t.validate(obs); err != nil {
+		return err
+	}
 	t.obs = append(t.obs, append(Observation(nil), obs...))
+	return nil
+}
+
+// AppendOwned adds an observation without copying it. The caller
+// transfers ownership: the slice must not be mutated afterwards. This
+// is the fast path for decoders that already allocate one fresh slice
+// per observation — Append would copy it a second time.
+func (t *Trace) AppendOwned(obs Observation) error {
+	if err := t.validate(obs); err != nil {
+		return err
+	}
+	t.obs = append(t.obs, obs)
 	return nil
 }
 
@@ -195,9 +216,10 @@ func (t *Trace) MustAppend(obs Observation) {
 }
 
 // AppendVals appends an observation given in schema order as plain
-// values.
+// values. The variadic slice is owned by the call, so no defensive
+// copy is made.
 func (t *Trace) AppendVals(vals ...expr.Value) error {
-	return t.Append(Observation(vals))
+	return t.AppendOwned(Observation(vals))
 }
 
 // Slice returns a sub-trace view of observations [from, to). The
@@ -282,10 +304,23 @@ func EventSchema() *Schema {
 // of event names.
 func FromEvents(events []string) *Trace {
 	t := New(EventSchema())
-	for _, ev := range events {
-		t.MustAppend(Observation{expr.SymVal(ev)})
+	// One backing array for all observations: event traces are the
+	// longest inputs and each observation is a single symbol.
+	vals := make([]expr.Value, len(events))
+	for i, ev := range events {
+		vals[i] = expr.SymVal(ev)
+		t.obs = append(t.obs, Observation(vals[i:i+1:i+1]))
 	}
 	return t
+}
+
+// FromObservations builds a trace over schema from observations the
+// caller hands over without copying. The observations must already be
+// schema-conformant (arity and types); the streaming windower uses it
+// to wrap canonical interned observations into windows with zero value
+// copies.
+func FromObservations(schema *Schema, obs []Observation) *Trace {
+	return &Trace{schema: schema, obs: obs}
 }
 
 // Events extracts the event-name sequence from a trace whose schema

@@ -34,18 +34,18 @@ type VCDSignal struct {
 // values are parsed as unsigned). Unknown/high-impedance bits (x, z)
 // are read as 0, the usual four-to-two-state collapse.
 func ReadVCD(r io.Reader, signals []string) (*Trace, error) {
-	p := &vcdParser{
-		br:     bufio.NewReader(r),
-		byID:   map[string][]int{},
-		byName: map[string]int{},
-	}
-	if err := p.parseHeader(); err != nil {
+	src, err := NewVCDSource(r, signals)
+	if err != nil {
 		return nil, err
 	}
-	if err := p.selectSignals(signals); err != nil {
+	tr, err := Collect(src)
+	if err != nil {
 		return nil, err
 	}
-	return p.parseChanges()
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("vcd: no value changes for the watched signals")
+	}
+	return tr, nil
 }
 
 // VCDSignals lists the signals declared in a VCD header, for tooling
@@ -258,10 +258,35 @@ func sanitizeVCDName(name string) string {
 	return b.String()
 }
 
-// parseChanges consumes the value-change section, emitting one
-// observation per timestamp with changes to watched signals.
-func (p *vcdParser) parseChanges() (*Trace, error) {
-	tr := New(p.schema)
+// VCDSource streams the value-change section of a VCD file as one
+// observation per timestamp with changes to watched signals (the same
+// sampling ReadVCD materialises). The observation buffer is reused
+// between Next calls.
+type VCDSource struct {
+	p       *vcdParser
+	bytes   *countingReader
+	cur     Observation
+	dirty   bool
+	started bool
+	done    bool
+}
+
+// NewVCDSource parses the VCD header, resolves the watched signals
+// (empty watches all; see ReadVCD for the matching rules) and returns
+// a source over the value changes.
+func NewVCDSource(r io.Reader, signals []string) (*VCDSource, error) {
+	bytes := &countingReader{r: r}
+	p := &vcdParser{
+		br:     bufio.NewReader(bytes),
+		byID:   map[string][]int{},
+		byName: map[string]int{},
+	}
+	if err := p.parseHeader(); err != nil {
+		return nil, err
+	}
+	if err := p.selectSignals(signals); err != nil {
+		return nil, err
+	}
 	cur := make(Observation, p.schema.Len())
 	for i := range cur {
 		if p.schema.Var(i).Type == expr.Bool {
@@ -270,49 +295,62 @@ func (p *vcdParser) parseChanges() (*Trace, error) {
 			cur[i] = expr.IntVal(0)
 		}
 	}
-	dirty := false
-	started := false
+	return &VCDSource{p: p, bytes: bytes, cur: cur}, nil
+}
 
-	apply := func(positions []int, bits string) error {
-		for _, pos := range positions {
-			if p.schema.Var(pos).Type == expr.Bool {
-				cur[pos] = expr.BoolVal(bits == "1")
-			} else {
-				v, err := parseVCDBits(bits)
-				if err != nil {
-					return err
-				}
-				cur[pos] = expr.IntVal(v)
+// Schema implements Source.
+func (s *VCDSource) Schema() *Schema { return s.p.schema }
+
+// BytesRead implements ByteSource.
+func (s *VCDSource) BytesRead() int64 { return s.bytes.BytesRead() }
+
+// apply folds one value change into the current observation.
+func (s *VCDSource) apply(positions []int, bits string) error {
+	for _, pos := range positions {
+		if s.p.schema.Var(pos).Type == expr.Bool {
+			s.cur[pos] = expr.BoolVal(bits == "1")
+		} else {
+			v, err := parseVCDBits(bits)
+			if err != nil {
+				return err
 			}
-			dirty = true
+			s.cur[pos] = expr.IntVal(v)
 		}
-		return nil
+		s.dirty = true
 	}
-	flush := func() {
-		if started && dirty {
-			tr.MustAppend(cur)
-			dirty = false
-		}
-	}
+	return nil
+}
 
+// Next implements Source: it consumes value-change tokens until a
+// timestamp boundary completes an observation.
+func (s *VCDSource) Next() (Observation, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	p := s.p
 	for {
 		tok, err := p.token()
 		if err == io.EOF {
-			flush()
-			if tr.Len() == 0 {
-				return nil, fmt.Errorf("vcd: no value changes for the watched signals")
+			s.done = true
+			if s.started && s.dirty {
+				s.dirty = false
+				return s.cur, nil
 			}
-			return tr, nil
+			return nil, io.EOF
 		}
 		if err != nil {
 			return nil, err
 		}
 		switch {
 		case strings.HasPrefix(tok, "#"):
-			flush()
-			started = true
+			emit := s.started && s.dirty
+			s.started = true
+			if emit {
+				s.dirty = false
+				return s.cur, nil
+			}
 		case tok == "$dumpvars" || tok == "$dumpall" || tok == "$dumpon" || tok == "$dumpoff":
-			started = true // initial snapshot counts as a timestamp
+			s.started = true // initial snapshot counts as a timestamp
 		case tok == "$end":
 			// end of a dump section
 		case strings.HasPrefix(tok, "$"):
@@ -332,7 +370,7 @@ func (p *vcdParser) parseChanges() (*Trace, error) {
 				return nil, fmt.Errorf("vcd: bus change missing id: %w", err)
 			}
 			if positions, ok := p.byID[id]; ok {
-				if err := apply(positions, tok[1:]); err != nil {
+				if err := s.apply(positions, tok[1:]); err != nil {
 					return nil, err
 				}
 			}
@@ -347,7 +385,7 @@ func (p *vcdParser) parseChanges() (*Trace, error) {
 				return nil, fmt.Errorf("vcd: malformed scalar change %q", tok)
 			}
 			if positions, ok := p.byID[tok[1:]]; ok {
-				if err := apply(positions, strings.ToLower(tok[:1])); err != nil {
+				if err := s.apply(positions, strings.ToLower(tok[:1])); err != nil {
 					return nil, err
 				}
 			}

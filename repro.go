@@ -53,6 +53,27 @@ type (
 	NFA = automaton.NFA
 	// Predicate is a synthesized transition predicate.
 	Predicate = predicate.Predicate
+	// Source is a pull iterator over trace observations: the
+	// streaming counterpart of Trace, for learning from files too
+	// large to hold in memory (see LearnSource).
+	Source = trace.Source
+)
+
+// Streaming decoders for the on-disk trace formats; each reads
+// observations one at a time, so LearnSource runs in memory bounded by
+// the window size and the number of distinct windows, not the trace
+// length.
+var (
+	// NewCSVSource streams the tool's CSV trace format.
+	NewCSVSource = trace.NewCSVSource
+	// NewEventsSource streams a one-event-per-line log.
+	NewEventsSource = trace.NewEventsSource
+	// NewVCDSource streams the value changes of a VCD waveform.
+	NewVCDSource = trace.NewVCDSource
+	// NewFtraceSource streams an ftrace-style scheduler log.
+	NewFtraceSource = trace.NewFtraceSource
+	// NewTraceSource adapts an in-memory Trace to Source.
+	NewTraceSource = trace.NewTraceSource
 )
 
 // LearnOptions tunes the full pipeline. The zero value reproduces the
@@ -162,6 +183,23 @@ func NewPipeline(schema *Schema, opts LearnOptions) (*Pipeline, error) {
 			Workers:            opts.Workers,
 		},
 	})
+}
+
+// LearnSource runs the paper's full pipeline on a streamed trace:
+// bounded-memory predicate synthesis over a sliding window, then
+// SAT-based model construction from the run-length-encoded predicate
+// sequence. The learned automaton is byte-identical to Learn over the
+// same observations; the model's P field is nil because the expanded
+// predicate sequence is never materialised.
+func LearnSource(src Source, opts LearnOptions) (*Model, error) {
+	if src == nil {
+		return nil, errors.New("repro: nil source")
+	}
+	p, err := NewPipeline(src.Schema(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.LearnSource(src)
 }
 
 // LearnEvents is a convenience wrapper learning directly from an event

@@ -7,11 +7,15 @@
 //
 // Usage:
 //
-//	monitor -model system.t2m -in trace.csv [-informat csv|events|ftrace] [-task comm-pid]
+//	monitor -model system.t2m -in trace.csv [-informat csv|events|ftrace]
+//	        [-task comm-pid] [-j N] [-stream] [-q] [-metrics-addr HOST:PORT]
 //
 // With -stream the trace is checked as it is decoded, in memory
 // bounded by the window size — the mode to use when following a long
-// or live trace (e.g. monitor -stream -in -).
+// or live trace (e.g. monitor -stream -in -). While checking,
+// -metrics-addr serves live counters at /metrics and /metrics.json
+// plus profiling at /debug/pprof/ — useful when the monitored trace
+// runs for hours.
 //
 // Exit status: 0 when the trace conforms, 1 on a violation, 2 on error.
 package main
@@ -26,18 +30,45 @@ import (
 	"repro/internal/trace"
 )
 
+// usage is the synopsis printed by -h. TestUsageNamesEveryFlag asserts
+// it names every registered flag, so it cannot drift the way the old
+// hand-maintained synopsis did.
+const usage = `usage: monitor -model system.t2m -in trace.csv [-informat csv|events|ftrace]
+               [-task comm-pid] [-j N] [-stream] [-q] [-metrics-addr HOST:PORT]
+
+`
+
+// options carries every flag of one monitor invocation.
+type options struct {
+	modelPath, in, informat, task string
+	workers                       int
+	stream, quiet                 bool
+	metricsAddr                   string
+}
+
+// declareFlags registers all flags on fs; split out so the usage smoke
+// test can enumerate them against the synopsis above.
+func declareFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.modelPath, "model", "", "model file written by t2m -save (required)")
+	fs.StringVar(&o.in, "in", "", "trace file to check (required; - for stdin)")
+	fs.StringVar(&o.informat, "informat", "", "input format: csv, events, ftrace (default by extension)")
+	fs.StringVar(&o.task, "task", "", "ftrace: task to analyse (comm-pid)")
+	fs.IntVar(&o.workers, "j", 0, "predicate-synthesis workers for trace abstraction (0 = one per CPU, 1 = serial)")
+	fs.BoolVar(&o.stream, "stream", false, "check the trace as it streams: bounded memory, same verdict")
+	fs.BoolVar(&o.quiet, "q", false, "suppress the conforming-trace message")
+	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address while checking")
+	return o
+}
+
 func main() {
-	var (
-		modelPath = flag.String("model", "", "model file written by t2m -save (required)")
-		in        = flag.String("in", "", "trace file to check (required; - for stdin)")
-		informat  = flag.String("informat", "", "input format: csv, events, ftrace (default by extension)")
-		task      = flag.String("task", "", "ftrace: task to analyse (comm-pid)")
-		workers   = flag.Int("j", 0, "predicate-synthesis workers for trace abstraction (0 = one per CPU, 1 = serial)")
-		stream    = flag.Bool("stream", false, "check the trace as it streams: bounded memory, same verdict")
-		quiet     = flag.Bool("q", false, "suppress the conforming-trace message")
-	)
+	o := declareFlags(flag.CommandLine)
+	flag.Usage = func() {
+		fmt.Fprint(os.Stderr, usage)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
-	code, err := run(*modelPath, *in, *informat, *task, *workers, *stream, *quiet)
+	code, err := run(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "monitor:", err)
 		os.Exit(2)
@@ -45,11 +76,11 @@ func main() {
 	os.Exit(code)
 }
 
-func run(modelPath, in, informat, task string, workers int, stream, quiet bool) (int, error) {
-	if modelPath == "" || in == "" {
+func run(o *options) (int, error) {
+	if o.modelPath == "" || o.in == "" {
 		return 2, fmt.Errorf("both -model and -in are required")
 	}
-	mf, err := os.Open(modelPath)
+	mf, err := os.Open(o.modelPath)
 	if err != nil {
 		return 2, err
 	}
@@ -58,11 +89,22 @@ func run(modelPath, in, informat, task string, workers int, stream, quiet bool) 
 	if err != nil {
 		return 2, err
 	}
-	model.SetWorkers(workers)
+	model.SetWorkers(o.workers)
+
+	if o.metricsAddr != "" {
+		tel := &repro.Telemetry{Registry: repro.NewRegistry()}
+		model.SetTelemetry(tel)
+		srv, err := repro.ServeMetrics(o.metricsAddr, tel.Registry)
+		if err != nil {
+			return 2, err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "monitor: metrics listening on %s\n", srv.URL())
+	}
 
 	var violation *repro.Violation
-	if stream {
-		src, closer, err := openSource(in, informat, task)
+	if o.stream {
+		src, closer, err := openSource(o.in, o.informat, o.task)
 		if err != nil {
 			return 2, err
 		}
@@ -72,13 +114,13 @@ func run(modelPath, in, informat, task string, workers int, stream, quiet bool) 
 			return 2, err
 		}
 		if violation == nil {
-			if !quiet {
+			if !o.quiet {
 				fmt.Println("ok: model explains the whole trace")
 			}
 			return 0, nil
 		}
 	} else {
-		tr, err := readTrace(in, informat, task)
+		tr, err := readTrace(o.in, o.informat, o.task)
 		if err != nil {
 			return 2, err
 		}
@@ -87,7 +129,7 @@ func run(modelPath, in, informat, task string, workers int, stream, quiet bool) 
 			return 2, err
 		}
 		if violation == nil {
-			if !quiet {
+			if !o.quiet {
 				fmt.Printf("ok: model explains all %d observations\n", tr.Len())
 			}
 			return 0, nil

@@ -37,10 +37,21 @@ func main() {
 		maxExp       = flag.Int("max-exp", 15, "largest 2^k trace length for Fig 7")
 		workers      = flag.Int("j", 0, "predicate-synthesis / solver-portfolio workers (0 = one per CPU, 1 = serial; results identical)")
 		portfolio    = flag.Int("portfolio", 0, "race this many SAT solver configurations per solve (0/1 = serial; results identical)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address; counters accumulate across experiment runs")
 	)
 	flag.Parse()
 	experiments.Workers = *workers
 	experiments.Portfolio = *portfolio
+	if *metricsAddr != "" {
+		experiments.Telemetry = &repro.Telemetry{Registry: repro.NewRegistry()}
+		srv, err := repro.ServeMetrics(*metricsAddr, experiments.Telemetry.Registry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "repro: metrics listening on %s\n", srv.URL())
+	}
 	if err := run(*exp, *dotDir, *fullTimeout, *mergeTimeout, *maxExp); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)

@@ -38,45 +38,111 @@ import (
 	"repro/internal/trace"
 )
 
+// config carries every flag of one t2m invocation.
+type config struct {
+	in, informat, task, signals string
+	dotOut, saveOut             string
+	predW, segW, compliL        int
+	maxStates                   int
+	workers, portfolio          int
+	noSeg, stream, quiet        bool
+	timeout                     time.Duration
+
+	// Observability (see README "Observability").
+	traceOut      string
+	metricsAddr   string
+	metricsLinger time.Duration
+	manifestOut   string
+}
+
 func main() {
-	var (
-		in        = flag.String("in", "", "input trace file (required; - for stdin)")
-		informat  = flag.String("informat", "", "input format: csv, events, ftrace, vcd (default by extension)")
-		task      = flag.String("task", "", "ftrace: task to analyse (comm-pid); empty keeps all events")
-		signals   = flag.String("signals", "", "vcd: comma-separated signal names to observe (empty = all)")
-		dotOut    = flag.String("dot", "", "write the learned automaton as Graphviz DOT to this file")
-		saveOut   = flag.String("save", "", "write the learned model (for cmd/monitor) to this file")
-		predW     = flag.Int("pw", 0, "predicate window size (0 = schema default)")
-		segW      = flag.Int("w", 0, "segmentation window size (0 = 3, the paper's default)")
-		compliL   = flag.Int("l", 0, "compliance-check length (0 = 2, the paper's default)")
-		maxStates = flag.Int("max-states", 0, "state-count cap (0 = 64)")
-		noSeg     = flag.Bool("no-segmentation", false, "disable segmentation (full-trace mode)")
-		timeout   = flag.Duration("timeout", 0, "search timeout (0 = none)")
-		workers   = flag.Int("j", 0, "predicate-synthesis / solver-portfolio workers (0 = one per CPU, 1 = serial; results identical)")
-		portfolio = flag.Int("portfolio", 0, "race this many SAT solver configurations per solve (0/1 = serial; results identical)")
-		stream    = flag.Bool("stream", false, "stream the trace: bounded memory, identical model")
-		quiet     = flag.Bool("q", false, "print only the automaton")
-	)
+	var cfg config
+	flag.StringVar(&cfg.in, "in", "", "input trace file (required; - for stdin)")
+	flag.StringVar(&cfg.informat, "informat", "", "input format: csv, events, ftrace, vcd (default by extension)")
+	flag.StringVar(&cfg.task, "task", "", "ftrace: task to analyse (comm-pid); empty keeps all events")
+	flag.StringVar(&cfg.signals, "signals", "", "vcd: comma-separated signal names to observe (empty = all)")
+	flag.StringVar(&cfg.dotOut, "dot", "", "write the learned automaton as Graphviz DOT to this file")
+	flag.StringVar(&cfg.saveOut, "save", "", "write the learned model (for cmd/monitor) to this file")
+	flag.IntVar(&cfg.predW, "pw", 0, "predicate window size (0 = schema default)")
+	flag.IntVar(&cfg.segW, "w", 0, "segmentation window size (0 = 3, the paper's default)")
+	flag.IntVar(&cfg.compliL, "l", 0, "compliance-check length (0 = 2, the paper's default)")
+	flag.IntVar(&cfg.maxStates, "max-states", 0, "state-count cap (0 = 64)")
+	flag.BoolVar(&cfg.noSeg, "no-segmentation", false, "disable segmentation (full-trace mode)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "search timeout (0 = none)")
+	flag.IntVar(&cfg.workers, "j", 0, "predicate-synthesis / solver-portfolio workers (0 = one per CPU, 1 = serial; results identical)")
+	flag.IntVar(&cfg.portfolio, "portfolio", 0, "race this many SAT solver configurations per solve (0/1 = serial; results identical)")
+	flag.BoolVar(&cfg.stream, "stream", false, "stream the trace: bounded memory, identical model")
+	flag.BoolVar(&cfg.quiet, "q", false, "print only the automaton")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write the run's span/event trace as NDJSON to this file")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (e.g. 127.0.0.1:0)")
+	flag.DurationVar(&cfg.metricsLinger, "metrics-linger", 0, "keep the metrics endpoint up this long after the run (for scraping short runs)")
+	flag.StringVar(&cfg.manifestOut, "manifest", "", "write the run manifest (config, metrics, model stats) as JSON to this file")
 	flag.Parse()
-	if err := run(*in, *informat, *task, *signals, *dotOut, *saveOut, *predW, *segW, *compliL, *maxStates, *workers, *portfolio, *noSeg, *stream, *timeout, *quiet); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "t2m:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, informat, task, signals, dotOut, saveOut string, predW, segW, compliL, maxStates, workers, portfolio int, noSeg, stream bool, timeout time.Duration, quiet bool) error {
-	if in == "" {
+// telemetry assembles the run's telemetry from the observability flags:
+// a registry whenever any consumer (endpoint, manifest, trace) needs
+// one, plus the NDJSON tracer. The returned cleanup flushes and closes
+// the trace file.
+func telemetry(cfg config) (*repro.Telemetry, func() error, error) {
+	if cfg.traceOut == "" && cfg.metricsAddr == "" && cfg.manifestOut == "" {
+		return nil, func() error { return nil }, nil
+	}
+	tel := &repro.Telemetry{Registry: repro.NewRegistry()}
+	cleanup := func() error { return nil }
+	if cfg.traceOut != "" {
+		f, err := os.Create(cfg.traceOut)
+		if err != nil {
+			return nil, nil, err
+		}
+		tel.Tracer = repro.NewTracer(f)
+		cleanup = func() error {
+			if err := tel.Tracer.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
+	return tel, cleanup, nil
+}
+
+func run(cfg config) error {
+	if cfg.in == "" {
 		return fmt.Errorf("missing -in")
 	}
+	tel, cleanup, err := telemetry(cfg)
+	if err != nil {
+		return err
+	}
+	defer func() { cleanup() }()
+
+	var srv *repro.MetricsServer
+	if cfg.metricsAddr != "" {
+		srv, err = repro.ServeMetrics(cfg.metricsAddr, tel.Registry)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		// Printed unconditionally (and before the run) so scripts can
+		// resolve a ":0" listener's port.
+		fmt.Printf("metrics: listening on %s\n", srv.URL())
+	}
+
 	opts := repro.LearnOptions{
-		PredicateWindow: predW,
-		SegmentWindow:   segW,
-		ComplianceLen:   compliL,
-		MaxStates:       maxStates,
-		NonSegmented:    noSeg,
-		Timeout:         timeout,
-		Portfolio:       portfolio,
-		Workers:         workers,
+		PredicateWindow: cfg.predW,
+		SegmentWindow:   cfg.segW,
+		ComplianceLen:   cfg.compliL,
+		MaxStates:       cfg.maxStates,
+		NonSegmented:    cfg.noSeg,
+		Timeout:         cfg.timeout,
+		Portfolio:       cfg.portfolio,
+		Workers:         cfg.workers,
+		Telemetry:       tel,
 	}
 
 	var (
@@ -85,8 +151,8 @@ func run(in, informat, task, signals, dotOut, saveOut string, predW, segW, compl
 		nVars   int
 	)
 	start := time.Now()
-	if stream {
-		src, closer, err := openSource(in, informat, task, signals)
+	if cfg.stream {
+		src, closer, err := openSource(cfg.in, cfg.informat, cfg.task, cfg.signals)
 		if err != nil {
 			return err
 		}
@@ -102,7 +168,7 @@ func run(in, informat, task, signals, dotOut, saveOut string, predW, segW, compl
 			}
 		}
 	} else {
-		tr, err := readTrace(in, informat, task, signals)
+		tr, err := readTrace(cfg.in, cfg.informat, cfg.task, cfg.signals)
 		if err != nil {
 			return err
 		}
@@ -115,7 +181,7 @@ func run(in, informat, task, signals, dotOut, saveOut string, predW, segW, compl
 	}
 	elapsed := time.Since(start)
 
-	if !quiet {
+	if !cfg.quiet {
 		fmt.Printf("trace: %d observations over %d variables\n", obsSeen, nVars)
 		fmt.Printf("predicate alphabet: %d symbols\n", len(model.Alphabet))
 		fmt.Printf("segments: %d, solver calls: %d, refinements: %d+%d\n",
@@ -130,17 +196,17 @@ func run(in, informat, task, signals, dotOut, saveOut string, predW, segW, compl
 	}
 	fmt.Print(model.Automaton.String())
 
-	if dotOut != "" {
-		name := filepath.Base(in)
-		if err := os.WriteFile(dotOut, []byte(model.Automaton.DOT(name)), 0o644); err != nil {
+	if cfg.dotOut != "" {
+		name := filepath.Base(cfg.in)
+		if err := os.WriteFile(cfg.dotOut, []byte(model.Automaton.DOT(name)), 0o644); err != nil {
 			return err
 		}
-		if !quiet {
-			fmt.Printf("\nDOT written to %s\n", dotOut)
+		if !cfg.quiet {
+			fmt.Printf("\nDOT written to %s\n", cfg.dotOut)
 		}
 	}
-	if saveOut != "" {
-		f, err := os.Create(saveOut)
+	if cfg.saveOut != "" {
+		f, err := os.Create(cfg.saveOut)
 		if err != nil {
 			return err
 		}
@@ -151,11 +217,51 @@ func run(in, informat, task, signals, dotOut, saveOut string, predW, segW, compl
 		if err := f.Close(); err != nil {
 			return err
 		}
-		if !quiet {
-			fmt.Printf("model written to %s\n", saveOut)
+		if !cfg.quiet {
+			fmt.Printf("model written to %s\n", cfg.saveOut)
 		}
 	}
+	if cfg.manifestOut != "" {
+		if err := writeManifest(cfg, model, tel); err != nil {
+			return err
+		}
+		if !cfg.quiet {
+			fmt.Printf("manifest written to %s\n", cfg.manifestOut)
+		}
+	}
+	if srv != nil && cfg.metricsLinger > 0 {
+		fmt.Fprintf(os.Stderr, "t2m: metrics endpoint lingering %s at %s\n", cfg.metricsLinger, srv.URL())
+		time.Sleep(cfg.metricsLinger)
+	}
 	return nil
+}
+
+// writeManifest assembles and writes the run-manifest artifact: model
+// and stage statistics from the learning run, counters and histogram
+// summaries from the registry, the invocation's config, and the input
+// file's digest.
+func writeManifest(cfg config, model *repro.Model, tel *repro.Telemetry) error {
+	man := model.BuildManifest(tel)
+	man.Tool = "t2m"
+	man.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	man.Config = map[string]any{
+		"informat":        detectFormat(cfg.in, cfg.informat),
+		"pw":              cfg.predW,
+		"w":               cfg.segW,
+		"l":               cfg.compliL,
+		"max_states":      cfg.maxStates,
+		"no_segmentation": cfg.noSeg,
+		"workers":         cfg.workers,
+		"portfolio":       cfg.portfolio,
+		"stream":          cfg.stream,
+		"timeout":         cfg.timeout.String(),
+	}
+	if cfg.in != "-" {
+		d := repro.FileDigest(cfg.in)
+		d.Format = detectFormat(cfg.in, cfg.informat)
+		man.Inputs = []pipeline.InputDigest{d}
+	}
+	return man.WriteFile(cfg.manifestOut)
 }
 
 func readTrace(in, informat, task, signals string) (*trace.Trace, error) {

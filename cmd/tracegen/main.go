@@ -7,7 +7,7 @@
 // Usage:
 //
 //	tracegen -system usbslot|usbattach|counter|serial|rtlinux|integrator|fifo
-//	         [-o FILE] [-n LENGTH] [-format csv|events|ftrace]
+//	         [-o FILE] [-n LENGTH] [-steps N] [-format csv|events|ftrace]
 //
 // With no -o the trace is written to stdout.
 //
@@ -29,16 +29,40 @@ import (
 	"repro/internal/trace"
 )
 
+// usage is the synopsis printed by -h. TestUsageNamesEveryFlag asserts
+// it names every registered flag, so it cannot drift the way the old
+// hand-maintained synopsis did (which was missing -steps).
+const usage = `usage: tracegen -system usbslot|usbattach|counter|serial|rtlinux|integrator|fifo
+                [-o FILE] [-n LENGTH] [-steps N] [-format csv|events|ftrace]
+
+`
+
+// options carries every flag of one tracegen invocation.
+type options struct {
+	system, out, format string
+	length, steps       int
+}
+
+// declareFlags registers all flags on fs; split out so the usage smoke
+// test can enumerate them against the synopsis above.
+func declareFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.system, "system", "", "benchmark system: usbslot, usbattach, counter, serial, rtlinux, integrator, fifo")
+	fs.StringVar(&o.out, "o", "", "output file (default stdout)")
+	fs.IntVar(&o.length, "n", 0, "override trace length (0 = paper default; supported for counter, serial, rtlinux, integrator)")
+	fs.StringVar(&o.format, "format", "", "output format: csv, events, ftrace (default by schema)")
+	fs.IntVar(&o.steps, "steps", 0, "stream this many steps directly to the output (counter: CSV, fifo: VCD); any length, O(1) memory")
+	return o
+}
+
 func main() {
-	var (
-		system = flag.String("system", "", "benchmark system: usbslot, usbattach, counter, serial, rtlinux, integrator, fifo")
-		out    = flag.String("o", "", "output file (default stdout)")
-		length = flag.Int("n", 0, "override trace length (0 = paper default; supported for counter, serial, rtlinux, integrator)")
-		format = flag.String("format", "", "output format: csv, events, ftrace (default by schema)")
-		steps  = flag.Int("steps", 0, "stream this many steps directly to the output (counter: CSV, fifo: VCD); any length, O(1) memory")
-	)
+	o := declareFlags(flag.CommandLine)
+	flag.Usage = func() {
+		fmt.Fprint(os.Stderr, usage)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
-	if err := run(*system, *out, *length, *format, *steps); err != nil {
+	if err := run(o.system, o.out, o.length, o.format, o.steps); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}

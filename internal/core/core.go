@@ -29,6 +29,12 @@ import (
 type Options struct {
 	Predicate predicate.Options
 	Learn     learn.Options
+	// Telemetry attaches a run tracer and metric registry to every
+	// learning run of the pipeline: run → stage → unit spans in the
+	// trace, counters and latency histograms in the registry. Nil
+	// disables all recording at near-zero cost; telemetry never
+	// changes results.
+	Telemetry *pipeline.Telemetry
 }
 
 // Pipeline learns models from traces over one schema. The predicate
@@ -47,7 +53,36 @@ func NewPipeline(schema *trace.Schema, opts Options) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{schema: schema, opts: opts, gen: gen}, nil
+	p := &Pipeline{schema: schema, opts: opts, gen: gen}
+	if opts.Telemetry != nil {
+		p.SetTelemetry(opts.Telemetry)
+	}
+	return p, nil
+}
+
+// SetTelemetry attaches (or replaces) the pipeline's telemetry after
+// construction — the monitor path loads a persisted model first and
+// attaches telemetry afterwards. Must not run concurrently with a
+// learning run.
+func (p *Pipeline) SetTelemetry(tel *pipeline.Telemetry) {
+	p.opts.Telemetry = tel
+	p.opts.Learn.Telemetry = tel
+	p.gen.SetTelemetry(tel, 0)
+}
+
+// startStage opens a stage trace span under the run span and points
+// the predicate generator's unit spans at it. Returns the span id (0
+// when tracing is off).
+func (p *Pipeline) startStage(run pipeline.SpanID, name string) pipeline.SpanID {
+	tr := p.opts.Telemetry.Trace()
+	if !tr.Enabled() {
+		return 0
+	}
+	id := tr.Start(run, name)
+	if name == "predicate" {
+		p.gen.SetTelemetry(p.opts.Telemetry, id)
+	}
+	return id
 }
 
 // Generator exposes the pipeline's predicate generator.
@@ -76,6 +111,42 @@ type Model struct {
 // predicate.Options.Workers.
 func (m *Model) SetWorkers(n int) { m.pipeline.gen.SetWorkers(n) }
 
+// SetTelemetry attaches telemetry to the model's pipeline for the
+// monitoring path (Check/CheckSource on a loaded model).
+func (m *Model) SetTelemetry(tel *pipeline.Telemetry) { m.pipeline.SetTelemetry(tel) }
+
+// BuildManifest assembles the run-manifest skeleton for this model:
+// per-stage metrics, the registry's counters and histogram summaries,
+// and the final model statistics. The caller fills in tool identity,
+// created_at, config and inputs before writing (see pipeline.Manifest).
+func (m *Model) BuildManifest(tel *pipeline.Telemetry) *pipeline.Manifest {
+	man := &pipeline.Manifest{
+		Version: pipeline.ManifestVersion,
+		Stages:  pipeline.StageManifests(m.Stages),
+	}
+	mm := &pipeline.ModelManifest{
+		States:            m.States,
+		Symbols:           len(m.Alphabet),
+		Segments:          m.LearnStats.Segments,
+		SolverCalls:       m.LearnStats.SolverCalls,
+		Refinements:       m.LearnStats.Refinements,
+		AcceptRefinements: m.LearnStats.AcceptRefinements,
+		SATConflicts:      m.LearnStats.SATConflicts,
+		SATDecisions:      m.LearnStats.SATDecisions,
+		SATPropagations:   m.LearnStats.SATPropagations,
+		SATLearned:        m.LearnStats.SATLearned,
+	}
+	if m.Automaton != nil {
+		mm.Transitions = m.Automaton.NumTransitions()
+	}
+	man.Model = mm
+	if tel != nil && tel.Registry != nil {
+		man.Counters = tel.Registry.CounterValues()
+		man.Histograms = tel.Registry.Summaries()
+	}
+	return man
+}
+
 // predicateSpan ends a predicate-abstraction span with the stage's
 // counters, computed as the generator-stats delta across the stage.
 func predicateSpan(sp *pipeline.Span, d predicate.Stats) {
@@ -85,6 +156,39 @@ func predicateSpan(sp *pipeline.Span, d predicate.Stats) {
 		Add("synth_calls", int64(d.SynthCalls)).
 		Add("seed_hits", int64(d.SeedHits)).
 		End()
+}
+
+// endPredicateStage closes a predicate stage trace span with the
+// generator-stats delta of the stage.
+func endPredicateStage(tr *pipeline.Tracer, id pipeline.SpanID, d predicate.Stats) {
+	if !tr.Enabled() {
+		return
+	}
+	tr.End(id,
+		pipeline.Int("windows", int64(d.Windows)),
+		pipeline.Int("memo_hits", int64(d.MemoHits)),
+		pipeline.Int("unique_windows", int64(d.UniqueWindows)),
+		pipeline.Int("synth_calls", int64(d.SynthCalls)),
+		pipeline.Int("seed_hits", int64(d.SeedHits)))
+}
+
+// endModelStage closes a model stage trace span with the search's
+// solver counters (res may be nil on failed runs).
+func endModelStage(tr *pipeline.Tracer, id pipeline.SpanID, res *learn.Result) {
+	if !tr.Enabled() {
+		return
+	}
+	if res == nil {
+		tr.End(id, pipeline.Bool("ok", false))
+		return
+	}
+	s := res.Stats
+	tr.End(id,
+		pipeline.Int("states", int64(s.FinalStates)),
+		pipeline.Int("segments", int64(s.Segments)),
+		pipeline.Int("solver_calls", int64(s.SolverCalls)),
+		pipeline.Int("refinements", int64(s.Refinements+s.AcceptRefinements)),
+		pipeline.Int("sat_conflicts", s.SATConflicts))
 }
 
 // modelSpan ends a model-construction span with the solver counters.
@@ -106,13 +210,20 @@ func (p *Pipeline) Learn(tr *trace.Trace) (*Model, error) {
 		return nil, errors.New("core: trace must have at least 2 observations")
 	}
 	var metrics pipeline.Metrics
+	ttr := p.opts.Telemetry.Trace()
+	run := ttr.Start(0, "run")
 	before := p.gen.Stats()
 	sp := metrics.Start("predicate")
+	stage := p.startStage(run, "predicate")
 	preds, err := p.gen.Sequence(tr)
 	if err != nil {
+		ttr.End(stage)
+		ttr.End(run)
 		return nil, err
 	}
-	predicateSpan(sp, p.gen.Stats().Minus(before))
+	d := p.gen.Stats().Minus(before)
+	endPredicateStage(ttr, stage, d)
+	predicateSpan(sp, d)
 	P := make([]string, len(preds))
 	alphabet := make(map[string]*predicate.Predicate)
 	for i, pr := range preds {
@@ -120,7 +231,11 @@ func (p *Pipeline) Learn(tr *trace.Trace) (*Model, error) {
 		alphabet[pr.Key] = pr
 	}
 	sp = metrics.Start("model")
-	res, err := learn.GenerateModel(P, p.opts.Learn)
+	lo := p.opts.Learn
+	lo.TraceSpan = p.startStage(run, "model")
+	res, err := learn.GenerateModel(P, lo)
+	endModelStage(ttr, lo.TraceSpan, res)
+	ttr.End(run)
 	if err != nil {
 		return nil, fmt.Errorf("core: model construction: %w", err)
 	}
@@ -146,16 +261,23 @@ func (p *Pipeline) LearnAll(trs []*trace.Trace) (*Model, error) {
 		return nil, errors.New("core: no traces")
 	}
 	var metrics pipeline.Metrics
+	ttr := p.opts.Telemetry.Trace()
+	run := ttr.Start(0, "run")
 	before := p.gen.Stats()
 	sp := metrics.Start("predicate")
+	stage := p.startStage(run, "predicate")
 	Ps := make([][]string, len(trs))
 	alphabet := make(map[string]*predicate.Predicate)
 	for i, tr := range trs {
 		if tr == nil || tr.Len() < 2 {
+			ttr.End(stage)
+			ttr.End(run)
 			return nil, fmt.Errorf("core: trace %d must have at least 2 observations", i)
 		}
 		preds, err := p.gen.Sequence(tr)
 		if err != nil {
+			ttr.End(stage)
+			ttr.End(run)
 			return nil, fmt.Errorf("core: trace %d: %w", i, err)
 		}
 		P := make([]string, len(preds))
@@ -165,9 +287,15 @@ func (p *Pipeline) LearnAll(trs []*trace.Trace) (*Model, error) {
 		}
 		Ps[i] = P
 	}
-	predicateSpan(sp, p.gen.Stats().Minus(before))
+	d := p.gen.Stats().Minus(before)
+	endPredicateStage(ttr, stage, d)
+	predicateSpan(sp, d)
 	sp = metrics.Start("model")
-	res, err := learn.GenerateModelMulti(Ps, p.opts.Learn)
+	lo := p.opts.Learn
+	lo.TraceSpan = p.startStage(run, "model")
+	res, err := learn.GenerateModelMulti(Ps, lo)
+	endModelStage(ttr, lo.TraceSpan, res)
+	ttr.End(run)
 	if err != nil {
 		return nil, fmt.Errorf("core: model construction: %w", err)
 	}

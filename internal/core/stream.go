@@ -26,20 +26,42 @@ import (
 // stream), obs_per_sec and peak_heap.
 func (p *Pipeline) LearnSource(src trace.Source) (*Model, error) {
 	var metrics pipeline.Metrics
+	tel := p.opts.Telemetry
+	ttr := tel.Trace()
+	run := ttr.Start(0, "run")
 	before := p.gen.Stats()
 	hs := pipeline.StartHeapSampler(0)
 	sp := metrics.Start("predicate")
+	stage := p.startStage(run, "predicate")
 	wallStart := time.Now()
+
+	// Live gauges: heap from the sampler (its cached values stay
+	// readable after Stop), observation throughput from the windows
+	// counter. Registered per run; later runs simply replace them.
+	tel.Gauge("heap_bytes", func() float64 { return float64(hs.Current()) })
+	tel.Gauge("peak_heap_bytes", func() float64 { return float64(hs.Peak()) })
+	windows := tel.Count("predicate_windows_total")
+	tel.Gauge("obs_per_sec", func() float64 {
+		secs := time.Since(wallStart).Seconds()
+		if secs <= 0 {
+			return 0
+		}
+		return float64(windows.Value()) / secs
+	})
+	hRunLen := tel.Hist("predicate_run_len", "windows")
 
 	seq := learn.NewSeq()
 	alphabet := make(map[string]*predicate.Predicate)
 	err := p.gen.SequenceSource(src, func(r predicate.Run) error {
 		alphabet[r.Pred.Key] = r.Pred
 		seq.Append(r.Pred.Key, r.Count)
+		hRunLen.Observe(int64(r.Count))
 		return nil
 	})
 	if err != nil {
 		hs.Stop()
+		ttr.End(stage)
+		ttr.End(run)
 		return nil, err
 	}
 	d := p.gen.Stats().Minus(before)
@@ -54,14 +76,23 @@ func (p *Pipeline) LearnSource(src trace.Source) (*Model, error) {
 		sp.Add("bytes_read", bs.BytesRead())
 	}
 	if secs := time.Since(wallStart).Seconds(); secs > 0 {
-		sp.Add("obs_per_sec", int64(float64(observations)/secs))
+		rate := float64(observations) / secs
+		sp.Add("obs_per_sec", int64(rate))
+		// Freeze the throughput gauge at the stage's final rate so a
+		// lingering /metrics endpoint reports the run, not the decay.
+		tel.Gauge("obs_per_sec", func() float64 { return rate })
 	}
 	sp.Add("runs", int64(seq.Runs())).
 		Add("peak_heap", int64(hs.Stop())).
 		End()
+	endPredicateStage(ttr, stage, d)
 
 	sp = metrics.Start("model")
-	res, err := learn.GenerateModelSeqs([]*learn.Seq{seq}, p.opts.Learn)
+	lo := p.opts.Learn
+	lo.TraceSpan = p.startStage(run, "model")
+	res, err := learn.GenerateModelSeqs([]*learn.Seq{seq}, lo)
+	endModelStage(ttr, lo.TraceSpan, res)
+	ttr.End(run)
 	if err != nil {
 		return nil, fmt.Errorf("core: model construction: %w", err)
 	}

@@ -72,11 +72,18 @@ var Workers int
 // internal/learn's determinism rule.
 var Portfolio int
 
-// withWorkers applies the package-level worker count and portfolio
-// size to a run's options.
+// Telemetry, when non-nil, is attached to every experiment run
+// (cmd/repro's -metrics-addr flag): counters and latency histograms
+// accumulate across runs into its registry. Like Workers and
+// Portfolio it never changes results.
+var Telemetry *repro.Telemetry
+
+// withWorkers applies the package-level worker count, portfolio size
+// and telemetry to a run's options.
 func withWorkers(opts repro.LearnOptions) repro.LearnOptions {
 	opts.Workers = Workers
 	opts.Portfolio = Portfolio
+	opts.Telemetry = Telemetry
 	return opts
 }
 

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/automaton"
+	"repro/internal/pipeline"
 )
 
 // Options tunes GenerateModel.
@@ -76,6 +77,13 @@ type Options struct {
 	// equivalence testing and ablation benchmarks. Canonical model
 	// extraction makes the learned automaton identical either way.
 	ScratchRefinement bool
+	// Telemetry records solver-call counters, latency histograms, and
+	// compliance/acceptance events into the run's registry and trace.
+	// Nil disables all recording; telemetry never changes results.
+	Telemetry *pipeline.Telemetry
+	// TraceSpan parents the per-round solve spans and refinement
+	// events when Telemetry carries a tracer.
+	TraceSpan pipeline.SpanID
 }
 
 func (o Options) withDefaults() Options {

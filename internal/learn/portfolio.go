@@ -77,6 +77,14 @@ type portfolio struct {
 	members []*member
 	workers int
 	stop    atomic.Bool
+
+	// Telemetry for the latest round (written by solve, read by the
+	// caller between rounds): the member whose verdict decided it, and
+	// the speculative member's UNSAT-core size (−1 when no core was
+	// produced). Like the effort statistics, winner is
+	// scheduling-dependent on UNSAT rounds; the round's status is not.
+	winner   string
+	specCore int
 }
 
 // newPortfolio builds k members for the n-state question (bounded by
@@ -136,6 +144,8 @@ func (pf *portfolio) canonical() *encoding { return pf.members[0].enc }
 // restriction (no (n+1)-state automaton exists either). All goroutines
 // have exited by return, so the caller may freely mutate the members.
 func (pf *portfolio) solve(deadline time.Time) (sat.Status, bool) {
+	pf.winner = pf.members[0].cfg.name
+	pf.specCore = -1
 	if len(pf.members) == 1 {
 		// Serial: unbounded solve, exactly the non-portfolio path.
 		pf.members[0].last = pf.members[0].enc.solve(deadline, nil)
@@ -192,10 +202,16 @@ func (pf *portfolio) solve(deadline time.Time) (sat.Status, bool) {
 		if m.last != sat.Unsat {
 			continue
 		}
+		if !anyUnsat {
+			pf.winner = m.cfg.name
+		}
 		anyUnsat = true
 		if m.cfg.speculative {
-			if core := m.enc.solver.UnsatCore(); core != nil && len(core) == 0 {
-				capUnsat = true
+			if core := m.enc.solver.UnsatCore(); core != nil {
+				pf.specCore = len(core)
+				if len(core) == 0 {
+					capUnsat = true
+				}
 			}
 		}
 	}

@@ -326,6 +326,16 @@ func GenerateModelSeqs(inSeqs []*Seq, opts Options) (*Result, error) {
 		}
 	}
 
+	// Telemetry: resolved once, recorded unconditionally (every object
+	// no-ops when nil). Spans and events are additionally gated on
+	// tracer enablement because building their attrs allocates.
+	tel := opts.Telemetry
+	tr := tel.Trace()
+	cSolves := tel.Count("solver_calls_total")
+	cGramsBlocked := tel.Count("learn_grams_blocked_total")
+	cSegmentsAdded := tel.Count("learn_segments_added_total")
+	hSolveNS := tel.Hist("solver_call_ns", "ns")
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -352,8 +362,27 @@ func GenerateModelSeqs(inSeqs []*Seq, opts Options) (*Result, error) {
 				return &Result{Stats: stats}, ErrTimeout
 			}
 			stats.SolverCalls++
+			cSolves.Add(1)
+			var solveSpan pipeline.SpanID
+			if tr.Enabled() {
+				solveSpan = tr.Start(opts.TraceSpan, "solve",
+					pipeline.Int("n", int64(n)),
+					pipeline.Int("segments", int64(len(segments))))
+			}
+			before := stats
+			t0 := time.Now()
 			status, capUnsat := pf.solve(deadline)
+			hSolveNS.Since(t0)
 			pf.addStats(&stats)
+			if tr.Enabled() {
+				tr.End(solveSpan,
+					pipeline.Str("status", status.String()),
+					pipeline.Str("winner", pf.winner),
+					pipeline.Int("spec_core", int64(pf.specCore)),
+					pipeline.Int("conflicts", stats.SATConflicts-before.SATConflicts),
+					pipeline.Int("decisions", stats.SATDecisions-before.SATDecisions),
+					pipeline.Int("propagations", stats.SATPropagations-before.SATPropagations))
+			}
 			if status == sat.Unknown {
 				finish()
 				return &Result{Stats: stats}, ErrBudgetExceeded
@@ -383,6 +412,12 @@ func GenerateModelSeqs(inSeqs []*Seq, opts Options) (*Result, error) {
 			if len(invalid) > 0 {
 				refinements++
 				stats.Refinements++
+				cGramsBlocked.Add(int64(len(invalid)))
+				if tr.Enabled() {
+					tr.Event(opts.TraceSpan, "compliance",
+						pipeline.Int("n", int64(n)),
+						pipeline.Int("grams_blocked", int64(len(invalid))))
+				}
 				if refinements > opts.MaxRefinements {
 					return nil, fmt.Errorf("learn: more than %d refinements at N=%d", opts.MaxRefinements, n)
 				}
@@ -437,6 +472,15 @@ func GenerateModelSeqs(inSeqs []*Seq, opts Options) (*Result, error) {
 					return nil, fmt.Errorf("learn: acceptance refinement stuck at position %d", k)
 				}
 				acceptWindow *= 2
+			}
+			if added {
+				cSegmentsAdded.Add(1)
+			}
+			if tr.Enabled() {
+				tr.Event(opts.TraceSpan, "acceptance",
+					pipeline.Int("n", int64(n)),
+					pipeline.Int("reject_pos", int64(k)),
+					pipeline.Bool("segment_added", added))
 			}
 			if opts.ScratchRefinement {
 				// Pre-incremental behaviour: discard the live

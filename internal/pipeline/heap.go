@@ -12,9 +12,11 @@ import (
 type HeapSampler struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
+	once sync.Once
 
-	mu   sync.Mutex
-	peak uint64
+	mu      sync.Mutex
+	peak    uint64
+	current uint64
 }
 
 // StartHeapSampler begins sampling runtime.MemStats.HeapAlloc every
@@ -47,20 +49,36 @@ func (h *HeapSampler) sample() {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	h.mu.Lock()
+	h.current = ms.HeapAlloc
 	if ms.HeapAlloc > h.peak {
 		h.peak = ms.HeapAlloc
 	}
 	h.mu.Unlock()
 }
 
-// Stop ends sampling (taking one final sample) and returns the peak
-// observed live-heap size in bytes. Stop is idempotent-unsafe: call it
-// once.
-func (h *HeapSampler) Stop() uint64 {
-	close(h.stop)
-	h.wg.Wait()
-	h.sample()
+// Peak returns the largest live-heap size sampled so far, without
+// stopping the sampler — the value behind the live heap gauge.
+func (h *HeapSampler) Peak() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.peak
+}
+
+// Current returns the most recent live-heap sample.
+func (h *HeapSampler) Current() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.current
+}
+
+// Stop ends sampling (taking one final sample) and returns the peak
+// observed live-heap size in bytes. Stop is idempotent: the first call
+// shuts the sampler down, later calls return the same cached peak.
+func (h *HeapSampler) Stop() uint64 {
+	h.once.Do(func() {
+		close(h.stop)
+		h.wg.Wait()
+		h.sample()
+	})
+	return h.Peak()
 }

@@ -1,0 +1,191 @@
+// Fixed-bucket histograms: power-of-two buckets over int64 values,
+// maintained with atomics so the hot paths (window synthesis, solver
+// calls, RLE run lengths) can record observations without a lock. The
+// bucket layout is fixed at construction — no resizing, no allocation
+// after creation — and quantile summaries (p50/p95/max) are estimated
+// from the bucket counts, which is plenty for the order-of-magnitude
+// latency questions the run manifest answers.
+package pipeline
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bucket 0 holds values ≤ 0,
+// bucket i ≥ 1 holds values v with bits.Len64(v) == i, i.e. the range
+// [2^(i-1), 2^i). 63 value buckets cover all of int64.
+const histBuckets = 64
+
+// Histogram is a fixed-bucket histogram of int64 observations
+// (latencies in nanoseconds, run lengths, …). A nil *Histogram is the
+// disabled histogram: Observe and friends no-op. Methods are safe for
+// concurrent use.
+type Histogram struct {
+	name string
+	unit string
+
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+}
+
+func newHistogram(name, unit string) *Histogram {
+	h := &Histogram{name: name, unit: unit}
+	h.min.Store(int64(^uint64(0) >> 1)) // MaxInt64
+	return h
+}
+
+// Name returns the histogram's registered name ("" on nil).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Unit returns the unit label the histogram was registered with.
+func (h *Histogram) Unit() string {
+	if h == nil {
+		return ""
+	}
+	return h.unit
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper is the inclusive upper bound of bucket i (2^i − 1).
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1)
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Observe records one value. Nil-safe: a nil histogram ignores it.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Since records the elapsed time from t0 in nanoseconds — the one-liner
+// for latency call sites: defer-free, nil-safe.
+func (h *Histogram) Since(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(int64(time.Since(t0)))
+}
+
+// HistogramSummary is the manifest- and JSON-facing digest of a
+// histogram.
+type HistogramSummary struct {
+	Unit  string `json:"unit,omitempty"`
+	Count int64  `json:"count"`
+	Sum   int64  `json:"sum"`
+	Min   int64  `json:"min"`
+	Max   int64  `json:"max"`
+	P50   int64  `json:"p50"`
+	P95   int64  `json:"p95"`
+	P99   int64  `json:"p99"`
+}
+
+// Summary digests the histogram. Concurrent Observes may tear the
+// totals slightly (count vs buckets); summaries are read at stage ends
+// or scrape time, where that is immaterial.
+func (h *Histogram) Summary() HistogramSummary {
+	if h == nil {
+		return HistogramSummary{}
+	}
+	s := HistogramSummary{
+		Unit:  h.unit,
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = h.min.Load()
+	s.P50 = h.quantile(0.50, s.Count)
+	s.P95 = h.quantile(0.95, s.Count)
+	s.P99 = h.quantile(0.99, s.Count)
+	// The bucket estimate can exceed the true extremes; clamp to the
+	// exactly-tracked min/max.
+	if s.P50 < s.Min {
+		s.P50 = s.Min
+	}
+	for _, p := range []*int64{&s.P50, &s.P95, &s.P99} {
+		if *p > s.Max {
+			*p = s.Max
+		}
+		if *p < s.Min {
+			*p = s.Min
+		}
+	}
+	return s
+}
+
+// quantile estimates the q-quantile from the bucket counts: find the
+// bucket containing the rank and return its geometric midpoint.
+func (h *Histogram) quantile(q float64, count int64) int64 {
+	rank := int64(q * float64(count))
+	if rank >= count {
+		rank = count - 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum > rank {
+			if i == 0 {
+				return 0
+			}
+			lo := int64(1) << uint(i-1) // bucket lower bound
+			return lo + lo/2            // midpoint of [2^(i-1), 2^i)
+		}
+	}
+	return h.max.Load()
+}
+
+// forBuckets calls f for each bucket in ascending order with the
+// bucket's inclusive upper bound and its count (cumulative counting is
+// the caller's business — Prometheus wants cumulative, JSON wants raw).
+func (h *Histogram) forBuckets(f func(upper int64, count int64)) {
+	for i := 0; i < histBuckets; i++ {
+		if c := h.buckets[i].Load(); c > 0 {
+			f(bucketUpper(i), c)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Run manifests: one JSON artifact per learning run capturing the
+// configuration, per-stage metrics, histogram summaries, final model
+// statistics and input digests — the durable record EXPERIMENTS.md
+// rows are generated from, written by `t2m -manifest` (and any other
+// embedder of the pipeline). The schema is versioned and validated on
+// read, so downstream tooling can rely on its shape.
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ManifestVersion is the current manifest schema version; Validate
+// rejects documents from a different major shape.
+const ManifestVersion = 1
+
+// InputDigest identifies one input artifact of the run.
+type InputDigest struct {
+	Path   string `json:"path"`
+	SHA256 string `json:"sha256,omitempty"`
+	Bytes  int64  `json:"bytes,omitempty"`
+	Format string `json:"format,omitempty"`
+}
+
+// StageManifest is the manifest form of one StageMetrics record.
+type StageManifest struct {
+	Name     string           `json:"name"`
+	WallNS   int64            `json:"wall_ns"`
+	CPUNS    int64            `json:"cpu_ns"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// ModelManifest captures the learned model's final statistics.
+type ModelManifest struct {
+	States            int   `json:"states"`
+	Transitions       int   `json:"transitions"`
+	Symbols           int   `json:"symbols"`
+	Segments          int   `json:"segments"`
+	SolverCalls       int   `json:"solver_calls"`
+	Refinements       int   `json:"refinements"`
+	AcceptRefinements int   `json:"accept_refinements"`
+	SATConflicts      int64 `json:"sat_conflicts"`
+	SATDecisions      int64 `json:"sat_decisions"`
+	SATPropagations   int64 `json:"sat_propagations"`
+	SATLearned        int64 `json:"sat_learned"`
+}
+
+// Manifest is the per-run artifact.
+type Manifest struct {
+	Version    int                         `json:"version"`
+	Tool       string                      `json:"tool"`
+	CreatedAt  string                      `json:"created_at"` // RFC3339
+	Config     map[string]any              `json:"config,omitempty"`
+	Inputs     []InputDigest               `json:"inputs,omitempty"`
+	Stages     []StageManifest             `json:"stages"`
+	Counters   map[string]int64            `json:"counters,omitempty"`
+	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
+	Model      *ModelManifest              `json:"model,omitempty"`
+}
+
+// StageManifests converts recorded stage metrics into manifest rows.
+func StageManifests(stages []StageMetrics) []StageManifest {
+	out := make([]StageManifest, len(stages))
+	for i, s := range stages {
+		sm := StageManifest{Name: s.Name, WallNS: int64(s.Wall), CPUNS: int64(s.CPU)}
+		if len(s.Counters) > 0 {
+			sm.Counters = make(map[string]int64, len(s.Counters))
+			for _, c := range s.Counters {
+				sm.Counters[c.Name] += c.Value
+			}
+		}
+		out[i] = sm
+	}
+	return out
+}
+
+// Validate checks the manifest's schema-level invariants: version,
+// required identity fields, and per-stage sanity (named stages,
+// non-negative times). It is the same check ReadManifest applies.
+func (m *Manifest) Validate() error {
+	if m == nil {
+		return errors.New("pipeline: nil manifest")
+	}
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("pipeline: manifest version %d, want %d", m.Version, ManifestVersion)
+	}
+	if m.Tool == "" {
+		return errors.New("pipeline: manifest missing tool")
+	}
+	if m.CreatedAt == "" {
+		return errors.New("pipeline: manifest missing created_at")
+	}
+	for i, s := range m.Stages {
+		if s.Name == "" {
+			return fmt.Errorf("pipeline: stage %d missing name", i)
+		}
+		if s.WallNS < 0 || s.CPUNS < 0 {
+			return fmt.Errorf("pipeline: stage %q has negative time", s.Name)
+		}
+	}
+	for name, h := range m.Histograms {
+		if h.Count < 0 {
+			return fmt.Errorf("pipeline: histogram %q has negative count", name)
+		}
+	}
+	return nil
+}
+
+// Write renders the manifest as indented JSON.
+func (m *Manifest) Write(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to path (0644, truncating).
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadManifest parses and validates a manifest document.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("pipeline: manifest parse: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// FileDigest hashes one input file for the manifest's Inputs section.
+// Non-regular inputs (stdin, pipes) get a path-only digest.
+func FileDigest(path string) InputDigest {
+	d := InputDigest{Path: path}
+	f, err := os.Open(path)
+	if err != nil {
+		return d
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return d
+	}
+	d.SHA256 = hex.EncodeToString(h.Sum(nil))
+	d.Bytes = n
+	return d
+}
+
+// writeJSON is the shared plain-JSON writer for the registry export.
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -86,11 +86,33 @@ type Span struct {
 	wallStart time.Time
 	cpuStart  time.Duration
 	counters  []Counter
+	idx       map[string]int // counter name → counters index, for AddCounter merging
 }
 
 // Add attaches a named counter to the stage (insertion order is
-// preserved in the report).
+// preserved in the report). Repeated Adds of the same name append
+// duplicate rows; use AddCounter for increments.
 func (s *Span) Add(name string, v int64) *Span {
+	s.counters = append(s.counters, Counter{Name: name, Value: v})
+	return s
+}
+
+// AddCounter increments the named counter, merging by name: the first
+// call appends the counter (preserving insertion order), later calls
+// add into it, so per-item increments from the streaming path keep
+// Counters bounded by the number of distinct names.
+func (s *Span) AddCounter(name string, v int64) *Span {
+	if s.idx == nil {
+		s.idx = make(map[string]int, 8)
+		for i, c := range s.counters {
+			s.idx[c.Name] = i
+		}
+	}
+	if i, ok := s.idx[name]; ok {
+		s.counters[i].Value += v
+		return s
+	}
+	s.idx[name] = len(s.counters)
 	s.counters = append(s.counters, Counter{Name: name, Value: v})
 	return s
 }

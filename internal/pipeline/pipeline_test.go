@@ -80,3 +80,64 @@ func TestCPUTimeMonotone(t *testing.T) {
 		t.Errorf("CPUTime went backwards: %v then %v", a, b)
 	}
 }
+
+func TestFormatGolden(t *testing.T) {
+	stages := []StageMetrics{
+		{Name: "predicate", Wall: 1500 * time.Microsecond, CPU: 4 * time.Millisecond,
+			Counters: []Counter{{Name: "windows", Value: 10}, {Name: "memo_hits", Value: 7}}},
+		{Name: "model", Wall: 2 * time.Second, CPU: 0},
+	}
+	got := Format(stages)
+	want := "predicate    wall      1.5ms  cpu        4ms  windows=10  memo_hits=7\n" +
+		"model        wall         2s  cpu         0s\n"
+	if got != want {
+		t.Errorf("Format output drifted:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+func TestSpanAddCounterMergesByName(t *testing.T) {
+	var m Metrics
+	sp := m.Start("ingest")
+	sp.Add("runs", 1) // pre-existing appended counter is found by AddCounter
+	for i := 0; i < 1000; i++ {
+		sp.AddCounter("observations", 2)
+		sp.AddCounter("runs", 1)
+	}
+	sp.AddCounter("bytes", 64)
+	sm := sp.End()
+	if len(sm.Counters) != 3 {
+		t.Fatalf("got %d counters, want 3 (merged by name): %+v", len(sm.Counters), sm.Counters)
+	}
+	if got := sm.Counter("observations"); got != 2000 {
+		t.Errorf("observations = %d, want 2000", got)
+	}
+	if got := sm.Counter("runs"); got != 1001 {
+		t.Errorf("runs = %d, want 1001", got)
+	}
+	// First-touch order is preserved.
+	if sm.Counters[0].Name != "runs" || sm.Counters[1].Name != "observations" || sm.Counters[2].Name != "bytes" {
+		t.Errorf("counter order = %+v", sm.Counters)
+	}
+}
+
+func TestHeapSamplerStopIdempotent(t *testing.T) {
+	h := StartHeapSampler(time.Millisecond)
+	// Allocate something so the sampler has a non-zero heap to see.
+	sink := make([]byte, 1<<20)
+	_ = sink
+	time.Sleep(5 * time.Millisecond)
+	first := h.Stop()
+	if first == 0 {
+		t.Fatal("peak heap sampled as 0")
+	}
+	second := h.Stop() // must not panic (double close) and returns the cached peak
+	if second != first {
+		t.Errorf("second Stop = %d, want cached %d", second, first)
+	}
+	if h.Current() == 0 {
+		t.Error("Current() = 0 after final sample")
+	}
+	if h.Peak() < h.Current() {
+		t.Errorf("peak %d < current %d", h.Peak(), h.Current())
+	}
+}

@@ -1,0 +1,307 @@
+// Registry: a process-wide (or per-run) collection of named counters,
+// gauges and histograms, exportable as Prometheus text format and as
+// JSON. It is deliberately tiny — no labels, no metric families, no
+// dependency — because the pipeline's observability needs are a fixed
+// set of scalars plus a handful of latency histograms, all of which
+// must be recordable from hot paths with one atomic op.
+//
+// Nil discipline: a nil *Registry hands out nil *Counter64 and nil
+// *Histogram, whose methods no-op, so instrumented code resolves its
+// metrics once and records unconditionally; disabled telemetry costs a
+// nil check per record and zero allocations.
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter64 is a monotonically increasing counter. A nil *Counter64
+// ignores Add and reads as zero.
+type Counter64 struct {
+	v int64
+}
+
+// Add increments the counter. Nil-safe, atomic.
+func (c *Counter64) Add(d int64) {
+	if c != nil {
+		atomic.AddInt64(&c.v, d)
+	}
+}
+
+// Value reads the counter. Nil-safe, atomic.
+func (c *Counter64) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v)
+}
+
+// Raw exposes the counter's cell for packages that accumulate via
+// atomic.AddInt64 on a plain *int64 (see synth.Options.Work). Nil on a
+// nil counter.
+func (c *Counter64) Raw() *int64 {
+	if c == nil {
+		return nil
+	}
+	return &c.v
+}
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry. A nil *Registry is the disabled registry. Methods are
+// safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter64
+	hists    map[string]*Histogram
+	gauges   map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter64{},
+		hists:    map[string]*Histogram{},
+		gauges:   map[string]func() float64{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil on
+// a nil registry.
+func (r *Registry) Counter(name string) *Counter64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter64{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the unit on
+// first use. Nil on a nil registry.
+func (r *Registry) Histogram(name, unit string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(name, unit)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetGauge registers (or replaces) a gauge: fn is evaluated at export
+// time. No-op on a nil registry.
+func (r *Registry) SetGauge(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = fn
+	r.mu.Unlock()
+}
+
+// snapshot returns sorted name lists plus the maps, under one lock
+// acquisition, so exports see a consistent membership (values are read
+// atomically afterwards).
+func (r *Registry) snapshot() (cnames, hnames, gnames []string, cs map[string]*Counter64, hs map[string]*Histogram, gs map[string]func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cs = make(map[string]*Counter64, len(r.counters))
+	for n, c := range r.counters {
+		cnames = append(cnames, n)
+		cs[n] = c
+	}
+	hs = make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hnames = append(hnames, n)
+		hs[n] = h
+	}
+	gs = make(map[string]func() float64, len(r.gauges))
+	for n, g := range r.gauges {
+		gnames = append(gnames, n)
+		gs[n] = g
+	}
+	sort.Strings(cnames)
+	sort.Strings(hnames)
+	sort.Strings(gnames)
+	return
+}
+
+// Summaries digests every histogram, keyed by name. Empty map on nil.
+func (r *Registry) Summaries() map[string]HistogramSummary {
+	out := map[string]HistogramSummary{}
+	if r == nil {
+		return out
+	}
+	_, hnames, _, _, hs, _ := r.snapshot()
+	for _, n := range hnames {
+		out[n] = hs[n].Summary()
+	}
+	return out
+}
+
+// CounterValues snapshots every counter, keyed by name. Empty map on
+// nil.
+func (r *Registry) CounterValues() map[string]int64 {
+	out := map[string]int64{}
+	if r == nil {
+		return out
+	}
+	cnames, _, _, cs, _, _ := r.snapshot()
+	for _, n := range cnames {
+		out[n] = cs[n].Value()
+	}
+	return out
+}
+
+// promName sanitises a metric name for the Prometheus text format:
+// anything outside [a-zA-Z0-9_:] becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative _bucket/_sum/_count families.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	cnames, hnames, gnames, cs, hs, gs := r.snapshot()
+	for _, n := range cnames {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, cs[n].Value()); err != nil {
+			return err
+		}
+	}
+	for _, n := range gnames {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, gs[n]()); err != nil {
+			return err
+		}
+	}
+	for _, n := range hnames {
+		h := hs[n]
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum int64
+		var werr error
+		h.forBuckets(func(upper, count int64) {
+			if werr != nil {
+				return
+			}
+			cum += count
+			_, werr = fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, upper, cum)
+		})
+		if werr != nil {
+			return werr
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn, h.count.Load(), pn, h.sum.Load(), pn, h.count.Load()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// registryJSON is the /metrics.json document shape.
+type registryJSON struct {
+	Counters   map[string]int64            `json:"counters"`
+	Gauges     map[string]float64          `json:"gauges"`
+	Histograms map[string]HistogramSummary `json:"histograms"`
+}
+
+// WriteJSON renders the registry as one JSON object: counters, gauge
+// values, and histogram summaries.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := registryJSON{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSummary{},
+	}
+	if r != nil {
+		cnames, hnames, gnames, cs, hs, gs := r.snapshot()
+		for _, n := range cnames {
+			doc.Counters[n] = cs[n].Value()
+		}
+		for _, n := range gnames {
+			doc.Gauges[n] = gs[n]()
+		}
+		for _, n := range hnames {
+			doc.Histograms[n] = hs[n].Summary()
+		}
+	}
+	return writeJSON(w, doc)
+}
+
+// Telemetry bundles the run's tracer and metric registry; it is what
+// the pipeline layers thread through. A nil *Telemetry (and any nil
+// field) is fully disabled: the accessor helpers return nil objects
+// whose methods no-op, so instrumented code never branches on
+// enablement beyond an implicit nil check.
+type Telemetry struct {
+	Tracer   *Tracer
+	Registry *Registry
+}
+
+// Trace returns the tracer (nil when disabled).
+func (t *Telemetry) Trace() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.Tracer
+}
+
+// Count returns the named registry counter (nil when disabled).
+func (t *Telemetry) Count(name string) *Counter64 {
+	if t == nil {
+		return nil
+	}
+	return t.Registry.Counter(name)
+}
+
+// Hist returns the named registry histogram (nil when disabled).
+func (t *Telemetry) Hist(name, unit string) *Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.Registry.Histogram(name, unit)
+}
+
+// Gauge registers a gauge function (no-op when disabled).
+func (t *Telemetry) Gauge(name string, fn func() float64) {
+	if t == nil {
+		return
+	}
+	t.Registry.SetGauge(name, fn)
+}

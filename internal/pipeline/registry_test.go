@@ -1,0 +1,165 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramSummary(t *testing.T) {
+	h := newHistogram("lat", "ns")
+	for _, v := range []int64{1, 2, 3, 4, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.Summary()
+	if s.Count != 6 || s.Sum != 1110 {
+		t.Fatalf("count/sum = %d/%d, want 6/1110", s.Count, s.Sum)
+	}
+	if s.Min != 1 || s.Max != 1000 {
+		t.Errorf("min/max = %d/%d, want 1/1000", s.Min, s.Max)
+	}
+	if s.P50 < 1 || s.P50 > 100 {
+		t.Errorf("p50 = %d, want within [1,100]", s.P50)
+	}
+	if s.P95 < 100 || s.P95 > 1000 {
+		t.Errorf("p95 = %d, want within [100,1000]", s.P95)
+	}
+	if s.Unit != "ns" {
+		t.Errorf("unit = %q", s.Unit)
+	}
+}
+
+func TestHistogramZeroAndNil(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(5)
+	nilH.Since(time.Now())
+	if s := nilH.Summary(); s.Count != 0 {
+		t.Fatalf("nil summary count = %d", s.Count)
+	}
+	h := newHistogram("x", "")
+	if s := h.Summary(); s.Count != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty summary = %+v, want zeros", s)
+	}
+	h.Observe(0)
+	h.Observe(-5)
+	s := h.Summary()
+	if s.Count != 2 || s.Max != 0 {
+		t.Fatalf("non-positive summary = %+v", s)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram("lat", "ns")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := h.Summary(); s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+}
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("windows_total")
+	c.Add(3)
+	r.Counter("windows_total").Add(2) // same counter
+	if got := r.Counter("windows_total").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	r.SetGauge("heap_bytes", func() float64 { return 42.5 })
+	r.Histogram("lat", "ns").Observe(7)
+
+	var prom bytes.Buffer
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	for _, want := range []string{
+		"# TYPE windows_total counter", "windows_total 5",
+		"# TYPE heap_bytes gauge", "heap_bytes 42.5",
+		"# TYPE lat histogram", `lat_bucket{le="+Inf"} 1`, "lat_sum 7", "lat_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters   map[string]int64            `json:"counters"`
+		Gauges     map[string]float64          `json:"gauges"`
+		Histograms map[string]HistogramSummary `json:"histograms"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics JSON invalid: %v", err)
+	}
+	if doc.Counters["windows_total"] != 5 || doc.Gauges["heap_bytes"] != 42.5 || doc.Histograms["lat"].Count != 1 {
+		t.Errorf("JSON doc = %+v", doc)
+	}
+}
+
+func TestPromNameSanitises(t *testing.T) {
+	if got := promName("solver.call-latency/ns"); got != "solver_call_latency_ns" {
+		t.Errorf("promName = %q", got)
+	}
+	if got := promName("9lives"); got != "_9lives" {
+		t.Errorf("promName leading digit = %q", got)
+	}
+}
+
+func TestNilRegistryAndTelemetry(t *testing.T) {
+	var r *Registry
+	if r.Counter("x") != nil || r.Histogram("y", "") != nil {
+		t.Fatal("nil registry handed out live metrics")
+	}
+	r.SetGauge("g", func() float64 { return 0 })
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(js.Bytes()) {
+		t.Fatal("nil registry JSON invalid")
+	}
+
+	var tel *Telemetry
+	if tel.Trace() != nil || tel.Count("c") != nil || tel.Hist("h", "") != nil {
+		t.Fatal("nil telemetry handed out live objects")
+	}
+	tel.Gauge("g", func() float64 { return 0 })
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("c").Add(1)
+				r.Histogram("h", "ns").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 1600 {
+		t.Fatalf("counter = %d, want 1600", got)
+	}
+}

@@ -1,0 +1,68 @@
+// Live metrics export: an opt-in HTTP listener serving the registry in
+// Prometheus text format at /metrics, as JSON at /metrics.json, and
+// the standard net/http/pprof profiling handlers under /debug/pprof/,
+// so a multi-hour learn can be scraped and profiled without
+// restarting. Shared by cmd/t2m, cmd/monitor and cmd/repro via the
+// -metrics-addr flag.
+package pipeline
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// MetricsServer is a live /metrics + pprof endpoint bound to one
+// registry.
+type MetricsServer struct {
+	// Addr is the bound listen address (host:port), resolved even when
+	// the requested port was 0.
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeMetrics starts an HTTP listener on addr (host:port; port 0
+// picks a free port) serving reg. It returns once the listener is
+// bound; requests are served on a background goroutine until Close.
+func ServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &MetricsServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// URL returns the server's base URL (http://host:port).
+func (s *MetricsServer) URL() string { return "http://" + s.Addr }
+
+// Close stops the listener. Safe to call on a nil server.
+func (s *MetricsServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeMetricsEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("solver_calls_total").Add(7)
+	r.Histogram("solver_call_ns", "ns").Observe(1500)
+	r.SetGauge("obs_per_sec", func() float64 { return 1234 })
+
+	s, err := ServeMetrics("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !strings.Contains(s.Addr, ":") {
+		t.Fatalf("no port resolved in addr %q", s.Addr)
+	}
+
+	code, body := get(t, s.URL()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{"solver_calls_total 7", "obs_per_sec 1234", "solver_call_ns_count 1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, s.URL()+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json status %d", code)
+	}
+	var doc registryJSON
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/metrics.json invalid: %v", err)
+	}
+	if doc.Counters["solver_calls_total"] != 7 || doc.Histograms["solver_call_ns"].Count != 1 {
+		t.Errorf("/metrics.json doc = %+v", doc)
+	}
+
+	code, body = get(t, s.URL()+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status %d, body %.80s", code, body)
+	}
+	code, _ = get(t, s.URL()+"/debug/pprof/heap?debug=1")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/heap status %d", code)
+	}
+}
+
+func TestServeMetricsBadAddr(t *testing.T) {
+	if _, err := ServeMetrics("256.0.0.1:bad", NewRegistry()); err == nil {
+		t.Fatal("expected error for bad address")
+	}
+}
+
+func TestMetricsServerNilClose(t *testing.T) {
+	var s *MetricsServer
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

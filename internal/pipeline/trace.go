@@ -1,0 +1,233 @@
+// Structured run tracing: Tracer records hierarchical spans
+// (run → stage → unit) and point events, emitting one machine-readable
+// JSON object per line (NDJSON) to a caller-supplied writer. It is the
+// low-overhead flight recorder behind `t2m -trace-out`: every unique
+// window synthesis, every SAT solver round and every compliance
+// refinement becomes one line that offline tooling can aggregate.
+//
+// Overhead discipline: a nil *Tracer is a valid, fully disabled tracer
+// — every method is a nil-check no-op, so hot paths hold a possibly-nil
+// tracer and call it unconditionally. Call sites that build attributes
+// must guard with Enabled() so the attribute slice is never
+// materialised when tracing is off; the AllocsPerRun test pins the
+// disabled path at zero allocations.
+//
+// Event schema (one JSON object per line; see DESIGN.md §7):
+//
+//	{"t":"trace_start","wall":"RFC3339 time","unit":"us"}
+//	{"t":"start","ts":1234,"id":7,"par":3,"name":"solve"}
+//	{"t":"end","ts":1290,"id":7,"attrs":{"status":"SAT","conflicts":12}}
+//	{"t":"event","ts":1300,"par":7,"name":"compliance","attrs":{"grams":2}}
+//
+// ts is microseconds since the trace_start line; id/par are span ids
+// (0 = no parent). Attribute values are strings, integers, floats or
+// booleans.
+package pipeline
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies one span in a trace; zero means "no span" and is
+// the parent of root spans.
+type SpanID uint64
+
+// attrKind discriminates Attr payloads.
+type attrKind uint8
+
+const (
+	attrInt attrKind = iota
+	attrStr
+	attrFloat
+	attrBool
+)
+
+// Attr is one key/value attribute attached to a span or event.
+type Attr struct {
+	Key  string
+	kind attrKind
+	s    string
+	i    int64
+	f    float64
+}
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, kind: attrInt, i: v} }
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, kind: attrStr, s: v} }
+
+// Float builds a float attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, kind: attrFloat, f: v} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr {
+	a := Attr{Key: key, kind: attrBool}
+	if v {
+		a.i = 1
+	}
+	return a
+}
+
+// Tracer writes NDJSON span/event lines. The zero value is not usable;
+// call NewTracer. A nil *Tracer is the disabled tracer: every method
+// no-ops. Methods are safe for concurrent use.
+type Tracer struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	buf   []byte // per-line scratch, reused under mu
+	err   error  // first write error; subsequent lines are dropped
+	next  atomic.Uint64
+	epoch time.Time
+}
+
+// NewTracer returns a Tracer writing NDJSON lines to w, after emitting
+// the trace_start header line. The caller owns w; call Flush before
+// closing it.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{w: bufio.NewWriter(w), epoch: time.Now()}
+	t.mu.Lock()
+	t.buf = append(t.buf[:0], `{"t":"trace_start","wall":`...)
+	t.buf = appendJSONString(t.buf, t.epoch.Format(time.RFC3339Nano))
+	t.buf = append(t.buf, `,"unit":"us"}`...)
+	t.writeLine()
+	t.mu.Unlock()
+	return t
+}
+
+// Enabled reports whether the tracer records anything. Hot paths use
+// it to skip attribute construction entirely when tracing is off.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Start opens a span under parent (0 for a root span) and returns its
+// id. On a nil tracer it returns 0.
+func (t *Tracer) Start(parent SpanID, name string, attrs ...Attr) SpanID {
+	if t == nil {
+		return 0
+	}
+	id := SpanID(t.next.Add(1))
+	t.emit("start", id, parent, name, attrs)
+	return id
+}
+
+// End closes the span, attaching the final attributes (durations,
+// outcome counters).
+func (t *Tracer) End(id SpanID, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.emit("end", id, 0, "", attrs)
+}
+
+// Event records a point event under a span (0 for a top-level event).
+func (t *Tracer) Event(parent SpanID, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.emit("event", 0, parent, name, attrs)
+}
+
+// Flush drains buffered lines to the underlying writer and returns the
+// first error seen by any write.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// emit renders and writes one line.
+func (t *Tracer) emit(typ string, id, parent SpanID, name string, attrs []Attr) {
+	ts := time.Since(t.epoch).Microseconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := append(t.buf[:0], `{"t":"`...)
+	b = append(b, typ...)
+	b = append(b, `","ts":`...)
+	b = strconv.AppendInt(b, ts, 10)
+	if id != 0 {
+		b = append(b, `,"id":`...)
+		b = strconv.AppendUint(b, uint64(id), 10)
+	}
+	if parent != 0 {
+		b = append(b, `,"par":`...)
+		b = strconv.AppendUint(b, uint64(parent), 10)
+	}
+	if name != "" {
+		b = append(b, `,"name":`...)
+		b = appendJSONString(b, name)
+	}
+	if len(attrs) > 0 {
+		b = append(b, `,"attrs":{`...)
+		for i, a := range attrs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, a.Key)
+			b = append(b, ':')
+			switch a.kind {
+			case attrInt:
+				b = strconv.AppendInt(b, a.i, 10)
+			case attrStr:
+				b = appendJSONString(b, a.s)
+			case attrFloat:
+				b = strconv.AppendFloat(b, a.f, 'g', -1, 64)
+			case attrBool:
+				b = strconv.AppendBool(b, a.i != 0)
+			}
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}')
+	t.buf = b
+	t.writeLine()
+}
+
+// writeLine appends the newline and writes t.buf. Callers hold t.mu.
+func (t *Tracer) writeLine() {
+	if t.err != nil {
+		return
+	}
+	t.buf = append(t.buf, '\n')
+	if _, err := t.w.Write(t.buf); err != nil {
+		t.err = err
+	}
+}
+
+// appendJSONString appends s as a JSON string literal, escaping the
+// characters JSON requires (strconv.AppendQuote emits Go escapes like
+// \x1b that JSON rejects, so this is hand-rolled).
+func appendJSONString(b []byte, s string) []byte {
+	const hex = "0123456789abcdef"
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		case c < 0x20:
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			// Multi-byte UTF-8 sequences pass through byte-wise: JSON
+			// strings are UTF-8 and need no escaping beyond the above.
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}

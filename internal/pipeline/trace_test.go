@@ -1,0 +1,144 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// decodeNDJSON parses every line of a trace into generic maps.
+func decodeNDJSON(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for i, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestTracerEmitsSpansAndEvents(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	run := tr.Start(0, "run", Str("tool", "test"))
+	stage := tr.Start(run, "predicate")
+	tr.Event(stage, "compliance", Int("grams", 2), Bool("ok", true), Float("rate", 1.5))
+	tr.End(stage, Int("windows", 10))
+	tr.End(run)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := decodeNDJSON(t, buf.Bytes())
+	if len(evs) != 6 {
+		t.Fatalf("got %d events, want 6 (header + 2 starts + event + 2 ends)", len(evs))
+	}
+	if evs[0]["t"] != "trace_start" || evs[0]["unit"] != "us" {
+		t.Errorf("header = %v", evs[0])
+	}
+	if evs[1]["t"] != "start" || evs[1]["name"] != "run" {
+		t.Errorf("run start = %v", evs[1])
+	}
+	if attrs, ok := evs[1]["attrs"].(map[string]any); !ok || attrs["tool"] != "test" {
+		t.Errorf("run start attrs = %v", evs[1]["attrs"])
+	}
+	if evs[2]["par"] != evs[1]["id"] {
+		t.Errorf("stage parent %v != run id %v", evs[2]["par"], evs[1]["id"])
+	}
+	ev := evs[3]
+	if ev["t"] != "event" || ev["name"] != "compliance" {
+		t.Errorf("event = %v", ev)
+	}
+	attrs := ev["attrs"].(map[string]any)
+	if attrs["grams"] != float64(2) || attrs["ok"] != true || attrs["rate"] != 1.5 {
+		t.Errorf("event attrs = %v", attrs)
+	}
+	if evs[4]["t"] != "end" || evs[4]["id"] != evs[2]["id"] {
+		t.Errorf("stage end = %v", evs[4])
+	}
+}
+
+func TestTracerEscapesStrings(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Event(0, `quote"back\slash`, Str("s", "tab\there\nnewline\x01ctl"))
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeNDJSON(t, buf.Bytes())
+	ev := evs[1]
+	if ev["name"] != `quote"back\slash` {
+		t.Errorf("name round-trip = %q", ev["name"])
+	}
+	if got := ev["attrs"].(map[string]any)["s"]; got != "tab\there\nnewline\x01ctl" {
+		t.Errorf("attr round-trip = %q", got)
+	}
+}
+
+func TestTracerConcurrentLinesIntact(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := tr.Start(0, "unit", Int("i", int64(i)))
+				tr.End(id, Int("done", 1))
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeNDJSON(t, buf.Bytes())
+	if want := 1 + 8*50*2; len(evs) != want {
+		t.Fatalf("got %d intact lines, want %d", len(evs), want)
+	}
+}
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	id := tr.Start(0, "x")
+	if id != 0 {
+		t.Fatalf("nil tracer span id = %d, want 0", id)
+	}
+	tr.End(id)
+	tr.Event(0, "e")
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("nil tracer Flush = %v", err)
+	}
+}
+
+// TestNilTelemetryHotPathAllocs pins the disabled-telemetry fast path
+// at zero allocations: the exact calls the per-window and per-solve
+// hot paths make must cost a nil check and nothing else.
+func TestNilTelemetryHotPathAllocs(t *testing.T) {
+	var tel *Telemetry
+	c := tel.Count("windows")
+	h := tel.Hist("latency", "ns")
+	tr := tel.Trace()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		h.Observe(123)
+		if tr.Enabled() {
+			t.Fatal("nil tracer enabled")
+		}
+		id := tr.Start(0, "unit")
+		tr.End(id)
+		tr.Event(0, "ev")
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-telemetry hot path allocates %.1f per run, want 0", allocs)
+	}
+}

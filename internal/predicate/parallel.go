@@ -43,8 +43,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/expr"
+	"repro/internal/pipeline"
 	"repro/internal/synth"
 	"repro/internal/trace"
 )
@@ -59,6 +61,7 @@ type synthRecord struct {
 type specJob struct {
 	win  *trace.Trace
 	recs []synthRecord
+	work int64         // candidate expressions enumerated speculatively
 	done chan struct{} // closed when recs is populated
 }
 
@@ -113,7 +116,7 @@ func (g *Generator) sequenceParallel(tr *trace.Trace, workers int) ([]*Predicate
 					return
 				}
 				job := jobs[i]
-				job.recs = g.speculate(ctx, job.win)
+				g.speculate(ctx, job)
 				close(job.done)
 			}
 		}()
@@ -126,9 +129,11 @@ func (g *Generator) sequenceParallel(tr *trace.Trace, workers int) ([]*Predicate
 		key := trace.MakeWindowKey(ids[i : i+g.w])
 		g.mu.Lock()
 		g.stats.Windows++
+		g.cWindows.Add(1)
 		if !g.opts.NoMemo {
 			if p, ok := g.memo[key]; ok {
 				g.stats.MemoHits++
+				g.cMemoHits.Add(1)
 				g.mu.Unlock()
 				out = append(out, p)
 				continue
@@ -141,7 +146,7 @@ func (g *Generator) sequenceParallel(tr *trace.Trace, workers int) ([]*Predicate
 
 		g.mu.Lock()
 		g.stats.UniqueWindows++
-		p, err := g.replay(job)
+		p, err := g.replayTraced(job)
 		if err == nil && !g.opts.NoMemo {
 			g.memo[key] = p
 		}
@@ -164,11 +169,15 @@ func (g *Generator) sequenceParallel(tr *trace.Trace, workers int) ([]*Predicate
 // must have missed too, leaving the recorded value the seed-independent
 // minimal expression. The snapshot costs a brief lock per call but
 // spares most repeated-pattern windows the full enumeration.
-func (g *Generator) speculate(ctx context.Context, win *trace.Trace) []synthRecord {
+func (g *Generator) speculate(ctx context.Context, job *specJob) {
 	var recs []synthRecord
 	next := func(name string, examples []synth.Example) (expr.Expr, error) {
 		opts := g.opts.Synth
 		opts.DiffVars = []string{name}
+		// Candidate counting lands in the job, not the shared counter,
+		// so the replay span can report this window's enumeration work;
+		// the total is folded into the registry below.
+		opts.Work = &job.work
 		if !g.opts.NoReuse {
 			g.mu.Lock()
 			opts.Seeds = g.sortedSeeds(name)
@@ -181,8 +190,32 @@ func (g *Generator) speculate(ctx context.Context, win *trace.Trace) []synthReco
 	// The build result is discarded: only the recorded synthesis
 	// outcomes matter, and the replay recomputes the predicate with
 	// the authoritative seed decisions.
-	_, _ = g.buildExpr(win, next)
-	return recs
+	t0 := time.Now()
+	_, _ = g.buildExpr(job.win, next)
+	g.hSynthNS.Since(t0)
+	g.cCandidates.Add(job.work)
+	job.recs = recs
+}
+
+// replayTraced wraps replay with the unit-span accounting shared by the
+// batch and streaming parallel consumers: a "window" span in replay
+// mode carrying the synthesis-call and seed-hit deltas plus the
+// speculative enumeration work. Callers hold g.mu.
+func (g *Generator) replayTraced(job *specJob) (*Predicate, error) {
+	tr := g.tel.Trace()
+	if !tr.Enabled() {
+		return g.replay(job)
+	}
+	before := g.stats
+	id := tr.Start(g.stageSpan, "window", pipeline.Str("mode", "replay"))
+	p, err := g.replay(job)
+	d := g.stats.Minus(before)
+	tr.End(id,
+		pipeline.Int("synth_calls", int64(d.SynthCalls)),
+		pipeline.Int("seed_hits", int64(d.SeedHits)),
+		pipeline.Int("spec_candidates", job.work),
+		pipeline.Bool("ok", err == nil))
+	return p, err
 }
 
 // replay re-runs one window's build with the serial decision rule,

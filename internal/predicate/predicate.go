@@ -32,8 +32,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/expr"
+	"repro/internal/pipeline"
 	"repro/internal/synth"
 	"repro/internal/trace"
 )
@@ -89,6 +91,17 @@ type Generator struct {
 	// concatenated-string key. It has its own lock and never takes
 	// g.mu, so it may be consulted with or without g.mu held.
 	obsIntern *trace.Interner
+
+	// Telemetry, resolved once by SetTelemetry so the hot paths record
+	// with one nil check (cWindows/cMemoHits) or one atomic add; all of
+	// it no-ops when telemetry is disabled. stageSpan parents the
+	// per-window unit spans in the trace.
+	tel         *pipeline.Telemetry
+	stageSpan   pipeline.SpanID
+	cWindows    *pipeline.Counter64
+	cMemoHits   *pipeline.Counter64
+	cCandidates *pipeline.Counter64
+	hSynthNS    *pipeline.Histogram
 
 	mu       sync.Mutex
 	memo     map[trace.WindowKey]*Predicate
@@ -182,6 +195,24 @@ func (g *Generator) SetWorkers(n int) {
 	g.opts.Workers = n
 }
 
+// SetTelemetry attaches a run's telemetry to the generator: registry
+// counters for windows, memo hits and enumerated synthesis candidates,
+// a latency histogram for unique-window builds, and — when tracing —
+// per-window unit spans parented under stage. Telemetry is purely
+// observational (it never changes results) and must be attached before
+// any Sequence/FromWindow call, not concurrently with one.
+func (g *Generator) SetTelemetry(tel *pipeline.Telemetry, stage pipeline.SpanID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tel = tel
+	g.stageSpan = stage
+	g.cWindows = tel.Count("predicate_windows_total")
+	g.cMemoHits = tel.Count("predicate_memo_hits_total")
+	g.cCandidates = tel.Count("synth_candidates_total")
+	g.hSynthNS = tel.Hist("predicate_window_synth_ns", "ns")
+	g.opts.Synth.Work = g.cCandidates.Raw()
+}
+
 // Sequence computes the predicate sequence P = p1 … pk for the trace,
 // k = n+1−w (Algorithm 1 lines 9–14). Returned predicates are
 // interned: equal keys are pointer-equal.
@@ -238,14 +269,16 @@ func (g *Generator) fromWindow(win *trace.Trace, key trace.WindowKey) (*Predicat
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.stats.Windows++
+	g.cWindows.Add(1)
 	if !g.opts.NoMemo {
 		if p, ok := g.memo[key]; ok {
 			g.stats.MemoHits++
+			g.cMemoHits.Add(1)
 			return p, nil
 		}
 	}
 	g.stats.UniqueWindows++
-	e, err := g.buildExpr(win, g.synthesizeNext)
+	e, err := g.buildUnique(win, "serial")
 	if err != nil {
 		return nil, err
 	}
@@ -254,6 +287,30 @@ func (g *Generator) fromWindow(win *trace.Trace, key trace.WindowKey) (*Predicat
 		g.memo[key] = p
 	}
 	return p, nil
+}
+
+// buildUnique runs the serial unique-window build with its telemetry:
+// the window-synthesis latency histogram and, when tracing, a unit span
+// recording the build's synthesis-call and seed-hit deltas. Callers
+// hold g.mu and have already counted the window as unique.
+func (g *Generator) buildUnique(win *trace.Trace, mode string) (expr.Expr, error) {
+	tr := g.tel.Trace()
+	var id pipeline.SpanID
+	if tr.Enabled() {
+		id = tr.Start(g.stageSpan, "window", pipeline.Str("mode", mode))
+	}
+	before := g.stats
+	t0 := time.Now()
+	e, err := g.buildExpr(win, g.synthesizeNext)
+	g.hSynthNS.Since(t0)
+	if tr.Enabled() {
+		d := g.stats.Minus(before)
+		tr.End(id,
+			pipeline.Int("synth_calls", int64(d.SynthCalls)),
+			pipeline.Int("seed_hits", int64(d.SeedHits)),
+			pipeline.Bool("ok", err == nil))
+	}
+	return e, err
 }
 
 // nextFunc synthesises one variable's next function from a window's

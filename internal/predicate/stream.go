@@ -143,16 +143,18 @@ func (g *Generator) streamWindow(ids []trace.ObsID) (*Predicate, error) {
 	key := trace.MakeWindowKey(ids)
 	g.mu.Lock()
 	g.stats.Windows++
+	g.cWindows.Add(1)
 	if !g.opts.NoMemo {
 		if p, ok := g.memo[key]; ok {
 			g.stats.MemoHits++
+			g.cMemoHits.Add(1)
 			g.mu.Unlock()
 			return p, nil
 		}
 	}
 	g.stats.UniqueWindows++
 	win := g.materialize(ids)
-	e, err := g.buildExpr(win, g.synthesizeNext)
+	e, err := g.buildUnique(win, "stream")
 	if err != nil {
 		g.mu.Unlock()
 		return nil, err
@@ -267,7 +269,7 @@ func (g *Generator) sequenceSourceParallel(src trace.Source, emit func(Run) erro
 					close(job.done)
 					continue
 				}
-				job.recs = g.speculate(ctx, job.win)
+				g.speculate(ctx, job)
 				close(job.done)
 			}
 		}()
@@ -282,9 +284,11 @@ func (g *Generator) sequenceSourceParallel(src trace.Source, emit func(Run) erro
 		}
 		g.mu.Lock()
 		g.stats.Windows++
+		g.cWindows.Add(1)
 		if !g.opts.NoMemo {
 			if p, ok := g.memo[rec.key]; ok {
 				g.stats.MemoHits++
+				g.cMemoHits.Add(1)
 				g.mu.Unlock()
 				if err := em.add(p); err != nil {
 					return err
@@ -299,7 +303,7 @@ func (g *Generator) sequenceSourceParallel(src trace.Source, emit func(Run) erro
 
 		g.mu.Lock()
 		g.stats.UniqueWindows++
-		p, err := g.replay(job)
+		p, err := g.replayTraced(job)
 		if err == nil && !g.opts.NoMemo {
 			g.memo[rec.key] = p
 		}

@@ -159,6 +159,19 @@ type Stats struct {
 	Deleted      int64
 }
 
+// Minus returns the component-wise difference s − o: the work done
+// between two snapshots of a solver's cumulative statistics.
+func (s Stats) Minus(o Stats) Stats {
+	return Stats{
+		Decisions:    s.Decisions - o.Decisions,
+		Propagations: s.Propagations - o.Propagations,
+		Conflicts:    s.Conflicts - o.Conflicts,
+		Restarts:     s.Restarts - o.Restarts,
+		Learned:      s.Learned - o.Learned,
+		Deleted:      s.Deleted - o.Deleted,
+	}
+}
+
 // New returns an empty solver.
 func New() *Solver {
 	s := &Solver{varInc: 1, ok: true}

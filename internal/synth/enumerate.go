@@ -3,6 +3,7 @@ package synth
 import (
 	"context"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/expr"
 )
@@ -62,6 +63,9 @@ func enumerate(ctx context.Context, vars []Var, examples []Example, p pools, opt
 	en.target = make([]expr.Value, len(examples))
 	for i, ex := range examples {
 		en.target[i] = ex.Out
+	}
+	if opts.Work != nil {
+		defer func() { atomic.AddInt64(opts.Work, int64(en.work)) }()
 	}
 	outType := examples[0].Out.T
 

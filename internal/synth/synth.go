@@ -93,6 +93,11 @@ type Options struct {
 	// paper's observation that repeating trace patterns should be
 	// processed once.
 	Seeds []expr.Expr
+	// Work, when non-nil, is atomically incremented by the number of
+	// candidate expressions each search considers. Telemetry only: it
+	// never affects the search, and one counter may be shared by
+	// concurrent searches.
+	Work *int64
 }
 
 // DefaultMaxSize bounds enumeration when Options.MaxSize is zero. The

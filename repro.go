@@ -34,6 +34,7 @@ import (
 	"repro/internal/automaton"
 	"repro/internal/core"
 	"repro/internal/learn"
+	"repro/internal/pipeline"
 	"repro/internal/predicate"
 	"repro/internal/statemerge"
 	"repro/internal/synth"
@@ -57,6 +58,35 @@ type (
 	// streaming counterpart of Trace, for learning from files too
 	// large to hold in memory (see LearnSource).
 	Source = trace.Source
+	// Telemetry bundles a run tracer and a metric registry; attach one
+	// via LearnOptions.Telemetry to record spans, counters and latency
+	// histograms for a learning run. Nil disables recording.
+	Telemetry = pipeline.Telemetry
+	// Tracer emits hierarchical run/stage/unit spans as NDJSON.
+	Tracer = pipeline.Tracer
+	// Registry holds named counters, gauges and histograms, exportable
+	// as Prometheus text and JSON (see ServeMetrics).
+	Registry = pipeline.Registry
+	// MetricsServer is a live /metrics + /metrics.json + pprof HTTP
+	// endpoint over a Registry.
+	MetricsServer = pipeline.MetricsServer
+	// Manifest is the per-run artifact written by -manifest: config,
+	// stage metrics, histogram summaries, model statistics, digests.
+	Manifest = pipeline.Manifest
+)
+
+// Telemetry constructors and helpers, re-exported for embedders.
+var (
+	// NewTracer starts an NDJSON trace on w.
+	NewTracer = pipeline.NewTracer
+	// NewRegistry returns an empty metric registry.
+	NewRegistry = pipeline.NewRegistry
+	// ServeMetrics starts the metrics/pprof HTTP listener on addr.
+	ServeMetrics = pipeline.ServeMetrics
+	// ReadManifest parses and validates a run manifest.
+	ReadManifest = pipeline.ReadManifest
+	// FileDigest hashes an input file for a manifest's inputs section.
+	FileDigest = pipeline.FileDigest
 )
 
 // Streaming decoders for the on-disk trace formats; each reads
@@ -117,6 +147,10 @@ type LearnOptions struct {
 	Workers int
 	// Synth tunes the predicate synthesizer.
 	Synth synth.Options
+	// Telemetry attaches a run tracer and metric registry to the
+	// pipeline (see Telemetry). Nil disables all recording at
+	// near-zero cost; telemetry never changes learned models.
+	Telemetry *Telemetry
 }
 
 // Model is a learned model: the automaton, its predicate alphabet, the
@@ -182,6 +216,7 @@ func NewPipeline(schema *Schema, opts LearnOptions) (*Pipeline, error) {
 			Portfolio:          opts.Portfolio,
 			Workers:            opts.Workers,
 		},
+		Telemetry: opts.Telemetry,
 	})
 }
 

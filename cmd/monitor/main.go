@@ -21,10 +21,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"repro"
 	"repro/internal/trace"
@@ -90,6 +93,16 @@ func run(o *options) (int, error) {
 		return 2, err
 	}
 	model.SetWorkers(o.workers)
+
+	// SIGINT/SIGTERM cancel the check at the next observation boundary —
+	// essential when following a live trace on stdin that never ends.
+	// After the first signal the handler is unregistered, so a second
+	// signal kills the process outright even if the source read is
+	// blocked waiting for input that will never come.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+	model.SetContext(ctx)
 
 	if o.metricsAddr != "" {
 		tel := &repro.Telemetry{Registry: repro.NewRegistry()}

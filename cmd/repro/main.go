@@ -16,11 +16,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
@@ -42,6 +45,14 @@ func main() {
 	flag.Parse()
 	experiments.Workers = *workers
 	experiments.Portfolio = *portfolio
+
+	// SIGINT/SIGTERM abort the evaluation at the next observation or
+	// solver-round boundary instead of leaving a half-printed table; a
+	// second signal (handler unregistered once cancelled) kills outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+	experiments.Context = ctx
 	if *metricsAddr != "" {
 		experiments.Telemetry = &repro.Telemetry{Registry: repro.NewRegistry()}
 		srv, err := repro.ServeMetrics(*metricsAddr, experiments.Telemetry.Registry)

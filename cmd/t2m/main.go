@@ -26,11 +26,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
@@ -47,6 +51,11 @@ type config struct {
 	workers, portfolio          int
 	noSeg, stream, quiet        bool
 	timeout                     time.Duration
+
+	// Crash safety (see README "Crash safety").
+	checkpointDir   string
+	checkpointEvery int
+	resume          bool
 
 	// Observability (see README "Observability").
 	traceOut      string
@@ -72,6 +81,9 @@ func main() {
 	flag.IntVar(&cfg.workers, "j", 0, "predicate-synthesis / solver-portfolio workers (0 = one per CPU, 1 = serial; results identical)")
 	flag.IntVar(&cfg.portfolio, "portfolio", 0, "race this many SAT solver configurations per solve (0/1 = serial; results identical)")
 	flag.BoolVar(&cfg.stream, "stream", false, "stream the trace: bounded memory, identical model")
+	flag.StringVar(&cfg.checkpointDir, "checkpoint", "", "periodically checkpoint the run into this directory (requires -stream)")
+	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 0, "ingest checkpoint interval in observations (0 = 100000)")
+	flag.BoolVar(&cfg.resume, "resume", false, "resume from the newest valid checkpoint in -checkpoint instead of starting fresh")
 	flag.BoolVar(&cfg.quiet, "q", false, "print only the automaton")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write the run's span/event trace as NDJSON to this file")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (e.g. 127.0.0.1:0)")
@@ -86,8 +98,10 @@ func main() {
 
 // telemetry assembles the run's telemetry from the observability flags:
 // a registry whenever any consumer (endpoint, manifest, trace) needs
-// one, plus the NDJSON tracer. The returned cleanup flushes and closes
-// the trace file.
+// one, plus the NDJSON tracer. The returned cleanup flushes and
+// commits the trace file; it is written atomically, so an interrupted
+// run leaves either the complete flushed trace or no file — never a
+// torn one.
 func telemetry(cfg config) (*repro.Telemetry, func() error, error) {
 	if cfg.traceOut == "" && cfg.metricsAddr == "" && cfg.manifestOut == "" {
 		return nil, func() error { return nil }, nil
@@ -95,31 +109,51 @@ func telemetry(cfg config) (*repro.Telemetry, func() error, error) {
 	tel := &repro.Telemetry{Registry: repro.NewRegistry()}
 	cleanup := func() error { return nil }
 	if cfg.traceOut != "" {
-		f, err := os.Create(cfg.traceOut)
+		af, err := pipeline.CreateAtomic(cfg.traceOut)
 		if err != nil {
 			return nil, nil, err
 		}
-		tel.Tracer = repro.NewTracer(f)
+		tel.Tracer = repro.NewTracer(af)
 		cleanup = func() error {
 			if err := tel.Tracer.Flush(); err != nil {
-				f.Close()
+				af.Abort()
 				return err
 			}
-			return f.Close()
+			return af.Commit()
 		}
 	}
 	return tel, cleanup, nil
 }
 
-func run(cfg config) error {
+func run(cfg config) (err error) {
 	if cfg.in == "" {
 		return fmt.Errorf("missing -in")
 	}
+	if cfg.checkpointDir != "" && !cfg.stream {
+		return fmt.Errorf("-checkpoint requires -stream")
+	}
+	if cfg.resume && cfg.checkpointDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+
+	// SIGINT/SIGTERM cancel the run context: the pipeline stops at the
+	// next safe boundary, the deferred cleanups below still flush the
+	// telemetry trace and the last checkpoint written stays resumable.
+	// The first signal unregisters the handler, so a second one kills
+	// the process outright (e.g. when stuck on a blocked stdin read).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
 	tel, cleanup, err := telemetry(cfg)
 	if err != nil {
 		return err
 	}
-	defer func() { cleanup() }()
+	defer func() {
+		if cerr := cleanup(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	var srv *repro.MetricsServer
 	if cfg.metricsAddr != "" {
@@ -133,6 +167,15 @@ func run(cfg config) error {
 		fmt.Printf("metrics: listening on %s\n", srv.URL())
 	}
 
+	// The input digest feeds both the manifest and the checkpoint
+	// chain; computed once, and only when some artifact records it.
+	var input *pipeline.InputDigest
+	if cfg.in != "-" && (cfg.manifestOut != "" || cfg.checkpointDir != "") {
+		d := repro.FileDigest(cfg.in)
+		d.Format = detectFormat(cfg.in, cfg.informat)
+		input = &d
+	}
+
 	opts := repro.LearnOptions{
 		PredicateWindow: cfg.predW,
 		SegmentWindow:   cfg.segW,
@@ -143,6 +186,16 @@ func run(cfg config) error {
 		Portfolio:       cfg.portfolio,
 		Workers:         cfg.workers,
 		Telemetry:       tel,
+		Context:         ctx,
+		CheckpointDir:   cfg.checkpointDir,
+		CheckpointEvery: cfg.checkpointEvery,
+		Resume:          cfg.resume,
+		CheckpointInput: input,
+	}
+	if cfg.resume && !cfg.quiet {
+		if info, ierr := repro.InspectCheckpoint(cfg.checkpointDir); ierr == nil {
+			fmt.Printf("resuming from checkpoint %d (%s phase, offset %d)\n", info.Seq, info.Phase, info.Offset)
+		}
 	}
 
 	var (
@@ -198,7 +251,11 @@ func run(cfg config) error {
 
 	if cfg.dotOut != "" {
 		name := filepath.Base(cfg.in)
-		if err := os.WriteFile(cfg.dotOut, []byte(model.Automaton.DOT(name)), 0o644); err != nil {
+		err := pipeline.AtomicWriteFile(cfg.dotOut, func(w io.Writer) error {
+			_, werr := io.WriteString(w, model.Automaton.DOT(name))
+			return werr
+		})
+		if err != nil {
 			return err
 		}
 		if !cfg.quiet {
@@ -206,15 +263,10 @@ func run(cfg config) error {
 		}
 	}
 	if cfg.saveOut != "" {
-		f, err := os.Create(cfg.saveOut)
+		err := pipeline.AtomicWriteFile(cfg.saveOut, func(w io.Writer) error {
+			return repro.SaveModel(w, model)
+		})
 		if err != nil {
-			return err
-		}
-		if err := repro.SaveModel(f, model); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
 			return err
 		}
 		if !cfg.quiet {
@@ -222,7 +274,7 @@ func run(cfg config) error {
 		}
 	}
 	if cfg.manifestOut != "" {
-		if err := writeManifest(cfg, model, tel); err != nil {
+		if err := writeManifest(cfg, model, tel, input); err != nil {
 			return err
 		}
 		if !cfg.quiet {
@@ -240,7 +292,7 @@ func run(cfg config) error {
 // and stage statistics from the learning run, counters and histogram
 // summaries from the registry, the invocation's config, and the input
 // file's digest.
-func writeManifest(cfg config, model *repro.Model, tel *repro.Telemetry) error {
+func writeManifest(cfg config, model *repro.Model, tel *repro.Telemetry, input *pipeline.InputDigest) error {
 	man := model.BuildManifest(tel)
 	man.Tool = "t2m"
 	man.CreatedAt = time.Now().UTC().Format(time.RFC3339)
@@ -256,10 +308,8 @@ func writeManifest(cfg config, model *repro.Model, tel *repro.Telemetry) error {
 		"stream":          cfg.stream,
 		"timeout":         cfg.timeout.String(),
 	}
-	if cfg.in != "-" {
-		d := repro.FileDigest(cfg.in)
-		d.Format = detectFormat(cfg.in, cfg.informat)
-		man.Inputs = []pipeline.InputDigest{d}
+	if input != nil {
+		man.Inputs = []pipeline.InputDigest{*input}
 	}
 	return man.WriteFile(cfg.manifestOut)
 }

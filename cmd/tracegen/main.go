@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/pipeline"
 	"repro/internal/systems/rtlinux"
 	"repro/internal/systems/serial"
 	"repro/internal/trace"
@@ -168,17 +169,12 @@ func runStream(system, out, format string, steps int) error {
 	}
 }
 
+// writeOut streams the generated trace to stdout or, for a file,
+// writes it atomically so an interrupted generation never leaves a
+// truncated trace behind.
 func writeOut(path string, write func(io.Writer) error) error {
 	if path == "" || path == "-" {
 		return write(os.Stdout)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return pipeline.AtomicWriteFile(path, write)
 }

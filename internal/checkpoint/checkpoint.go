@@ -1,0 +1,345 @@
+// Package checkpoint implements crash-consistent snapshots of a
+// streaming learning run. A checkpoint file captures everything the
+// pipeline needs to continue from an observation offset — the interned
+// observation tables and synthesis memo (predicate.SnapshotState), the
+// RLE predicate-run log (learn.SeqState), and, once ingestion is
+// complete, the model-search refinement state (learn.CheckpointState)
+// — so a run killed at step 900k of a multi-million-step trace resumes
+// where it stopped and still produces a model byte-identical to an
+// uninterrupted run (see internal/core/checkpoint.go for the resume
+// driver and DESIGN.md note 14 for the determinism argument).
+//
+// File format: one header line
+//
+//	t2m-checkpoint v1 sha256=<hex> bytes=<n>
+//
+// followed by exactly <n> bytes of JSON payload whose SHA-256 is
+// <hex>. Files are written atomically (temp + fsync + rename), so a
+// crash mid-write leaves the previous checkpoint intact; a truncated
+// or bit-flipped file fails the length or hash check and is rejected.
+// Each payload additionally records the SHA-256 of its predecessor's
+// payload (a hash chain) and the input-file digest from the run
+// manifest, tying a checkpoint sequence to one run over one input.
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/learn"
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+// Version is the checkpoint format version this package reads and
+// writes.
+const Version = 1
+
+const (
+	headerMagic = "t2m-checkpoint"
+	filePrefix  = "ckpt-"
+	fileSuffix  = ".t2mc"
+)
+
+// Phases of a learning run a checkpoint can capture.
+const (
+	// PhaseIngest: the source is still being streamed; the snapshot
+	// holds the generator and run-log state after Offset observations.
+	PhaseIngest = "ingest"
+	// PhaseModel: ingestion is complete; the snapshot additionally
+	// freezes the final ingestion state and (optionally) carries the
+	// model-search refinement state.
+	PhaseModel = "model"
+)
+
+// State is one checkpoint: the serialisable progress of a streaming
+// learning run at a consistent boundary.
+type State struct {
+	Version int `json:"version"`
+	// Tool identifies the writer ("t2m", "repro"); informational.
+	Tool string `json:"tool,omitempty"`
+	// Seq is the checkpoint's sequence number within the run, starting
+	// at 0; file names embed it.
+	Seq int `json:"seq"`
+	// PrevSHA256 chains to the previous checkpoint's payload hash
+	// (empty for the first).
+	PrevSHA256 string    `json:"prev_sha256,omitempty"`
+	CreatedAt  time.Time `json:"created_at"`
+	// Phase is PhaseIngest or PhaseModel.
+	Phase string `json:"phase"`
+	// Config records the learning parameters the run was started with;
+	// resume refuses a mismatch (a checkpoint resumed under different
+	// parameters would produce a silently different model).
+	Config map[string]string `json:"config,omitempty"`
+	// Schema is the rendered trace schema ("name:type[:input]" fields,
+	// comma-joined — the model-file rendering); resume refuses a
+	// mismatch.
+	Schema string `json:"schema,omitempty"`
+	// Input ties the chain to the input file when the driver knows it
+	// (same digest the run manifest records).
+	Input *pipeline.InputDigest `json:"input,omitempty"`
+	// Offset is the number of observations consumed from the source.
+	Offset int64 `json:"offset"`
+	// ObsSHA256 is the running SHA-256 over the length-prefixed value
+	// encodings of the first Offset observations. Resume re-hashes the
+	// observations it fast-forwards past and refuses a mismatch, so a
+	// checkpoint can never silently continue over a different input.
+	ObsSHA256 string `json:"obs_sha256,omitempty"`
+	// Predicate is the generator snapshot (interner, memo, alphabet,
+	// seeds, counters).
+	Predicate *predicate.SnapshotState `json:"predicate,omitempty"`
+	// SeqRLE is the predicate-run log emitted so far.
+	SeqRLE *learn.SeqState `json:"seq_rle,omitempty"`
+	// Learn is the model-search refinement state (PhaseModel only,
+	// and only once the search has reached a round boundary).
+	Learn *learn.CheckpointState `json:"learn,omitempty"`
+}
+
+// ErrNoCheckpoint is returned by Load when the directory contains no
+// checkpoint files at all (as opposed to only invalid ones).
+var ErrNoCheckpoint = errors.New("checkpoint: no checkpoint found")
+
+// Config is how a pipeline run opts into checkpointing (see
+// core.Options.Checkpoint). The zero value disables it.
+type Config struct {
+	// Dir is the checkpoint directory; empty disables checkpointing.
+	Dir string
+	// Every is the ingestion epoch length in observations — how often
+	// ingest-phase checkpoints are taken. Zero means 100000; values
+	// below the observation window are raised to it.
+	Every int
+	// Tool is the writer identity recorded in each file.
+	Tool string
+	// Input, when known, ties the chain to the input file (the digest
+	// the run manifest records).
+	Input *pipeline.InputDigest
+	// Params are the run parameters recorded in each checkpoint and
+	// verified on resume.
+	Params map[string]string
+	// From, when non-nil, resumes the run from this loaded checkpoint
+	// instead of starting a fresh chain.
+	From *LoadResult
+}
+
+// Enabled reports whether the configuration turns checkpointing on.
+func (c Config) Enabled() bool { return c.Dir != "" || c.From != nil }
+
+// Encode renders st as header line + JSON payload and returns the
+// file bytes and the payload's SHA-256 (hex).
+func Encode(st *State) ([]byte, string, error) {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return nil, "", err
+	}
+	sum := sha256.Sum256(payload)
+	hexSum := hex.EncodeToString(sum[:])
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s v%d sha256=%s bytes=%d\n", headerMagic, Version, hexSum, len(payload))
+	buf.Write(payload)
+	return buf.Bytes(), hexSum, nil
+}
+
+// Decode parses and verifies one checkpoint file: header shape,
+// version, payload length, payload hash, then the JSON itself and its
+// structural invariants. It returns the state and the payload hash.
+func Decode(data []byte) (*State, string, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, "", errors.New("checkpoint: missing header line")
+	}
+	header := string(data[:nl])
+	payload := data[nl+1:]
+
+	var version, length int
+	var hexSum string
+	n, err := fmt.Sscanf(header, headerMagic+" v%d sha256=%s bytes=%d", &version, &hexSum, &length)
+	if err != nil || n != 3 {
+		return nil, "", fmt.Errorf("checkpoint: malformed header %q", header)
+	}
+	if version != Version {
+		return nil, "", fmt.Errorf("checkpoint: unsupported version %d (have %d)", version, Version)
+	}
+	if len(payload) != length {
+		return nil, "", fmt.Errorf("checkpoint: truncated payload: header says %d bytes, file has %d", length, len(payload))
+	}
+	sum := sha256.Sum256(payload)
+	if got := hex.EncodeToString(sum[:]); got != hexSum {
+		return nil, "", fmt.Errorf("checkpoint: payload hash mismatch: header %s, content %s", hexSum, got)
+	}
+	var st State
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return nil, "", fmt.Errorf("checkpoint: payload: %w", err)
+	}
+	if st.Version != Version {
+		return nil, "", fmt.Errorf("checkpoint: payload version %d does not match header", st.Version)
+	}
+	if st.Phase != PhaseIngest && st.Phase != PhaseModel {
+		return nil, "", fmt.Errorf("checkpoint: unknown phase %q", st.Phase)
+	}
+	if st.Offset < 0 {
+		return nil, "", fmt.Errorf("checkpoint: negative offset %d", st.Offset)
+	}
+	return &st, hexSum, nil
+}
+
+// LoadResult is a loaded-and-verified checkpoint plus its provenance.
+type LoadResult struct {
+	State  *State
+	Path   string
+	SHA256 string // payload hash, the chain link for the next write
+}
+
+// LoadFile loads and verifies a single checkpoint file.
+func LoadFile(path string) (*LoadResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	st, sum, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &LoadResult{State: st, Path: path, SHA256: sum}, nil
+}
+
+// Load returns the newest valid checkpoint in dir. Invalid files
+// (torn, truncated, corrupt) are skipped with their reasons collected;
+// if the directory has checkpoint files but none verify, the error
+// describes every rejection. ErrNoCheckpoint means the directory holds
+// no checkpoint files at all.
+func Load(dir string) (*LoadResult, error) {
+	paths, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("%w in %s", ErrNoCheckpoint, dir)
+	}
+	// Newest first: names embed a fixed-width sequence number, so the
+	// lexicographic order is the write order.
+	sort.Sort(sort.Reverse(sort.StringSlice(paths)))
+	var reasons []string
+	for _, path := range paths {
+		lr, err := LoadFile(path)
+		if err != nil {
+			reasons = append(reasons, err.Error())
+			continue
+		}
+		return lr, nil
+	}
+	return nil, fmt.Errorf("checkpoint: no valid checkpoint in %s: %s", dir, strings.Join(reasons, "; "))
+}
+
+// listCheckpoints returns the checkpoint file paths in dir, unsorted.
+func listCheckpoints(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() && strings.HasPrefix(name, filePrefix) && strings.HasSuffix(name, fileSuffix) {
+			paths = append(paths, filepath.Join(dir, name))
+		}
+	}
+	return paths, nil
+}
+
+// Manager writes a run's checkpoint sequence into one directory:
+// monotonic sequence numbers, hash-chained payloads, atomic file
+// writes, pruning of superseded files.
+type Manager struct {
+	dir  string
+	seq  int    // next sequence number
+	prev string // payload hash of the last written checkpoint
+	keep int    // checkpoints retained after a write
+}
+
+// KeepDefault is how many most-recent checkpoints a Manager retains.
+// More than one, so that if the newest file is lost or damaged the run
+// falls back one checkpoint instead of restarting from zero.
+const KeepDefault = 3
+
+// NewManager starts a fresh checkpoint sequence in dir, creating it if
+// needed and removing checkpoint files from any previous run (they
+// belong to a different chain; resuming across chains is what
+// ResumeManager is for).
+func NewManager(dir string) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	stale, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, path := range stale {
+		if err := os.Remove(path); err != nil {
+			return nil, fmt.Errorf("checkpoint: removing stale %s: %w", path, err)
+		}
+	}
+	return &Manager{dir: dir, keep: KeepDefault}, nil
+}
+
+// ResumeManager continues the checkpoint sequence a loaded checkpoint
+// belongs to: subsequent writes get increasing sequence numbers and
+// chain to the loaded payload.
+func ResumeManager(dir string, from *LoadResult) *Manager {
+	return &Manager{dir: dir, seq: from.State.Seq + 1, prev: from.SHA256, keep: KeepDefault}
+}
+
+// Write stamps st with the sequence position (Version, Seq,
+// PrevSHA256, CreatedAt), writes it atomically, prunes superseded
+// files and returns the file size in bytes.
+func (m *Manager) Write(st *State) (int64, error) {
+	st.Version = Version
+	st.Seq = m.seq
+	st.PrevSHA256 = m.prev
+	st.CreatedAt = time.Now().UTC()
+	data, sum, err := Encode(st)
+	if err != nil {
+		return 0, err
+	}
+	path := filepath.Join(m.dir, fmt.Sprintf("%s%08d%s", filePrefix, st.Seq, fileSuffix))
+	err = pipeline.AtomicWriteFile(path, func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	})
+	if err != nil {
+		return 0, err
+	}
+	m.seq++
+	m.prev = sum
+	m.prune()
+	return int64(len(data)), nil
+}
+
+// prune removes checkpoints older than the keep-window. Best-effort:
+// a leftover old checkpoint is harmless (Load prefers newer files).
+func (m *Manager) prune() {
+	floor := m.seq - m.keep
+	if floor <= 0 {
+		return
+	}
+	paths, err := listCheckpoints(m.dir)
+	if err != nil {
+		return
+	}
+	for _, path := range paths {
+		var seq int
+		base := filepath.Base(path)
+		if _, err := fmt.Sscanf(base, filePrefix+"%d"+fileSuffix, &seq); err == nil && seq < floor {
+			os.Remove(path)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sample returns a minimal valid state for format-level tests; the
+// generator/learn sections are exercised by the end-to-end resume
+// tests at the repository root.
+func sample(offset int64) *State {
+	return &State{
+		Version:   Version,
+		Tool:      "test",
+		Phase:     PhaseIngest,
+		Offset:    offset,
+		ObsSHA256: strings.Repeat("ab", 32),
+		Config:    map[string]string{"w": "3"},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	data, sum, err := Encode(sample(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, gotSum, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSum != sum {
+		t.Errorf("decode hash %s, encode hash %s", gotSum, sum)
+	}
+	if st.Offset != 42 || st.Phase != PhaseIngest || st.Tool != "test" {
+		t.Errorf("round trip lost fields: %+v", st)
+	}
+	if st.Config["w"] != "3" {
+		t.Errorf("config lost: %v", st.Config)
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	data, _, err := Encode(sample(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)-3] },
+		"bit flip": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-5] ^= 0x01
+			return c
+		},
+		"no header":     func(b []byte) []byte { return []byte("not a checkpoint") },
+		"wrong version": func(b []byte) []byte { return append([]byte("t2m-checkpoint v99 sha256=00 bytes=2\n{}"), nil...) },
+		"extra bytes":   func(b []byte) []byte { return append(append([]byte(nil), b...), "junk"...) },
+	}
+	for name, mutate := range cases {
+		if _, _, err := Decode(mutate(data)); err == nil {
+			t.Errorf("%s: Decode accepted damaged file", name)
+		}
+	}
+}
+
+func TestDecodeRejectsBadState(t *testing.T) {
+	for name, st := range map[string]*State{
+		"bad phase":       {Version: Version, Phase: "warmup", Offset: 1},
+		"negative offset": {Version: Version, Phase: PhaseIngest, Offset: -1},
+	} {
+		data, _, err := Encode(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Decode(data); err == nil {
+			t.Errorf("%s: Decode accepted invalid state", name)
+		}
+	}
+}
+
+func TestManagerChainsAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sums []string
+	for i := 0; i < 5; i++ {
+		st := sample(int64(100 * i))
+		n, err := m.Write(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n <= 0 {
+			t.Fatalf("write %d reported %d bytes", i, n)
+		}
+		if st.Seq != i {
+			t.Errorf("write %d stamped seq %d", i, st.Seq)
+		}
+		_, sum, err := Encode(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, sum)
+	}
+
+	// Only the keep-window survives.
+	paths, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != KeepDefault {
+		t.Errorf("%d checkpoints retained, want %d: %v", len(paths), KeepDefault, paths)
+	}
+
+	// Load returns the newest, and its chain link is the predecessor's
+	// payload hash.
+	lr, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.State.Seq != 4 || lr.State.Offset != 400 {
+		t.Errorf("loaded seq %d offset %d, want 4/400", lr.State.Seq, lr.State.Offset)
+	}
+	if lr.State.PrevSHA256 != sums[3] {
+		t.Errorf("chain broken: prev %s, want %s", lr.State.PrevSHA256, sums[3])
+	}
+}
+
+func TestLoadFallsBackPastCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := m.Write(sample(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a torn newest file: truncate it mid-payload.
+	newest := filepath.Join(dir, "ckpt-00000001.t2mc")
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	lr, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.State.Seq != 0 {
+		t.Errorf("loaded seq %d, want the surviving checkpoint 0", lr.State.Seq)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(dir); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("empty dir: err = %v, want ErrNoCheckpoint", err)
+	}
+
+	// A directory with only invalid checkpoint files is a different,
+	// louder failure: every rejection reason is reported.
+	bad := filepath.Join(dir, "ckpt-00000000.t2mc")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(dir)
+	if err == nil || errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("all-invalid dir: err = %v, want a rejection report", err)
+	}
+}
+
+func TestNewManagerClearsStaleRun(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "ckpt-00000007.t2mc")
+	if err := os.WriteFile(stale, []byte("from an old run"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	other := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(other, []byte("kept"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewManager(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale checkpoint from a previous run survived NewManager")
+	}
+	if _, err := os.Stat(other); err != nil {
+		t.Error("NewManager removed a non-checkpoint file")
+	}
+}
+
+func TestResumeManagerContinuesChain(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Write(sample(10)); err != nil {
+		t.Fatal(err)
+	}
+	lr, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rm := ResumeManager(dir, lr)
+	st := sample(20)
+	if _, err := rm.Write(st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq != lr.State.Seq+1 {
+		t.Errorf("resumed write stamped seq %d, want %d", st.Seq, lr.State.Seq+1)
+	}
+	if st.PrevSHA256 != lr.SHA256 {
+		t.Errorf("resumed write chains to %s, want the loaded payload %s", st.PrevSHA256, lr.SHA256)
+	}
+}

@@ -13,10 +13,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/automaton"
+	"repro/internal/checkpoint"
 	"repro/internal/learn"
 	"repro/internal/pipeline"
 	"repro/internal/predicate"
@@ -35,6 +37,16 @@ type Options struct {
 	// disables all recording at near-zero cost; telemetry never
 	// changes results.
 	Telemetry *pipeline.Telemetry
+	// Context cancels learning and checking runs at safe boundaries:
+	// between observations during ingestion, inside synthesis, and
+	// between solver rounds during model construction. Nil means never
+	// cancelled. Cancellation surfaces as an "interrupted at stage X"
+	// error and never leaves partial state behind.
+	Context context.Context
+	// Checkpoint enables periodic crash-consistent snapshots of
+	// LearnSource runs, and resume from them (see internal/checkpoint
+	// and checkpoint.go). The zero value disables checkpointing.
+	Checkpoint checkpoint.Config
 }
 
 // Pipeline learns models from traces over one schema. The predicate
@@ -49,6 +61,10 @@ type Pipeline struct {
 
 // NewPipeline returns a pipeline for the schema.
 func NewPipeline(schema *trace.Schema, opts Options) (*Pipeline, error) {
+	if opts.Context != nil {
+		opts.Predicate.Context = opts.Context
+		opts.Learn.Context = opts.Context
+	}
 	gen, err := predicate.NewGenerator(schema, opts.Predicate)
 	if err != nil {
 		return nil, err
@@ -114,6 +130,14 @@ func (m *Model) SetWorkers(n int) { m.pipeline.gen.SetWorkers(n) }
 // SetTelemetry attaches telemetry to the model's pipeline for the
 // monitoring path (Check/CheckSource on a loaded model).
 func (m *Model) SetTelemetry(tel *pipeline.Telemetry) { m.pipeline.SetTelemetry(tel) }
+
+// SetContext attaches a cancellation context to the model's pipeline
+// for the monitoring path: CheckSource stops between observations and
+// in-flight synthesis aborts when ctx is cancelled.
+func (m *Model) SetContext(ctx context.Context) {
+	m.pipeline.opts.Context = ctx
+	m.pipeline.gen.SetContext(ctx)
+}
 
 // BuildManifest assembles the run-manifest skeleton for this model:
 // per-stage metrics, the registry's counters and histogram summaries,

@@ -24,6 +24,11 @@ import (
 // never materialised — and the predicate stage metrics gain streaming
 // counters: observations, bytes_read (when the source reads a byte
 // stream), obs_per_sec and peak_heap.
+//
+// With Options.Checkpoint enabled the run is periodically snapshotted
+// (and possibly resumed — see checkpoint.go); with Options.Context set
+// it is cancellable at observation and solver-round boundaries. Both
+// paths produce models byte-identical to a plain uninterrupted run.
 func (p *Pipeline) LearnSource(src trace.Source) (*Model, error) {
 	var metrics pipeline.Metrics
 	tel := p.opts.Telemetry
@@ -34,6 +39,11 @@ func (p *Pipeline) LearnSource(src trace.Source) (*Model, error) {
 	sp := metrics.Start("predicate")
 	stage := p.startStage(run, "predicate")
 	wallStart := time.Now()
+	abort := func() {
+		hs.Stop()
+		ttr.End(stage)
+		ttr.End(run)
+	}
 
 	// Live gauges: heap from the sampler (its cached values stay
 	// readable after Stop), observation throughput from the windows
@@ -50,19 +60,44 @@ func (p *Pipeline) LearnSource(src trace.Source) (*Model, error) {
 	})
 	hRunLen := tel.Hist("predicate_run_len", "windows")
 
+	var drv *ckptDriver
+	if p.opts.Checkpoint.Enabled() {
+		var err error
+		if drv, err = newCkptDriver(p, p.opts.Checkpoint); err != nil {
+			abort()
+			return nil, err
+		}
+		drv.runSpan = run
+	}
+
 	seq := learn.NewSeq()
 	alphabet := make(map[string]*predicate.Predicate)
-	err := p.gen.SequenceSource(src, func(r predicate.Run) error {
+	var resumeLearn *learn.CheckpointState
+	if drv != nil && drv.from != nil {
+		var err error
+		if seq, alphabet, resumeLearn, err = drv.restore(); err != nil {
+			abort()
+			return nil, err
+		}
+	}
+	emit := func(r predicate.Run) error {
 		alphabet[r.Pred.Key] = r.Pred
 		seq.Append(r.Pred.Key, r.Count)
 		hRunLen.Observe(int64(r.Count))
 		return nil
-	})
+	}
+	var err error
+	if drv != nil {
+		drv.seq = seq
+		err = drv.ingest(src, emit)
+	} else if ctx := p.opts.Context; ctx != nil {
+		err = p.gen.SequenceSource(&ctxSource{src: src, ctx: ctx}, emit)
+	} else {
+		err = p.gen.SequenceSource(src, emit)
+	}
 	if err != nil {
-		hs.Stop()
-		ttr.End(stage)
-		ttr.End(run)
-		return nil, err
+		abort()
+		return nil, p.interrupted("predicate", err)
 	}
 	d := p.gen.Stats().Minus(before)
 	observations := int64(d.Windows) + int64(p.gen.Window()) - 1
@@ -90,10 +125,18 @@ func (p *Pipeline) LearnSource(src trace.Source) (*Model, error) {
 	sp = metrics.Start("model")
 	lo := p.opts.Learn
 	lo.TraceSpan = p.startStage(run, "model")
+	if drv != nil {
+		drv.freezeIngest()
+		lo.Resume = resumeLearn
+		lo.Checkpoint = drv.learnHook
+	}
 	res, err := learn.GenerateModelSeqs([]*learn.Seq{seq}, lo)
 	endModelStage(ttr, lo.TraceSpan, res)
 	ttr.End(run)
 	if err != nil {
+		if ierr := p.interrupted("model", err); ierr != err {
+			return nil, ierr
+		}
 		return nil, fmt.Errorf("core: model construction: %w", err)
 	}
 	modelSpan(sp, res.Stats)
@@ -124,8 +167,12 @@ func (m *Model) CheckSource(src trace.Source) (*Violation, error) {
 	}
 	cur := m.Automaton.Initial()
 	pos := 0
+	var s trace.Source = src
+	if ctx := m.pipeline.opts.Context; ctx != nil {
+		s = &ctxSource{src: src, ctx: ctx}
+	}
 	var v *Violation
-	err := m.pipeline.gen.SequenceSource(src, func(r predicate.Run) error {
+	err := m.pipeline.gen.SequenceSource(s, func(r predicate.Run) error {
 		for i := 0; i < r.Count; i++ {
 			succ := m.Automaton.Successors(cur, r.Pred.Key)
 			if len(succ) == 0 {

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -78,12 +79,18 @@ var Portfolio int
 // Portfolio it never changes results.
 var Telemetry *repro.Telemetry
 
-// withWorkers applies the package-level worker count, portfolio size
-// and telemetry to a run's options.
+// Context, when non-nil, cancels every experiment run at the next
+// observation or solver-round boundary (cmd/repro wires its signal
+// context here so ^C aborts a long evaluation cleanly).
+var Context context.Context
+
+// withWorkers applies the package-level worker count, portfolio size,
+// telemetry and cancellation context to a run's options.
 func withWorkers(opts repro.LearnOptions) repro.LearnOptions {
 	opts.Workers = Workers
 	opts.Portfolio = Portfolio
 	opts.Telemetry = Telemetry
+	opts.Context = Context
 	return opts
 }
 

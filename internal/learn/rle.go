@@ -290,6 +290,9 @@ func GenerateModelSeqs(inSeqs []*Seq, opts Options) (*Result, error) {
 		if w > maxW {
 			maxW = w
 		}
+		if opts.Resume != nil {
+			continue // segment table restored below
+		}
 		if opts.Segmented {
 			s.windows(w, func(pos int, win []int32) {
 				recordSegment32(win, pos == 0)
@@ -298,6 +301,24 @@ func GenerateModelSeqs(inSeqs []*Seq, opts Options) (*Result, error) {
 			// Non-segmented baseline: the whole sequence is one
 			// segment, so this mode is O(length) resident by design.
 			recordSegment32(s.expand(0, s.total), true)
+		}
+	}
+	if opts.Resume != nil {
+		// Replay the checkpointed segment table (base windows plus any
+		// acceptance-refinement additions and anchor upgrades) in its
+		// first-record order: the dedup index, ids and anchor flags
+		// come out exactly as the interrupted run left them.
+		st := opts.Resume
+		if len(st.Segments) != len(st.Anchored) {
+			return nil, fmt.Errorf("learn: resume state has %d segments, %d anchor flags", len(st.Segments), len(st.Anchored))
+		}
+		for i, win := range st.Segments {
+			for _, id := range win {
+				if id < 0 || id >= len(symbols) {
+					return nil, fmt.Errorf("learn: resume segment %d references symbol %d of %d", i, id, len(symbols))
+				}
+			}
+			recordSegment(win, st.Anchored[i])
 		}
 	}
 
@@ -319,6 +340,27 @@ func GenerateModelSeqs(inSeqs []*Seq, opts Options) (*Result, error) {
 	stats := Stats{}
 	var blocked [][]int      // invalid l-grams accumulated across N
 	acceptWindow := 2 * maxW // current acceptance-refinement window length
+	startN := opts.StartStates
+	resumeRefinements := 0
+	if opts.Resume != nil {
+		st := opts.Resume
+		for i, g := range st.Blocked {
+			for _, id := range g {
+				if id < 0 || id >= len(symbols) {
+					return nil, fmt.Errorf("learn: resume blocked gram %d references symbol %d of %d", i, id, len(symbols))
+				}
+			}
+		}
+		stats = st.Stats
+		blocked = copyInts(st.Blocked)
+		if st.AcceptWindow > 0 {
+			acceptWindow = st.AcceptWindow
+		}
+		if st.N > 0 {
+			startN = st.N
+		}
+		resumeRefinements = st.Refinements
+	}
 	maxSeqLen := 0
 	for _, s := range seqs {
 		if s.total > maxSeqLen {
@@ -351,12 +393,39 @@ func GenerateModelSeqs(inSeqs []*Seq, opts Options) (*Result, error) {
 	}
 
 	var warm *encoding
-	for n := opts.StartStates; n <= opts.MaxStates; {
+	for n := startN; n <= opts.MaxStates; {
 		pf := buildPortfolio(n, warm)
 		warm = nil
-		refinements := 0
+		refinements := resumeRefinements
+		resumeRefinements = 0
 		bumped := false
 		for !bumped {
+			// Round boundary: the portfolio state is a pure function of
+			// (n, segments, anchored, blocked), so this is the moment
+			// the search can be snapshotted and later resumed
+			// byte-identically. The hook runs before the round's solver
+			// call is counted, so resumed counters line up.
+			if opts.Checkpoint != nil {
+				err := opts.Checkpoint(&CheckpointState{
+					N:            n,
+					Refinements:  refinements,
+					AcceptWindow: acceptWindow,
+					Blocked:      copyInts(blocked),
+					Segments:     copyInts(segments),
+					Anchored:     append([]bool(nil), anchored...),
+					Stats:        stats,
+				})
+				if err != nil {
+					finish()
+					return &Result{Stats: stats}, err
+				}
+			}
+			if opts.Context != nil {
+				if err := opts.Context.Err(); err != nil {
+					finish()
+					return &Result{Stats: stats}, fmt.Errorf("learn: %w", err)
+				}
+			}
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				finish()
 				return &Result{Stats: stats}, ErrTimeout

@@ -1,0 +1,120 @@
+package pipeline
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tempLeftovers lists files in dir that are not the named artifacts —
+// i.e. abandoned temp files an atomic write must never leave behind.
+func tempLeftovers(t *testing.T, dir string, want ...string) []string {
+	t.Helper()
+	keep := map[string]bool{}
+	for _, w := range want {
+		keep[w] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var extra []string
+	for _, e := range entries {
+		if !keep[e.Name()] {
+			extra = append(extra, e.Name())
+		}
+	}
+	return extra
+}
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+
+	if err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Fatalf("content = %q, want %q", got, "first")
+	}
+
+	// Overwrite: the new content replaces the old in one step.
+	if err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "second")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Fatalf("content after overwrite = %q, want %q", got, "second")
+	}
+	if extra := tempLeftovers(t, dir, "out.txt"); len(extra) != 0 {
+		t.Errorf("leftover files after successful writes: %v", extra)
+	}
+}
+
+func TestAtomicWriteFileErrorKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("boom")
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial new content")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want %v", err, boom)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "old" {
+		t.Fatalf("failed write clobbered destination: %q", got)
+	}
+	if extra := tempLeftovers(t, dir, "out.txt"); len(extra) != 0 {
+		t.Errorf("leftover temp files after failed write: %v", extra)
+	}
+}
+
+func TestAtomicFileAbort(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	af, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(filepath.Base(af.Name()), "out.txt.tmp") {
+		t.Errorf("temp name %q does not advertise its destination", af.Name())
+	}
+	io.WriteString(af, "doomed")
+	af.Abort()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("aborted write created the destination")
+	}
+	if extra := tempLeftovers(t, dir); len(extra) != 0 {
+		t.Errorf("leftover temp files after abort: %v", extra)
+	}
+	// Abort after Abort (and after Commit) is a no-op, so it can sit in
+	// a defer alongside an explicit finish.
+	af.Abort()
+}
+
+func TestAtomicFileCommitTwice(t *testing.T) {
+	dir := t.TempDir()
+	af, err := CreateAtomic(filepath.Join(dir, "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := af.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := af.Commit(); err == nil {
+		t.Error("second Commit succeeded; want error")
+	}
+}

@@ -122,17 +122,11 @@ func (m *Manifest) Write(w io.Writer) error {
 	return enc.Encode(m)
 }
 
-// WriteFile writes the manifest to path (0644, truncating).
+// WriteFile writes the manifest to path (0644) atomically: a crash or
+// concurrent reader never sees a torn manifest, only the previous file
+// or the complete new one.
 func (m *Manifest) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := m.Write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return AtomicWriteFile(path, m.Write)
 }
 
 // ReadManifest parses and validates a manifest document.

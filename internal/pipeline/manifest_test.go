@@ -51,12 +51,16 @@ func TestManifestRoundTrip(t *testing.T) {
 
 func TestManifestValidateRejects(t *testing.T) {
 	cases := map[string]func(*Manifest){
-		"wrong version":  func(m *Manifest) { m.Version = 99 },
-		"missing tool":   func(m *Manifest) { m.Tool = "" },
-		"missing time":   func(m *Manifest) { m.CreatedAt = "" },
-		"unnamed stage":  func(m *Manifest) { m.Stages[0].Name = "" },
-		"negative wall":  func(m *Manifest) { m.Stages[1].WallNS = -1 },
-		"negative count": func(m *Manifest) { h := m.Histograms["solver_call_ns"]; h.Count = -1; m.Histograms["solver_call_ns"] = h },
+		"wrong version": func(m *Manifest) { m.Version = 99 },
+		"missing tool":  func(m *Manifest) { m.Tool = "" },
+		"missing time":  func(m *Manifest) { m.CreatedAt = "" },
+		"unnamed stage": func(m *Manifest) { m.Stages[0].Name = "" },
+		"negative wall": func(m *Manifest) { m.Stages[1].WallNS = -1 },
+		"negative count": func(m *Manifest) {
+			h := m.Histograms["solver_call_ns"]
+			h.Count = -1
+			m.Histograms["solver_call_ns"] = h
+		},
 	}
 	for name, mutate := range cases {
 		m := sampleManifest()

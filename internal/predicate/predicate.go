@@ -27,6 +27,7 @@
 package predicate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -70,6 +71,11 @@ type Options struct {
 	// runtime.GOMAXPROCS(0); 1 forces the serial path. Every worker
 	// count produces identical output (see parallel.go).
 	Workers int
+	// Context cancels in-flight synthesis (signal handling). Nil
+	// means never cancelled. Cancellation surfaces as an error from
+	// the Sequence/FromWindow call; it never produces a partial
+	// predicate.
+	Context context.Context
 }
 
 // Generator produces predicates for windows of one trace schema.
@@ -193,6 +199,14 @@ func (g *Generator) SetWorkers(n int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.opts.Workers = n
+}
+
+// SetContext attaches a cancellation context to subsequent synthesis
+// work (see Options.Context).
+func (g *Generator) SetContext(ctx context.Context) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.opts.Context = ctx
 }
 
 // SetTelemetry attaches a run's telemetry to the generator: registry
@@ -539,7 +553,11 @@ func (g *Generator) searchNext(name string, examples []synth.Example) (expr.Expr
 	if !g.opts.NoReuse {
 		opts.Seeds = g.sortedSeeds(name)
 	}
-	return synth.Synthesize(g.synthVars, examples, opts)
+	ctx := g.opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return synth.SynthesizeContext(ctx, g.synthVars, examples, opts)
 }
 
 // sortedSeeds returns a copy of the variable's seed pool ordered

@@ -93,6 +93,20 @@ func (in *Interner) Len() int {
 	return len(in.canon)
 }
 
+// Canon returns the canonical observations in id order (ObsID i maps
+// to the i-th element). Checkpointing serialises exactly this list:
+// because ids are assigned in first-sight order, and the first sight
+// of every value happens inside the first sight of some observation,
+// re-interning the list in order on an empty Interner reproduces both
+// the observation and the value tables bit-for-bit. The returned
+// slice is fresh; its observations are the shared read-only canonical
+// copies.
+func (in *Interner) Canon() []Observation {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Observation(nil), in.canon...)
+}
+
 // maxArrayWindow is the window width the array-backed WindowKey form
 // covers; wider windows (rare — the paper uses w ≤ 4) fall back to a
 // string-encoded key.
@@ -125,4 +139,21 @@ func MakeWindowKey(ids []ObsID) WindowKey {
 	}
 	k.s = string(buf)
 	return k
+}
+
+// IDs returns the interned ids the key was built from, in position
+// order, decoding whichever representation the key uses. It is the
+// inverse of MakeWindowKey (checkpoints serialise memo keys through
+// it): MakeWindowKey(k.IDs()) == k.
+func (k WindowKey) IDs() []ObsID {
+	if k.s != "" {
+		ids := make([]ObsID, len(k.s)/4)
+		for i := range ids {
+			ids[i] = ObsID(binary.LittleEndian.Uint32([]byte(k.s[4*i : 4*i+4])))
+		}
+		return ids
+	}
+	ids := make([]ObsID, k.n)
+	copy(ids, k.a[:k.n])
+	return ids
 }

@@ -17,7 +17,15 @@
 // plus profiling at /debug/pprof/ — useful when the monitored trace
 // runs for hours.
 //
-// Exit status: 0 when the trace conforms, 1 on a violation, 2 on error.
+// With -active the trace is not read from a file: the named simulated
+// system (see internal/systems) is driven live along its canonical
+// workload schedule for -probe observations, and the conformance
+// verdict — conforms, or diverges at step K with the witness symbol
+// sequence — is printed (the single-shot form of cmd/probe's
+// refinement loop).
+//
+// Exit status: 0 when the trace conforms, 1 on a violation or
+// divergence, 2 on error.
 package main
 
 import (
@@ -27,9 +35,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 
 	"repro"
+	"repro/internal/active"
+	"repro/internal/systems"
 	"repro/internal/trace"
 )
 
@@ -38,6 +49,8 @@ import (
 // hand-maintained synopsis did.
 const usage = `usage: monitor -model system.t2m -in trace.csv [-informat csv|events|ftrace]
                [-task comm-pid] [-j N] [-stream] [-q] [-metrics-addr HOST:PORT]
+       monitor -model system.t2m -active -system counter|fifo|serial|usbslot
+               [-probe N] [-seed N] [-j N] [-q]
 
 `
 
@@ -47,6 +60,10 @@ type options struct {
 	workers                       int
 	stream, quiet                 bool
 	metricsAddr                   string
+	active                        bool
+	system                        string
+	probe                         int
+	seed                          int64
 }
 
 // declareFlags registers all flags on fs; split out so the usage smoke
@@ -61,6 +78,10 @@ func declareFlags(fs *flag.FlagSet) *options {
 	fs.BoolVar(&o.stream, "stream", false, "check the trace as it streams: bounded memory, same verdict")
 	fs.BoolVar(&o.quiet, "q", false, "suppress the conforming-trace message")
 	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address while checking")
+	fs.BoolVar(&o.active, "active", false, "probe a live simulated system instead of reading a trace file")
+	fs.StringVar(&o.system, "system", "", "with -active: system to probe: "+strings.Join(systems.Names(), ", "))
+	fs.IntVar(&o.probe, "probe", 0, "with -active: probe length in observations (0 = the system's canonical trace length)")
+	fs.Int64Var(&o.seed, "seed", 0, "with -active: workload schedule seed (0 = the system's default)")
 	return o
 }
 
@@ -80,8 +101,14 @@ func main() {
 }
 
 func run(o *options) (int, error) {
-	if o.modelPath == "" || o.in == "" {
-		return 2, fmt.Errorf("both -model and -in are required")
+	if o.modelPath == "" {
+		return 2, fmt.Errorf("-model is required")
+	}
+	if o.active {
+		return runActive(o)
+	}
+	if o.in == "" {
+		return 2, fmt.Errorf("-in is required (or -active to probe a simulated system)")
 	}
 	mf, err := os.Open(o.modelPath)
 	if err != nil {
@@ -149,6 +176,50 @@ func run(o *options) (int, error) {
 		}
 	}
 	fmt.Println(violation)
+	return 1, nil
+}
+
+// runActive drives a simulated system along its canonical schedule and
+// checks the observed trace against the model: active conformance
+// checking, where the monitor interrogates the system instead of
+// waiting for a trace file.
+func runActive(o *options) (int, error) {
+	if o.system == "" {
+		return 2, fmt.Errorf("-active requires -system (one of %s)", strings.Join(systems.Names(), ", "))
+	}
+	sys, err := systems.Open(o.system)
+	if err != nil {
+		return 2, err
+	}
+	mf, err := os.Open(o.modelPath)
+	if err != nil {
+		return 2, err
+	}
+	model, err := repro.LoadModel(mf)
+	mf.Close()
+	if err != nil {
+		return 2, err
+	}
+	model.SetWorkers(o.workers)
+	n := o.probe
+	if n <= 0 {
+		n = systems.CanonicalObservations(o.system)
+	}
+	probe, err := systems.DriveSchedule(sys, o.seed, n)
+	if err != nil {
+		return 2, err
+	}
+	verdict, err := active.Conformance(model, probe)
+	if err != nil {
+		return 2, err
+	}
+	if verdict.Conforms {
+		if !o.quiet {
+			fmt.Printf("ok: model explains all %d probed observations\n", probe.Len())
+		}
+		return 0, nil
+	}
+	fmt.Println(verdict)
 	return 1, nil
 }
 

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestUsageNamesEveryFlag pins the -h synopsis to the registered flag
+// set: a flag added to declareFlags without a mention in usage (or
+// vice versa, a synopsis entry for a removed flag) fails here instead
+// of silently drifting.
+func TestUsageNamesEveryFlag(t *testing.T) {
+	fs := flag.NewFlagSet("probe", flag.ContinueOnError)
+	declareFlags(fs)
+	n := 0
+	fs.VisitAll(func(f *flag.Flag) {
+		n++
+		if !strings.Contains(usage, "-"+f.Name) {
+			t.Errorf("usage synopsis missing -%s", f.Name)
+		}
+	})
+	if n == 0 {
+		t.Fatal("declareFlags registered no flags")
+	}
+}

@@ -13,12 +13,14 @@
 //	repro -exp table2 [-merge-timeout D]
 //	repro -exp fig7 [-max-exp K]
 //	repro -exp ablation-w | ablation-l | synth-styles | coverage
+//	repro -exp active [-active-out BENCH_active.json]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -33,7 +35,8 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: all, figures, fig1b, fig2, fig3, fig4, fig5, fig6, fig7, table1, table2, ablation-w, ablation-l, synth-styles, coverage, ingest")
+		exp          = flag.String("exp", "all", "experiment: all, figures, fig1b, fig2, fig3, fig4, fig5, fig6, fig7, table1, table2, ablation-w, ablation-l, synth-styles, coverage, ingest, active")
+		activeOut    = flag.String("active-out", "", "with -exp active: also write the results as a BENCH_active.json document to this file")
 		dotDir       = flag.String("dotdir", "", "write learned automata as DOT files into this directory")
 		fullTimeout  = flag.Duration("full-timeout", 60*time.Second, "timeout for non-segmented runs (Table I, Fig 7)")
 		mergeTimeout = flag.Duration("merge-timeout", 60*time.Second, "timeout for state-merge runs (Table II)")
@@ -63,7 +66,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "repro: metrics listening on %s\n", srv.URL())
 	}
-	if err := run(*exp, *dotDir, *fullTimeout, *mergeTimeout, *maxExp); err != nil {
+	if err := run(*exp, *dotDir, *activeOut, *fullTimeout, *mergeTimeout, *maxExp); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
@@ -74,11 +77,11 @@ var figureCase = map[string]string{
 	"fig4": "Integrator", "fig5": "Counter", "fig6": "Linux Kernel",
 }
 
-func run(exp, dotDir string, fullTimeout, mergeTimeout time.Duration, maxExp int) error {
+func run(exp, dotDir, activeOut string, fullTimeout, mergeTimeout time.Duration, maxExp int) error {
 	switch {
 	case exp == "all":
-		for _, e := range []string{"figures", "table1", "table2", "fig7", "ablation-w", "ablation-l", "ablation-sym", "synth-styles", "coverage", "invariants", "properties"} {
-			if err := run(e, dotDir, fullTimeout, mergeTimeout, maxExp); err != nil {
+		for _, e := range []string{"figures", "table1", "table2", "fig7", "ablation-w", "ablation-l", "ablation-sym", "synth-styles", "coverage", "invariants", "properties", "active"} {
+			if err := run(e, dotDir, activeOut, fullTimeout, mergeTimeout, maxExp); err != nil {
 				return err
 			}
 			fmt.Println()
@@ -112,6 +115,8 @@ func run(exp, dotDir string, fullTimeout, mergeTimeout time.Duration, maxExp int
 		return runCoverage()
 	case exp == "ingest":
 		return runIngest()
+	case exp == "active":
+		return runActive(activeOut)
 	case exp == "invariants":
 		return runInvariants()
 	case exp == "properties":
@@ -343,6 +348,30 @@ func runIngest() error {
 			r.BatchWall.Round(time.Millisecond), r.StreamWall.Round(time.Millisecond),
 			float64(r.BatchPeak)/1e6, float64(r.StreamPeak)/1e6,
 			r.ObsPerSec, r.States, r.Identical)
+	}
+	return nil
+}
+
+func runActive(activeOut string) error {
+	fmt.Println("== Active probing: refinement from truncated seed traces")
+	rows, err := experiments.RunActive()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %10s %10s %8s %11s %11s %7s %10s %10s\n",
+		"system", "seed obs", "full obs", "rounds", "divergences", "stabilized", "states", "identical", "wall")
+	for _, r := range rows {
+		fmt.Printf("%10s %10d %10d %8d %11d %11t %7d %10t %9.0fms\n",
+			r.System, r.SeedObs, r.FullObs, r.Rounds, r.Divergences,
+			r.Stabilized, r.States, r.Identical, r.WallMS)
+	}
+	if activeOut != "" {
+		if err := pipeline.AtomicWriteFile(activeOut, func(w io.Writer) error {
+			return experiments.WriteActiveBench(w, rows)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", activeOut)
 	}
 	return nil
 }

@@ -7,14 +7,22 @@
 // Usage:
 //
 //	tracegen -system usbslot|usbattach|counter|serial|rtlinux|integrator|fifo
-//	         [-o FILE] [-n LENGTH] [-steps N] [-format csv|events|ftrace]
+//	         [-o FILE] [-n LENGTH] [-steps N] [-seed N] [-format csv|events|ftrace]
 //
 // With no -o the trace is written to stdout.
 //
-// For ingestion benchmarks, -steps streams a synthetic trace of any
-// length straight to the output without building it in memory:
-// -system counter -steps N emits an N-step modular-counter CSV, and
-// -system fifo -steps N emits an N-cycle FIFO-occupancy VCD.
+// For ingestion benchmarks and long workloads, -steps streams a trace
+// of any length straight to the output without building it in memory:
+// -system counter or serial -steps N emits an N-observation CSV by
+// driving the system's workload schedule, and -system fifo -steps N
+// emits an N-cycle FIFO-occupancy VCD. Streaming and batch modes agree
+// byte for byte: for the same -system and -seed, -steps N output is a
+// prefix of (or, at matching lengths, identical to) the batch output —
+// pinned by this package's golden test.
+//
+// -seed selects the workload schedule seed for the randomised systems
+// (serial, rtlinux); 0 keeps each system's default, so existing
+// invocations reproduce the committed benchmark traces.
 package main
 
 import (
@@ -34,7 +42,7 @@ import (
 // it names every registered flag, so it cannot drift the way the old
 // hand-maintained synopsis did (which was missing -steps).
 const usage = `usage: tracegen -system usbslot|usbattach|counter|serial|rtlinux|integrator|fifo
-                [-o FILE] [-n LENGTH] [-steps N] [-format csv|events|ftrace]
+                [-o FILE] [-n LENGTH] [-steps N] [-seed N] [-format csv|events|ftrace]
 
 `
 
@@ -42,6 +50,7 @@ const usage = `usage: tracegen -system usbslot|usbattach|counter|serial|rtlinux|
 type options struct {
 	system, out, format string
 	length, steps       int
+	seed                int64
 }
 
 // declareFlags registers all flags on fs; split out so the usage smoke
@@ -52,7 +61,8 @@ func declareFlags(fs *flag.FlagSet) *options {
 	fs.StringVar(&o.out, "o", "", "output file (default stdout)")
 	fs.IntVar(&o.length, "n", 0, "override trace length (0 = paper default; supported for counter, serial, rtlinux, integrator)")
 	fs.StringVar(&o.format, "format", "", "output format: csv, events, ftrace (default by schema)")
-	fs.IntVar(&o.steps, "steps", 0, "stream this many steps directly to the output (counter: CSV, fifo: VCD); any length, O(1) memory")
+	fs.IntVar(&o.steps, "steps", 0, "stream this many observations directly to the output (counter/serial: CSV, fifo: VCD); any length, O(1) memory")
+	fs.Int64Var(&o.seed, "seed", 0, "workload schedule seed for the randomised systems (0 = each system's default); identical in batch and -steps modes")
 	return o
 }
 
@@ -63,15 +73,16 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if err := run(o.system, o.out, o.length, o.format, o.steps); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(system, out string, length int, format string, steps int) error {
+func run(o *options) error {
+	system, out, length, format, steps := o.system, o.out, o.length, o.format, o.steps
 	if steps > 0 || system == "fifo" {
-		return runStream(system, out, format, steps)
+		return runStream(system, out, format, steps, o.seed)
 	}
 	var (
 		tr  *trace.Trace
@@ -89,11 +100,17 @@ func run(system, out string, length int, format string, steps int) error {
 		if length > 0 {
 			w.Observations = length
 		}
+		if o.seed != 0 {
+			w.Seed = o.seed
+		}
 		tr, err = w.Run()
 	case "rtlinux":
 		cfg := rtlinux.DefaultConfig()
 		if length > 0 {
 			cfg.Events = length
+		}
+		if o.seed != 0 {
+			cfg.Seed = o.seed
 		}
 		sim, nerr := rtlinux.New(cfg)
 		if nerr != nil {
@@ -144,18 +161,20 @@ func run(system, out string, length int, format string, steps int) error {
 }
 
 // runStream handles the direct-to-writer generators selected by
-// -steps: traces of any length in O(1) memory.
-func runStream(system, out, format string, steps int) error {
+// -steps: traces of any length in O(1) memory. The CSV systems drive
+// the same workload schedules the batch generators replay, so for a
+// given -seed the streamed bytes are a prefix of the batch output.
+func runStream(system, out, format string, steps int, seed int64) error {
 	if steps <= 0 {
 		steps = 10000
 	}
 	switch system {
-	case "counter":
+	case "counter", "serial":
 		if format != "" && format != "csv" {
-			return fmt.Errorf("-steps with -system counter emits csv only")
+			return fmt.Errorf("-steps with -system %s emits csv only", system)
 		}
 		return writeOut(out, func(w io.Writer) error {
-			return experiments.StreamCounterCSV(w, steps, 8)
+			return experiments.StreamScheduleCSV(w, system, seed, steps)
 		})
 	case "fifo":
 		if format != "" && format != "vcd" {
@@ -165,7 +184,7 @@ func runStream(system, out, format string, steps int) error {
 			return experiments.StreamFIFOVCD(w, steps, 4)
 		})
 	default:
-		return fmt.Errorf("-steps supports -system counter (csv) and fifo (vcd), not %q", system)
+		return fmt.Errorf("-steps supports -system counter, serial (csv) and fifo (vcd), not %q", system)
 	}
 }
 

@@ -366,6 +366,24 @@ func (v *Violation) Error() string {
 		kind, v.Position, v.Predicate, v.State+1)
 }
 
+// Abstract maps a trace to its predicate-key sequence using the
+// model's own generator, so the keys are alphabet-consistent with the
+// model's transition labels. Windows unseen during learning are
+// synthesized on the fly (and get fresh keys the automaton cannot
+// know); the active prober uses this to locate and report divergences
+// with their surrounding symbol context.
+func (m *Model) Abstract(tr *trace.Trace) ([]string, error) {
+	preds, err := m.pipeline.gen.Sequence(tr)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, len(preds))
+	for i, pr := range preds {
+		keys[i] = pr.Key
+	}
+	return keys, nil
+}
+
 // Check abstracts a fresh trace with the model's own predicate
 // generator and runs it through the automaton, returning the first
 // violation, or nil when the model explains the whole trace. The

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -24,11 +25,25 @@ import (
 //     accumulated next-function seeds, so a reloaded model abstracts
 //     fresh traces to the same predicate text it was learned with,
 //   - the predicate alphabet (canonical expression strings, which the
-//     expression parser round-trips), and
-//   - the automaton (state count, initial state, transitions).
+//     expression parser round-trips),
+//   - the automaton (state count, initial state, transitions), and
+//   - a trailing "genstate" line holding the full generator snapshot
+//     (interner + window memo + seeds, the checkpoint encoding of
+//     DESIGN.md note 14) as one JSON object.
+//
+// The genstate section is what makes a reload abstraction-faithful:
+// seeds alone are not enough, because synthesis with the *final* seed
+// pool can pick a later-seeded expression for an early window that was
+// originally synthesized before that seed existed (observed on the
+// serial port's mixed-event windows, where the reloaded model then
+// rejected its own training trace). Restoring the memo replays every
+// learned window to its original predicate exactly; only genuinely
+// novel windows reach the synthesizer. Files without the section (from
+// older writers) still load, with the old seeds-only behaviour.
 //
 // The format is deliberately human-readable; learned models are design
-// artifacts people review.
+// artifacts people review (the one JSON line is the machine-shaped
+// tail).
 
 const modelMagic = "t2m-model v1"
 
@@ -81,6 +96,12 @@ func WriteModel(w io.Writer, m *Model) error {
 			fmt.Fprintf(bw, "%s %s\n", name, e)
 		}
 	}
+
+	js, err := json.Marshal(m.pipeline.gen.Snapshot())
+	if err != nil {
+		return fmt.Errorf("model: generator snapshot: %w", err)
+	}
+	fmt.Fprintf(bw, "genstate %s\n", js)
 	return bw.Flush()
 }
 
@@ -254,6 +275,23 @@ func ReadModel(r io.Reader) (*Model, error) {
 		seeds[name] = append(seeds[name], e)
 	}
 
+	// Optional generator-state tail: the full interner + window-memo
+	// snapshot. When present it supersedes the seeds section (which it
+	// also contains) and makes the reload abstraction-faithful.
+	var snap *predicate.SnapshotState
+	if l, err := line(); err == nil {
+		rest, ok := strings.CutPrefix(l, "genstate ")
+		if !ok {
+			return nil, fmt.Errorf("model: unexpected trailing line %q", l)
+		}
+		snap = &predicate.SnapshotState{}
+		if err := json.Unmarshal([]byte(rest), snap); err != nil {
+			return nil, fmt.Errorf("model: genstate: %w", err)
+		}
+	} else if err != io.ErrUnexpectedEOF {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+
 	pipeline, err := NewPipeline(schema, Options{
 		Predicate: predicate.Options{Window: window},
 		Learn:     learn.Options{Segmented: true},
@@ -261,7 +299,13 @@ func ReadModel(r io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("model: %w", err)
 	}
-	pipeline.gen.SetSeeds(seeds)
+	if snap != nil {
+		if _, err := pipeline.gen.Restore(snap); err != nil {
+			return nil, fmt.Errorf("model: %w", err)
+		}
+	} else {
+		pipeline.gen.SetSeeds(seeds)
+	}
 
 	return &Model{
 		Automaton: nfa,

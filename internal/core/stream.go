@@ -151,6 +151,82 @@ func (p *Pipeline) LearnSource(src trace.Source) (*Model, error) {
 	}, nil
 }
 
+// LearnSources runs the streaming pipeline over several traces of the
+// same system — the streaming counterpart of LearnAll, and the fold
+// step of the active-probing loop: each probe round relearns from
+// [seed trace, probe trace] without materialising either predicate
+// sequence. Sequences are run-length encoded per source and solved
+// together, so the result is byte-identical to LearnAll over the
+// collected traces.
+//
+// Checkpointing is not supported here: the checkpoint driver snapshots
+// one source's ingestion front. Callers that need crash safety around
+// multi-trace learning (the active loop) get it at a coarser grain —
+// every round's relearn is a complete, atomic LearnSources run, so a
+// crash rolls back to the previous round's model.
+func (p *Pipeline) LearnSources(srcs []trace.Source) (*Model, error) {
+	if len(srcs) == 0 {
+		return nil, errors.New("core: no sources")
+	}
+	if p.opts.Checkpoint.Enabled() {
+		return nil, errors.New("core: checkpointing is not supported for multi-source learning")
+	}
+	var metrics pipeline.Metrics
+	ttr := p.opts.Telemetry.Trace()
+	run := ttr.Start(0, "run")
+	before := p.gen.Stats()
+	sp := metrics.Start("predicate")
+	stage := p.startStage(run, "predicate")
+	alphabet := make(map[string]*predicate.Predicate)
+	seqs := make([]*learn.Seq, len(srcs))
+	for i, src := range srcs {
+		seq := learn.NewSeq()
+		emit := func(r predicate.Run) error {
+			alphabet[r.Pred.Key] = r.Pred
+			seq.Append(r.Pred.Key, r.Count)
+			return nil
+		}
+		var err error
+		if ctx := p.opts.Context; ctx != nil {
+			err = p.gen.SequenceSource(&ctxSource{src: src, ctx: ctx}, emit)
+		} else {
+			err = p.gen.SequenceSource(src, emit)
+		}
+		if err != nil {
+			ttr.End(stage)
+			ttr.End(run)
+			return nil, p.interrupted("predicate", fmt.Errorf("source %d: %w", i, err))
+		}
+		seqs[i] = seq
+	}
+	d := p.gen.Stats().Minus(before)
+	endPredicateStage(ttr, stage, d)
+	predicateSpan(sp, d)
+
+	sp = metrics.Start("model")
+	lo := p.opts.Learn
+	lo.TraceSpan = p.startStage(run, "model")
+	res, err := learn.GenerateModelSeqs(seqs, lo)
+	endModelStage(ttr, lo.TraceSpan, res)
+	ttr.End(run)
+	if err != nil {
+		if ierr := p.interrupted("model", err); ierr != err {
+			return nil, ierr
+		}
+		return nil, fmt.Errorf("core: model construction: %w", err)
+	}
+	modelSpan(sp, res.Stats)
+	return &Model{
+		Automaton:      res.Automaton,
+		Alphabet:       alphabet,
+		States:         res.Stats.FinalStates,
+		PredicateStats: p.gen.Stats(),
+		LearnStats:     res.Stats,
+		Stages:         metrics.Stages(),
+		pipeline:       p,
+	}, nil
+}
+
 // errCheckDone aborts the predicate stream once CheckSource has found
 // its violation; it never escapes.
 var errCheckDone = errors.New("core: check finished")

@@ -8,6 +8,7 @@ package experiments
 import (
 	"bufio"
 	"bytes"
+	"encoding/csv"
 	"fmt"
 	"io"
 	"runtime"
@@ -16,6 +17,7 @@ import (
 
 	"repro"
 	"repro/internal/pipeline"
+	"repro/internal/systems"
 	"repro/internal/trace"
 )
 
@@ -41,6 +43,63 @@ func StreamCounterCSV(w io.Writer, steps, mod int) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// StreamScheduleCSV drives a registered simulated system (see
+// internal/systems) along its deterministic workload schedule and
+// writes the observations in the tool's CSV format, row by row in
+// O(1) memory. The schedules are prefix-monotone, so for any steps the
+// output is byte-identical to a prefix of WriteCSV over the
+// batch-generated trace with the same seed — tracegen relies on this
+// to make its -steps streaming mode and its batch mode agree.
+func StreamScheduleCSV(w io.Writer, name string, seed int64, steps int) error {
+	sys, err := systems.Open(name)
+	if err != nil {
+		return err
+	}
+	if steps < 1 {
+		return fmt.Errorf("stream %s: need at least 1 observation", name)
+	}
+	sch := sys.Schema()
+	cw := csv.NewWriter(w)
+	header := make([]string, sch.Len())
+	for i := 0; i < sch.Len(); i++ {
+		v := sch.Var(i)
+		header[i] = v.Name + ":" + v.Type.String()
+		if v.Role == trace.Input {
+			header[i] += ":input"
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, sch.Len())
+	emit := func(obs trace.Observation) error {
+		for j, v := range obs {
+			row[j] = v.String()
+		}
+		return cw.Write(row)
+	}
+	sys.Reset()
+	next := sys.Schedule(seed)
+	count := 0
+	if obs, ok := sys.Init(); ok {
+		if err := emit(obs); err != nil {
+			return err
+		}
+		count++
+	}
+	for ; count < steps; count++ {
+		obs, err := sys.Step(next())
+		if err != nil {
+			return fmt.Errorf("stream %s: observation %d: %w", name, count, err)
+		}
+		if err := emit(obs); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // StreamFIFOVCD writes a steps-timestamp VCD waveform of a FIFO whose

@@ -38,22 +38,22 @@ func Schema() *trace.Schema {
 // Run generates the counter trace: 1, 2, …, T, T−1, …, 1, 2, … until
 // Observations values have been emitted.
 func (c Config) Run() (*trace.Trace, error) {
-	if c.Threshold < 2 {
-		return nil, fmt.Errorf("counter: threshold %d must be at least 2", c.Threshold)
+	m, err := NewMachine(c.Threshold)
+	if err != nil {
+		return nil, err
 	}
 	if c.Observations < 2 {
 		return nil, fmt.Errorf("counter: need at least 2 observations, got %d", c.Observations)
 	}
 	tr := trace.New(Schema())
-	x, dir := int64(1), int64(1)
+	obs, _ := m.Init()
+	tr.MustAppend(obs)
 	for tr.Len() < c.Observations {
-		tr.MustAppend(trace.Observation{expr.IntVal(x)})
-		if x >= c.Threshold {
-			dir = -1
-		} else if x <= 1 {
-			dir = 1
+		obs, err := m.Step(InputTick)
+		if err != nil {
+			return nil, err
 		}
-		x += dir
+		tr.MustAppend(obs)
 	}
 	return tr, nil
 }

@@ -1,0 +1,71 @@
+package counter
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+// InputTick is the counter's only input: advance one step.
+const InputTick = "tick"
+
+// Machine is the counter as a steppable state machine, the probeable
+// form of the benchmark that active conformance testing drives: the
+// same update rule as Config.Run, but one transition at a time from an
+// explicit reset. Config.Run is implemented on top of it, so the batch
+// generator and the probe target cannot drift apart.
+type Machine struct {
+	threshold int64
+	x, dir    int64
+}
+
+// NewMachine returns a reset counter machine with turning point
+// threshold.
+func NewMachine(threshold int64) (*Machine, error) {
+	if threshold < 2 {
+		return nil, fmt.Errorf("counter: threshold %d must be at least 2", threshold)
+	}
+	m := &Machine{threshold: threshold}
+	m.Reset()
+	return m, nil
+}
+
+// Name implements systems.Probeable.
+func (m *Machine) Name() string { return "counter" }
+
+// Schema implements systems.Probeable.
+func (m *Machine) Schema() *trace.Schema { return Schema() }
+
+// Inputs implements systems.Probeable.
+func (m *Machine) Inputs() []string { return []string{InputTick} }
+
+// Reset returns the counter to its initial state (x = 1, counting up).
+func (m *Machine) Reset() { m.x, m.dir = 1, 1 }
+
+// Init implements systems.Probeable: the counter's value is observed
+// from reset on, before any input.
+func (m *Machine) Init() (trace.Observation, bool) {
+	return trace.Observation{expr.IntVal(m.x)}, true
+}
+
+// Step advances the counter one step and returns the new observation.
+func (m *Machine) Step(input string) (trace.Observation, error) {
+	if input != InputTick {
+		return nil, fmt.Errorf("counter: unknown input %q", input)
+	}
+	if m.x >= m.threshold {
+		m.dir = -1
+	} else if m.x <= 1 {
+		m.dir = 1
+	}
+	m.x += m.dir
+	return trace.Observation{expr.IntVal(m.x)}, nil
+}
+
+// Schedule implements systems.Scheduler. The counter is autonomous, so
+// the canonical workload is an endless stream of ticks; seed is
+// ignored.
+func (m *Machine) Schedule(seed int64) func() string {
+	return func() string { return InputTick }
+}

@@ -1,0 +1,103 @@
+// Package fifo models the bounded FIFO whose occupancy waveform the
+// VCD ingestion path samples (see experiments.StreamFIFOVCD): a queue
+// of fixed depth observed only by its fill level. As a probeable
+// machine it accepts push and pop inputs and rejects overflow and
+// underflow, so active conformance probing can both replay the
+// canonical triangle workload and detect when a hypothesis model
+// claims behaviour the hardware refuses.
+package fifo
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+// FIFO inputs.
+const (
+	InputPush = "push"
+	InputPop  = "pop"
+)
+
+// Machine is a bounded FIFO observed by its occupancy level.
+type Machine struct {
+	depth, level int
+}
+
+// New returns an empty FIFO of the given depth.
+func New(depth int) (*Machine, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("fifo: depth %d must be positive", depth)
+	}
+	return &Machine{depth: depth}, nil
+}
+
+// Schema returns the trace schema: the occupancy level, named as the
+// VCD waveform generator declares it (scope fifo, signal level).
+func Schema() *trace.Schema {
+	return trace.MustSchema(trace.VarDef{Name: "fifo.level", Type: expr.Int})
+}
+
+// Name implements systems.Probeable.
+func (m *Machine) Name() string { return "fifo" }
+
+// Schema implements systems.Probeable.
+func (m *Machine) Schema() *trace.Schema { return Schema() }
+
+// Inputs implements systems.Probeable.
+func (m *Machine) Inputs() []string { return []string{InputPush, InputPop} }
+
+// Depth returns the FIFO capacity.
+func (m *Machine) Depth() int { return m.depth }
+
+// Level returns the current occupancy.
+func (m *Machine) Level() int { return m.level }
+
+// Reset empties the FIFO.
+func (m *Machine) Reset() { m.level = 0 }
+
+// Init implements systems.Probeable: the level is observed from reset
+// on, before any input (the VCD dump's $dumpvars section).
+func (m *Machine) Init() (trace.Observation, bool) {
+	return trace.Observation{expr.IntVal(int64(m.level))}, true
+}
+
+// Step applies one input. Pushing a full FIFO and popping an empty one
+// are rejected — the refusal is itself conformance information: a
+// hypothesis model predicting such a step overapproximates the system.
+func (m *Machine) Step(input string) (trace.Observation, error) {
+	switch input {
+	case InputPush:
+		if m.level == m.depth {
+			return nil, fmt.Errorf("fifo: push on full fifo (depth %d)", m.depth)
+		}
+		m.level++
+	case InputPop:
+		if m.level == 0 {
+			return nil, fmt.Errorf("fifo: pop on empty fifo")
+		}
+		m.level--
+	default:
+		return nil, fmt.Errorf("fifo: unknown input %q", input)
+	}
+	return trace.Observation{expr.IntVal(int64(m.level))}, nil
+}
+
+// Schedule implements systems.Scheduler: the canonical triangle
+// workload of StreamFIFOVCD — fill to depth, drain to empty, repeat.
+// Seed is ignored; the workload is deterministic.
+func (m *Machine) Schedule(seed int64) func() string {
+	dir := 1
+	return func() string {
+		if m.level == m.depth {
+			dir = -1
+		} else if m.level == 0 {
+			dir = 1
+		}
+		if dir == 1 {
+			return InputPush
+		}
+		return InputPop
+	}
+}

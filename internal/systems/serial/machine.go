@@ -1,0 +1,74 @@
+package serial
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+// Machine is the serial port as a steppable state machine for active
+// conformance probing. Each Step records the observation the benchmark
+// trace records — the event applied and the queue length before it —
+// and then applies the event, exactly as Workload.Run does (Run is
+// implemented on top of Step, so the two cannot drift apart).
+type Machine struct {
+	port *Port
+	w    Workload
+}
+
+// NewMachine returns a machine over a fresh port with the workload's
+// capacity; the workload also parameterises the canonical schedule.
+func NewMachine(w Workload) (*Machine, error) {
+	port, err := NewPort(w.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{port: port, w: w}, nil
+}
+
+// Name implements systems.Probeable.
+func (m *Machine) Name() string { return "serial" }
+
+// Schema implements systems.Probeable.
+func (m *Machine) Schema() *trace.Schema { return Schema() }
+
+// Inputs implements systems.Probeable.
+func (m *Machine) Inputs() []string { return []string{EvWrite, EvRead, EvReset} }
+
+// Reset empties the FIFO (the port's power-on state).
+func (m *Machine) Reset() { m.port.Reset() }
+
+// Init implements systems.Probeable: the serial benchmark observes
+// nothing before the first event.
+func (m *Machine) Init() (trace.Observation, bool) { return nil, false }
+
+// Step applies one event and returns the benchmark observation: the
+// event together with the queue length before it.
+func (m *Machine) Step(ev string) (trace.Observation, error) {
+	obs := trace.Observation{expr.SymVal(ev), expr.IntVal(int64(m.port.Len()))}
+	switch ev {
+	case EvWrite:
+		m.port.Write()
+	case EvRead:
+		m.port.Read()
+	case EvReset:
+		m.port.Reset()
+	default:
+		return nil, fmt.Errorf("serial: unknown event %q", ev)
+	}
+	return obs, nil
+}
+
+// Schedule implements systems.Scheduler: the workload's bursty
+// producer / eager consumer policy, reading the live queue length.
+// Seed 0 selects the workload's own seed, so the canonical benchmark
+// trace is the schedule's prefix.
+func (m *Machine) Schedule(seed int64) func() string {
+	if seed == 0 {
+		seed = m.w.Seed
+	}
+	r := rand.New(rand.NewSource(seed))
+	return m.w.policy(r, m.port.Len)
+}

@@ -92,6 +92,45 @@ func DefaultWorkload() Workload {
 	return Workload{Observations: 2076, Capacity: 16, MaxBurst: 6, ResetEvery: 40, Seed: 1}
 }
 
+// policy returns the workload's event chooser: one call decides the
+// next event from the live queue length (via portLen) and the random
+// stream. It is shared verbatim between Run and Machine.Schedule so
+// the batch generator and the probe schedule consume the random stream
+// identically — the canonical trace is a prefix of the schedule.
+func (w Workload) policy(r *rand.Rand, portLen func() int) func() string {
+	burstLeft := 0
+	return func() string {
+		switch {
+		case w.ResetEvery > 0 && r.Intn(w.ResetEvery) == 0:
+			burstLeft = 0
+			return EvReset
+		case burstLeft > 0:
+			burstLeft--
+			return EvWrite
+		case portLen() > 0 && r.Intn(3) != 0:
+			// The consumer is quick: drain with high probability.
+			return EvRead
+		case portLen() == 0 || r.Intn(2) == 0:
+			// Bursts are bounded by the remaining headroom: the
+			// consumer is fast enough that the FIFO never fills
+			// (the paper could not take the queue to capacity).
+			headroom := w.Capacity - 1 - portLen()
+			if headroom < 1 {
+				return EvRead
+			}
+			burst := w.MaxBurst
+			if burst > headroom {
+				burst = headroom
+			}
+			burstLeft = 1 + r.Intn(burst)
+			burstLeft--
+			return EvWrite
+		default:
+			return EvRead
+		}
+	}
+}
+
 // Run generates the benchmark trace. Each observation records the
 // event applied at this step and the queue length before the event;
 // the primed value in a step pair is therefore the length after the
@@ -101,54 +140,19 @@ func (w Workload) Run() (*trace.Trace, error) {
 	if w.Observations < 2 {
 		return nil, fmt.Errorf("serial: need at least 2 observations, got %d", w.Observations)
 	}
-	port, err := NewPort(w.Capacity)
+	m, err := NewMachine(w)
 	if err != nil {
 		return nil, err
 	}
-	r := rand.New(rand.NewSource(w.Seed))
+	next := m.Schedule(w.Seed)
 	tr := trace.New(Schema())
-
-	burstLeft := 0
-	record := func(ev string) {
-		tr.MustAppend(trace.Observation{expr.SymVal(ev), expr.IntVal(int64(port.Len()))})
-		switch ev {
-		case EvWrite:
-			port.Write()
-		case EvRead:
-			port.Read()
-		case EvReset:
-			port.Reset()
-		}
-	}
 	for tr.Len() < w.Observations {
-		switch {
-		case w.ResetEvery > 0 && r.Intn(w.ResetEvery) == 0:
-			record(EvReset)
-			burstLeft = 0
-		case burstLeft > 0:
-			record(EvWrite)
-			burstLeft--
-		case port.Len() > 0 && r.Intn(3) != 0:
-			// The consumer is quick: drain with high probability.
-			record(EvRead)
-		case port.Len() == 0 || r.Intn(2) == 0:
-			// Bursts are bounded by the remaining headroom: the
-			// consumer is fast enough that the FIFO never fills
-			// (the paper could not take the queue to capacity).
-			headroom := w.Capacity - 1 - port.Len()
-			if headroom < 1 {
-				record(EvRead)
-				continue
-			}
-			burst := w.MaxBurst
-			if burst > headroom {
-				burst = headroom
-			}
-			burstLeft = 1 + r.Intn(burst)
-			record(EvWrite)
-			burstLeft--
-		default:
-			record(EvRead)
+		obs, err := m.Step(next())
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.AppendOwned(obs); err != nil {
+			return nil, err
 		}
 	}
 	return tr, nil

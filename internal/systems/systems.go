@@ -1,0 +1,154 @@
+// Package systems hosts the simulated systems of the paper's
+// evaluation. Each subpackage is one benchmark generator; this parent
+// package defines the probing interface that turns those generators
+// into interrogable systems for active conformance testing
+// (internal/active): a Probeable can be reset, stepped one input at a
+// time, and observed, and a Scheduler additionally replays its
+// canonical benchmark workload — so a probe of any length is a prefix
+// extension of the trace the passive benchmarks learn from.
+package systems
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/systems/counter"
+	"repro/internal/systems/fifo"
+	"repro/internal/systems/serial"
+	"repro/internal/systems/usbxhci"
+	"repro/internal/trace"
+)
+
+// Probeable is a simulated system that active testing can interrogate:
+// reset to a known initial state, drive with one input at a time, and
+// observe. Step returns the observation the benchmark trace records
+// for that input, or an error when the system refuses the input in its
+// current state (a conformance fact in itself: a model predicting the
+// step overapproximates the system). A refused input leaves the system
+// unchanged.
+type Probeable interface {
+	// Name is the registry name of the system.
+	Name() string
+	// Schema declares the observation schema, fixed across runs.
+	Schema() *trace.Schema
+	// Inputs lists the accepted input symbols.
+	Inputs() []string
+	// Reset returns the system to its initial state.
+	Reset()
+	// Init returns the observation recorded at reset, before any
+	// input, if the system emits one (state-observed systems do;
+	// event-trace systems do not).
+	Init() (trace.Observation, bool)
+	// Step applies one input and returns its observation.
+	Step(input string) (trace.Observation, error)
+}
+
+// Scheduler is a Probeable with a canonical workload: Schedule returns
+// a deterministic input chooser replaying the system's benchmark load
+// from reset. The chooser may read the system's live state (the serial
+// workload's policy depends on the queue length), so it must only be
+// interleaved with the Steps it chooses. Seed 0 selects the system's
+// default; deterministic systems ignore it.
+type Scheduler interface {
+	Probeable
+	Schedule(seed int64) func() string
+}
+
+// Drive resets the system and applies the inputs in order, returning
+// the observed trace. On a refused input it returns the trace up to
+// the refusal together with the error, so callers can report how far
+// the system followed.
+func Drive(p Probeable, inputs []string) (*trace.Trace, error) {
+	p.Reset()
+	tr := trace.New(p.Schema())
+	if obs, ok := p.Init(); ok {
+		if err := tr.Append(obs); err != nil {
+			return tr, err
+		}
+	}
+	for i, in := range inputs {
+		obs, err := p.Step(in)
+		if err != nil {
+			return tr, fmt.Errorf("systems: %s refused input %d (%s): %w", p.Name(), i, in, err)
+		}
+		if err := tr.Append(obs); err != nil {
+			return tr, err
+		}
+	}
+	return tr, nil
+}
+
+// DriveSchedule resets the system and replays its canonical schedule
+// until n observations have been collected. The result is a prefix of
+// the same infinite trace for every n, so growing probes strictly
+// extend earlier ones.
+func DriveSchedule(p Scheduler, seed int64, n int) (*trace.Trace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("systems: need at least 1 observation, got %d", n)
+	}
+	p.Reset()
+	next := p.Schedule(seed)
+	tr := trace.New(p.Schema())
+	if obs, ok := p.Init(); ok {
+		if err := tr.Append(obs); err != nil {
+			return nil, err
+		}
+	}
+	for tr.Len() < n {
+		obs, err := p.Step(next())
+		if err != nil {
+			return nil, fmt.Errorf("systems: %s schedule refused at observation %d: %w", p.Name(), tr.Len(), err)
+		}
+		if err := tr.Append(obs); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// open constructs each registered system with its paper-default
+// parameters, paired with the canonical benchmark trace length.
+var open = map[string]struct {
+	construct func() (Scheduler, error)
+	canonical int
+}{
+	"counter": {func() (Scheduler, error) {
+		return counter.NewMachine(counter.DefaultConfig().Threshold)
+	}, counter.DefaultConfig().Observations},
+	"fifo": {func() (Scheduler, error) {
+		return fifo.New(4)
+	}, 257},
+	"serial": {func() (Scheduler, error) {
+		return serial.NewMachine(serial.DefaultWorkload())
+	}, serial.DefaultWorkload().Observations},
+	"usbslot": {func() (Scheduler, error) {
+		return usbxhci.NewSlotMachine(usbxhci.DefaultSlotWorkload()), nil
+	}, 39},
+}
+
+// Open returns the named system with its paper-default parameters.
+func Open(name string) (Scheduler, error) {
+	e, ok := open[name]
+	if !ok {
+		return nil, fmt.Errorf("systems: unknown system %q (have %v)", name, Names())
+	}
+	return e.construct()
+}
+
+// Names lists the registered probeable systems, sorted.
+func Names() []string {
+	var names []string
+	for name := range open {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CanonicalObservations returns the benchmark trace length of the
+// named system (the length its passive experiment learns from), or 0
+// for unknown names. The fifo length is 32 periods of its depth-4
+// triangle wave plus the initial level.
+func CanonicalObservations(name string) int {
+	return open[name].canonical
+}

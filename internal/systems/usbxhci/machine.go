@@ -1,0 +1,67 @@
+package usbxhci
+
+import (
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+// SlotMachine is the slot state machine as a probeable system: inputs
+// are the slot commands, the observation is the accepted command event
+// (the benchmark's event trace), and illegal commands are rejected —
+// the controller's Context State Error completion, which active
+// probing reads as "the system refuses this input here".
+type SlotMachine struct {
+	slot *Slot
+	w    SlotWorkload
+}
+
+// NewSlotMachine returns a machine over a fresh slot; the workload
+// parameterises the canonical schedule.
+func NewSlotMachine(w SlotWorkload) *SlotMachine {
+	return &SlotMachine{slot: NewSlot(), w: w}
+}
+
+// Name implements systems.Probeable.
+func (m *SlotMachine) Name() string { return "usbslot" }
+
+// Schema implements systems.Probeable.
+func (m *SlotMachine) Schema() *trace.Schema { return trace.EventSchema() }
+
+// Inputs implements systems.Probeable.
+func (m *SlotMachine) Inputs() []string {
+	return []string{CmdEnableSlot, CmdDisableSlot, CmdAddressDev, CmdConfigEnd, CmdStopEnd, CmdResetDev}
+}
+
+// Reset returns the slot to Disabled (a controller reset).
+func (m *SlotMachine) Reset() { m.slot = NewSlot() }
+
+// Init implements systems.Probeable: event traces observe nothing
+// before the first command.
+func (m *SlotMachine) Init() (trace.Observation, bool) { return nil, false }
+
+// Step applies one slot command; commands illegal in the current state
+// are rejected and leave the slot unchanged.
+func (m *SlotMachine) Step(cmd string) (trace.Observation, error) {
+	if err := m.slot.Command(cmd); err != nil {
+		return nil, err
+	}
+	return trace.Observation{expr.SymVal(cmd)}, nil
+}
+
+// Schedule implements systems.Scheduler: the workload's attach/detach
+// cycles repeated forever, so the canonical 39-event benchmark trace
+// is the schedule's prefix and longer probes wrap around to the next
+// attach. Seed is ignored; the workload is scripted. Panics on an
+// empty workload.
+func (m *SlotMachine) Schedule(seed int64) func() string {
+	cmds := m.w.Commands()
+	if len(cmds) == 0 {
+		panic("usbxhci: empty slot workload has no schedule")
+	}
+	i := 0
+	return func() string {
+		cmd := cmds[i%len(cmds)]
+		i++
+		return cmd
+	}
+}

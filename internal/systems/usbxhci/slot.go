@@ -184,38 +184,33 @@ func DefaultSlotWorkload() SlotWorkload {
 	}}
 }
 
+// Commands flattens the workload into the command sequence it issues:
+// one attach (enable, address, configure), the scripted stop/reset
+// rounds, and a detach (disable) per cycle.
+func (w SlotWorkload) Commands() []string {
+	var cmds []string
+	for _, c := range w.Cycles {
+		cmds = append(cmds, CmdEnableSlot, CmdAddressDev, CmdConfigEnd)
+		for i := 0; i < c.StopsBefore; i++ {
+			cmds = append(cmds, CmdStopEnd)
+		}
+		if c.Reset {
+			cmds = append(cmds, CmdResetDev, CmdConfigEnd)
+		}
+		for i := 0; i < c.StopsAfter; i++ {
+			cmds = append(cmds, CmdStopEnd)
+		}
+		cmds = append(cmds, CmdDisableSlot)
+	}
+	return cmds
+}
+
 // Run drives a fresh slot through the workload and returns the event
 // trace.
 func (w SlotWorkload) Run() (*trace.Trace, error) {
 	s := NewSlot()
-	do := func(cmds ...string) error {
-		for _, cmd := range cmds {
-			if err := s.Command(cmd); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	for _, c := range w.Cycles {
-		if err := do(CmdEnableSlot, CmdAddressDev, CmdConfigEnd); err != nil {
-			return nil, err
-		}
-		for i := 0; i < c.StopsBefore; i++ {
-			if err := do(CmdStopEnd); err != nil {
-				return nil, err
-			}
-		}
-		if c.Reset {
-			if err := do(CmdResetDev, CmdConfigEnd); err != nil {
-				return nil, err
-			}
-		}
-		for i := 0; i < c.StopsAfter; i++ {
-			if err := do(CmdStopEnd); err != nil {
-				return nil, err
-			}
-		}
-		if err := do(CmdDisableSlot); err != nil {
+	for _, cmd := range w.Commands() {
+		if err := s.Command(cmd); err != nil {
 			return nil, err
 		}
 	}

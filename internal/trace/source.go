@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -39,7 +40,11 @@ type ByteSource interface {
 }
 
 // Collect materialises a source into an in-memory Trace (the bridge
-// back to the batch pipeline for small inputs and tests).
+// back to the batch pipeline for small inputs and tests). On a decode
+// error it closes the source (when the source supports Close) before
+// returning: the stream is mid-record and unusable, and without the
+// close an abandoned decode over an os.File would leak the descriptor.
+// On success the source is left open — the caller owns its lifecycle.
 func Collect(src Source) (*Trace, error) {
 	t := New(src.Schema())
 	for {
@@ -48,14 +53,52 @@ func Collect(src Source) (*Trace, error) {
 			return t, nil
 		}
 		if err != nil {
-			return nil, err
+			return nil, closeOnError(src, err)
 		}
 		// Sources reuse their observation buffer, so Append's
 		// defensive copy is load-bearing here.
 		if err := t.Append(obs); err != nil {
-			return nil, err
+			return nil, closeOnError(src, err)
 		}
 	}
+}
+
+// closeOnError releases the source's underlying reader after a failed
+// decode and carries any close failure alongside the original error.
+func closeOnError(src Source, err error) error {
+	if c, ok := src.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil {
+			return errors.Join(err, cerr)
+		}
+	}
+	return err
+}
+
+// sourceCloser gives a streaming decoder an idempotent Close that
+// forwards to the reader it was constructed over, when that reader is
+// itself an io.Closer (an os.File; not a bytes.Reader). Embedded by
+// every decoder source so callers — and Collect's error path — can
+// release the input without tracking the reader separately.
+type sourceCloser struct {
+	c      io.Closer
+	closed bool
+}
+
+// newSourceCloser captures r's Close method if it has one.
+func newSourceCloser(r io.Reader) sourceCloser {
+	c, _ := r.(io.Closer)
+	return sourceCloser{c: c}
+}
+
+// Close releases the underlying reader. It is idempotent: only the
+// first call reaches the reader.
+func (s *sourceCloser) Close() error {
+	if s.closed || s.c == nil {
+		s.closed = true
+		return nil
+	}
+	s.closed = true
+	return s.c.Close()
 }
 
 // TraceSource adapts an in-memory Trace to the Source interface (for
@@ -102,6 +145,7 @@ func (c *countingReader) BytesRead() int64 { return c.n.Load() }
 // CSVSource streams the tool's CSV trace format (see WriteCSV): a
 // name:type[:role] header row, one observation per subsequent row.
 type CSVSource struct {
+	sourceCloser
 	cr     *csv.Reader
 	bytes  *countingReader
 	schema *Schema
@@ -156,12 +200,13 @@ func NewCSVSource(r io.Reader) (*CSVSource, error) {
 		return nil, fmt.Errorf("trace csv: %w", err)
 	}
 	return &CSVSource{
-		cr:     cr,
-		bytes:  bytes,
-		schema: schema,
-		vars:   vars,
-		obs:    make(Observation, len(vars)),
-		line:   1,
+		sourceCloser: newSourceCloser(r),
+		cr:           cr,
+		bytes:        bytes,
+		schema:       schema,
+		vars:         vars,
+		obs:          make(Observation, len(vars)),
+		line:         1,
 	}, nil
 }
 
@@ -214,6 +259,7 @@ func (s *CSVSource) Next() (Observation, error) {
 // EventsSource streams a one-event-per-line log (schema: event:sym).
 // Blank lines and lines starting with '#' are skipped.
 type EventsSource struct {
+	sourceCloser
 	sc     *bufio.Scanner
 	bytes  *countingReader
 	schema *Schema
@@ -226,10 +272,11 @@ func NewEventsSource(r io.Reader) *EventsSource {
 	sc := bufio.NewScanner(bytes)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	return &EventsSource{
-		sc:     sc,
-		bytes:  bytes,
-		schema: EventSchema(),
-		obs:    make(Observation, 1),
+		sourceCloser: newSourceCloser(r),
+		sc:           sc,
+		bytes:        bytes,
+		schema:       EventSchema(),
+		obs:          make(Observation, 1),
 	}
 }
 
@@ -261,6 +308,7 @@ func (s *EventsSource) Next() (Observation, error) {
 // task under analysis, without materialising the parsed event records:
 // the projection of ParseFtrace + FtraceToTrace, line by line.
 type FtraceSource struct {
+	sourceCloser
 	sc     *bufio.Scanner
 	bytes  *countingReader
 	schema *Schema
@@ -278,12 +326,13 @@ func NewFtraceSource(r io.Reader, task string, rename func(FtraceEvent) string) 
 	sc := bufio.NewScanner(bytes)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	return &FtraceSource{
-		sc:     sc,
-		bytes:  bytes,
-		schema: EventSchema(),
-		task:   task,
-		rename: rename,
-		obs:    make(Observation, 1),
+		sourceCloser: newSourceCloser(r),
+		sc:           sc,
+		bytes:        bytes,
+		schema:       EventSchema(),
+		task:         task,
+		rename:       rename,
+		obs:          make(Observation, 1),
 	}
 }
 

@@ -263,6 +263,7 @@ func sanitizeVCDName(name string) string {
 // sampling ReadVCD materialises). The observation buffer is reused
 // between Next calls.
 type VCDSource struct {
+	sourceCloser
 	p       *vcdParser
 	bytes   *countingReader
 	cur     Observation
@@ -295,7 +296,7 @@ func NewVCDSource(r io.Reader, signals []string) (*VCDSource, error) {
 			cur[i] = expr.IntVal(0)
 		}
 	}
-	return &VCDSource{p: p, bytes: bytes, cur: cur}, nil
+	return &VCDSource{sourceCloser: newSourceCloser(r), p: p, bytes: bytes, cur: cur}, nil
 }
 
 // Schema implements Source.

@@ -49,8 +49,9 @@ import (
 // hand-maintained synopsis did.
 const usage = `usage: monitor -model system.t2m -in trace.csv [-informat csv|events|ftrace]
                [-task comm-pid] [-j N] [-stream] [-q] [-metrics-addr HOST:PORT]
+               [-synth-cache DIR]
        monitor -model system.t2m -active -system counter|fifo|serial|usbslot
-               [-probe N] [-seed N] [-j N] [-q]
+               [-probe N] [-seed N] [-j N] [-q] [-synth-cache DIR]
 
 `
 
@@ -64,6 +65,7 @@ type options struct {
 	system                        string
 	probe                         int
 	seed                          int64
+	synthCacheDir                 string
 }
 
 // declareFlags registers all flags on fs; split out so the usage smoke
@@ -82,7 +84,32 @@ func declareFlags(fs *flag.FlagSet) *options {
 	fs.StringVar(&o.system, "system", "", "with -active: system to probe: "+strings.Join(systems.Names(), ", "))
 	fs.IntVar(&o.probe, "probe", 0, "with -active: probe length in observations (0 = the system's canonical trace length)")
 	fs.Int64Var(&o.seed, "seed", 0, "with -active: workload schedule seed (0 = the system's default)")
+	fs.StringVar(&o.synthCacheDir, "synth-cache", "", "share synthesized window predicates across runs via this cache directory (identical verdicts)")
 	return o
+}
+
+// loadModel opens and deserialises the -model file, attaching the
+// shared synthesis cache when one is configured (trace abstraction
+// re-synthesises windows the model has not seen; the cache shares that
+// work with every other run pointing at the directory).
+func loadModel(o *options) (*repro.Model, error) {
+	mf, err := os.Open(o.modelPath)
+	if err != nil {
+		return nil, err
+	}
+	model, err := repro.LoadModel(mf)
+	mf.Close()
+	if err != nil {
+		return nil, err
+	}
+	if o.synthCacheDir != "" {
+		scache, err := repro.OpenSynthCache(o.synthCacheDir)
+		if err != nil {
+			return nil, err
+		}
+		model.SetSynthCache(scache)
+	}
+	return model, nil
 }
 
 func main() {
@@ -110,12 +137,7 @@ func run(o *options) (int, error) {
 	if o.in == "" {
 		return 2, fmt.Errorf("-in is required (or -active to probe a simulated system)")
 	}
-	mf, err := os.Open(o.modelPath)
-	if err != nil {
-		return 2, err
-	}
-	model, err := repro.LoadModel(mf)
-	mf.Close()
+	model, err := loadModel(o)
 	if err != nil {
 		return 2, err
 	}
@@ -191,12 +213,7 @@ func runActive(o *options) (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	mf, err := os.Open(o.modelPath)
-	if err != nil {
-		return 2, err
-	}
-	model, err := repro.LoadModel(mf)
-	mf.Close()
+	model, err := loadModel(o)
 	if err != nil {
 		return 2, err
 	}

@@ -43,7 +43,7 @@ import (
 // it names every registered flag.
 const usage = `usage: probe -system counter|fifo|serial|usbslot [-seed N] [-truncate N]
              [-probe-cap N] [-depth D] [-rounds R] [-j N] [-portfolio N]
-             [-save model.t2m] [-bench-out FILE] [-q]
+             [-synth-cache DIR] [-save model.t2m] [-bench-out FILE] [-q]
 
 `
 
@@ -60,6 +60,9 @@ type options struct {
 	save      string
 	benchOut  string
 	quiet     bool
+
+	synthCacheDir string
+	scache        *repro.SynthCache
 }
 
 // declareFlags registers all flags on fs; split out so the usage smoke
@@ -77,6 +80,7 @@ func declareFlags(fs *flag.FlagSet) *options {
 	fs.StringVar(&o.save, "save", "", "save the stabilized model to this file (t2m format)")
 	fs.StringVar(&o.benchOut, "bench-out", "", "write the run as a BENCH_active.json document to this file")
 	fs.BoolVar(&o.quiet, "q", false, "suppress per-round output")
+	fs.StringVar(&o.synthCacheDir, "synth-cache", "", "share synthesized window predicates across runs and rounds via this cache directory (identical models)")
 	return o
 }
 
@@ -117,8 +121,14 @@ func run(o *options) (int, error) {
 	if err != nil {
 		return 2, err
 	}
+	if o.synthCacheDir != "" {
+		o.scache, err = repro.OpenSynthCache(o.synthCacheDir)
+		if err != nil {
+			return 2, err
+		}
+	}
 	copts := core.Options{
-		Predicate: predicate.Options{Workers: o.workers},
+		Predicate: predicate.Options{Workers: o.workers, Cache: o.scache},
 		Learn:     learn.Options{Portfolio: o.portfolio, Workers: o.workers},
 	}
 	fmt.Printf("probe: %s: seed %d observations, probe budget %d\n", o.system, seed.Len(), o.probeCap)
@@ -182,7 +192,7 @@ func writeBench(o *options, sys systems.Scheduler, seedObs int, res *active.Resu
 		return err
 	}
 	pl, err := core.NewPipeline(full.Schema(), core.Options{
-		Predicate: predicate.Options{Workers: o.workers},
+		Predicate: predicate.Options{Workers: o.workers, Cache: o.scache},
 		Learn:     learn.Options{Portfolio: o.portfolio, Workers: o.workers},
 	})
 	if err != nil {

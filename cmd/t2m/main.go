@@ -57,6 +57,9 @@ type config struct {
 	checkpointEvery int
 	resume          bool
 
+	// Cross-run synthesis cache (see README "Synthesis cache").
+	synthCacheDir string
+
 	// Observability (see README "Observability").
 	traceOut      string
 	metricsAddr   string
@@ -84,6 +87,7 @@ func main() {
 	flag.StringVar(&cfg.checkpointDir, "checkpoint", "", "periodically checkpoint the run into this directory (requires -stream)")
 	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 0, "ingest checkpoint interval in observations (0 = 100000)")
 	flag.BoolVar(&cfg.resume, "resume", false, "resume from the newest valid checkpoint in -checkpoint instead of starting fresh")
+	flag.StringVar(&cfg.synthCacheDir, "synth-cache", "", "share synthesized window predicates across runs via this cache directory (identical model, warm runs faster)")
 	flag.BoolVar(&cfg.quiet, "q", false, "print only the automaton")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write the run's span/event trace as NDJSON to this file")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (e.g. 127.0.0.1:0)")
@@ -176,6 +180,14 @@ func run(cfg config) (err error) {
 		input = &d
 	}
 
+	var scache *repro.SynthCache
+	if cfg.synthCacheDir != "" {
+		scache, err = repro.OpenSynthCache(cfg.synthCacheDir)
+		if err != nil {
+			return err
+		}
+	}
+
 	opts := repro.LearnOptions{
 		PredicateWindow: cfg.predW,
 		SegmentWindow:   cfg.segW,
@@ -191,6 +203,7 @@ func run(cfg config) (err error) {
 		CheckpointEvery: cfg.checkpointEvery,
 		Resume:          cfg.resume,
 		CheckpointInput: input,
+		SynthCache:      scache,
 	}
 	if cfg.resume && !cfg.quiet {
 		if info, ierr := repro.InspectCheckpoint(cfg.checkpointDir); ierr == nil {
@@ -243,6 +256,11 @@ func run(cfg config) (err error) {
 		fmt.Printf("solver: %d conflicts, %d decisions, %d propagations, %d learned clauses\n",
 			model.LearnStats.SATConflicts, model.LearnStats.SATDecisions,
 			model.LearnStats.SATPropagations, model.LearnStats.SATLearned)
+		if scache != nil {
+			st := scache.Stats()
+			fmt.Printf("synth cache: %d hits, %d misses, %d stores, %d corrupt\n",
+				st.Hits, st.Misses, st.Stores, st.Corrupt)
+		}
 		fmt.Printf("learned %d-state automaton in %s\n", model.States, elapsed.Round(time.Millisecond))
 		fmt.Print(pipeline.Format(model.Stages))
 		fmt.Println()
@@ -307,6 +325,7 @@ func writeManifest(cfg config, model *repro.Model, tel *repro.Telemetry, input *
 		"portfolio":       cfg.portfolio,
 		"stream":          cfg.stream,
 		"timeout":         cfg.timeout.String(),
+		"synth_cache":     cfg.synthCacheDir,
 	}
 	if input != nil {
 		man.Inputs = []pipeline.InputDigest{*input}

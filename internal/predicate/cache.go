@@ -1,0 +1,232 @@
+// Cross-run synthesis caching: with a synthcache.Cache attached
+// (Options.Cache / SetSynthCache), every unique-window build consults
+// an on-disk, content-addressed record of a previous build of the same
+// window before enumerating, and publishes its own outcome after.
+//
+// The design reuses the speculate/replay decomposition of parallel.go
+// wholesale. A cache entry is exactly a persisted speculation record —
+// the per-call outcomes whose validity does not depend on when (or in
+// which process) they were computed:
+//
+//   - a call the producing run answered by CEGIS search stores the
+//     minimal expression, which depends only on window content and
+//     synthesis parameters (the CEGIS search ignores seeds once the
+//     seed pass misses);
+//   - a call the producing run answered from its seed pool stores only
+//     a marker: pools are run-local history, so the consuming run must
+//     re-decide the call against its own pool — replayNext treats the
+//     marker like a missing record and falls back to full serial
+//     synthesis when its authoritative seed pass misses;
+//   - deterministic failures (ErrInconsistent, ErrNoSolution) store
+//     their class; anything else (cancellation) poisons the record so
+//     it is never published.
+//
+// Replay against the authoritative pool is the same code path that
+// makes the parallel engine byte-identical to the serial one, so a
+// model learned with the cache cold, warm, shared, corrupted or
+// disabled is byte-identical in all five states — the cache can only
+// change how fast a window builds, never what it builds.
+//
+// Keys hash the window's canonical value content (insertion-order
+// independent: two runs that intern observations in different orders
+// digest the same window identically) together with every synthesis
+// parameter that can change a build's outcome. Lookup and store run
+// without g.mu on the parallel paths, so entry I/O overlaps synthesis.
+package predicate
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/expr"
+	"repro/internal/synth"
+	"repro/internal/synthcache"
+	"repro/internal/trace"
+)
+
+// SetSynthCache attaches a cross-run synthesis cache, or detaches it
+// (nil). Attach before any Sequence/FromWindow call, not concurrently
+// with one. Models are byte-identical with and without a cache.
+func (g *Generator) SetSynthCache(c *synthcache.Cache) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cache = c
+	if c == nil {
+		g.cachePrefix, g.cacheTypes = nil, nil
+		return
+	}
+	g.cachePrefix = cacheKeyPrefix(g.w, g.schema, g.opts.Synth)
+	g.cacheTypes = g.schema.Types()
+	if g.tel != nil {
+		c.SetTelemetry(g.tel)
+	}
+}
+
+// cacheKeyPrefix renders every parameter besides the window content
+// that determines a build's outcome: window width, schema (names,
+// types, roles — they drive guard/branch selection and the synthesis
+// grammar), and the synthesizer options with MaxSize resolved. Seeds,
+// Work and NoReuse are deliberately absent: entries record
+// seed-independent outcomes, candidate counting is telemetry, and
+// NoReuse is applied live at replay. The embedded format version must
+// be bumped whenever buildExpr's call sequence or the synthesizer's
+// search order changes meaning, so stale fleets miss instead of
+// replaying records under the wrong semantics.
+func cacheKeyPrefix(w int, schema *trace.Schema, so synth.Options) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "t2m-synthcache-key v%d\n", synthcache.Version)
+	fmt.Fprintf(&b, "w=%d\n", w)
+	for i := 0; i < schema.Len(); i++ {
+		v := schema.Var(i)
+		fmt.Fprintf(&b, "var=%q type=%d role=%d\n", v.Name, v.Type, v.Role)
+	}
+	maxSize := so.MaxSize
+	if maxSize == 0 {
+		maxSize = synth.DefaultMaxSize
+	}
+	fmt.Fprintf(&b, "maxsize=%d mul=%t\n", maxSize, so.EnableMul)
+	fmt.Fprintf(&b, "arith=%v cmp=%v\n", so.ExtraArithConsts, so.ExtraCmpConsts)
+	return b.Bytes()
+}
+
+// cacheDigest is the content address of one window: the parameter
+// prefix followed by every observation value's length-prefixed
+// canonical text, in window and schema order. Hashing value content
+// rather than interned ids keeps the digest independent of interner
+// insertion order (ids are first-sight-ordered; text is not).
+func (g *Generator) cacheDigest(win *trace.Trace) synthcache.Digest {
+	h := sha256.New()
+	h.Write(g.cachePrefix)
+	var n [4]byte
+	for i := 0; i < win.Len(); i++ {
+		for _, v := range win.At(i) {
+			s := v.String()
+			binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+			h.Write(n[:])
+			io.WriteString(h, s)
+		}
+	}
+	var d synthcache.Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// cacheLookup consults the cache for the job's window, filling
+// job.recs with the decoded call records on a hit; it reports whether
+// speculation can be skipped. Entries that pass the byte-level
+// checksum but fail semantic decoding (unparseable or non-canonical
+// expression text) are reclassified as corrupt and treated as misses.
+// Safe without g.mu: the cache handle, key prefix and schema types are
+// immutable while a sequence runs.
+func (g *Generator) cacheLookup(job *specJob) bool {
+	if g.cache == nil {
+		return false
+	}
+	job.dig = g.cacheDigest(job.win)
+	job.hasDig = true
+	ent, ok := g.cache.Load(job.dig)
+	if !ok {
+		return false
+	}
+	recs, err := g.decodeEntry(ent)
+	if err != nil {
+		g.cache.Reject()
+		return false
+	}
+	job.recs = recs
+	job.fromCache = true
+	job.cachedExpr = ent.ExprCalls()
+	return true
+}
+
+// decodeEntry converts a cache entry into replayable records, with the
+// same canonical round-trip check model loading applies: every stored
+// expression must re-render to its stored text.
+func (g *Generator) decodeEntry(ent *synthcache.Entry) ([]synthRecord, error) {
+	recs := make([]synthRecord, len(ent.Calls))
+	for i, call := range ent.Calls {
+		recs[i].name = call.Var
+		switch call.Op {
+		case synthcache.OpExpr:
+			e, err := expr.Parse(call.Expr, g.cacheTypes)
+			if err != nil {
+				return nil, err
+			}
+			if canon := e.String(); canon != call.Expr {
+				return nil, fmt.Errorf("predicate: cached expression not canonical: %q vs %q", call.Expr, canon)
+			}
+			recs[i].f = e
+		case synthcache.OpSeed:
+			recs[i].seed = true
+		case synthcache.OpInconsistent:
+			recs[i].err = synth.ErrInconsistent
+		case synthcache.OpNoSolution:
+			recs[i].err = synth.ErrNoSolution
+		default:
+			return nil, fmt.Errorf("predicate: cached call %d has unknown op %q", i, call.Op)
+		}
+	}
+	return recs, nil
+}
+
+// pubCall records one replay outcome for publication: a pool answer as
+// a seed marker, a search answer as its expression text, deterministic
+// failures as their class. Any other outcome poisons the window's
+// record. No-op without a cache, so the disabled path allocates
+// nothing.
+func (g *Generator) pubCall(job *specJob, name string, f expr.Expr, seedHit bool, err error) {
+	if g.cache == nil || job == nil || job.poison {
+		return
+	}
+	call := synthcache.Call{Var: name}
+	switch {
+	case err == nil && seedHit:
+		call.Op = synthcache.OpSeed
+	case err == nil:
+		call.Op = synthcache.OpExpr
+		call.Expr = f.String()
+	case errors.Is(err, synth.ErrInconsistent):
+		call.Op = synthcache.OpInconsistent
+	case errors.Is(err, synth.ErrNoSolution):
+		call.Op = synthcache.OpNoSolution
+	default:
+		job.poison = true
+		return
+	}
+	job.pub = append(job.pub, call)
+}
+
+// cachePublish stores the replayed window's outcome record, best
+// effort (a failed store costs only the next run's miss). An entry
+// that was itself loaded from the cache is rewritten only when this
+// run resolved strictly more calls to seed-free expressions than the
+// stored record — the richer record saves future cold-pool runs more
+// enumeration, while an equal or poorer one would only churn the file.
+func (g *Generator) cachePublish(job *specJob) {
+	if g.cache == nil || !job.hasDig || job.poison {
+		return
+	}
+	ent := &synthcache.Entry{Calls: job.pub}
+	if job.fromCache && ent.ExprCalls() <= job.cachedExpr {
+		return
+	}
+	_ = g.cache.Store(job.dig, ent)
+}
+
+// buildCached is the serial unique-window build against the cache:
+// look the window up, replay whatever record exists (an empty record
+// list replays as pure serial synthesis), publish on success. Callers
+// hold g.mu and wrap the call in buildUnique's telemetry.
+func (g *Generator) buildCached(win *trace.Trace) (expr.Expr, error) {
+	job := &specJob{win: win}
+	g.cacheLookup(job)
+	e, err := g.buildExpr(win, g.replayNexter(job))
+	if err == nil {
+		g.cachePublish(job)
+	}
+	return e, err
+}

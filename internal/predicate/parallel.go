@@ -48,13 +48,24 @@ import (
 	"repro/internal/expr"
 	"repro/internal/pipeline"
 	"repro/internal/synth"
+	"repro/internal/synthcache"
 	"repro/internal/trace"
 )
 
-// synthRecord is the speculative outcome of one synthesizer call.
+// synthRecord is the replayable outcome of one synthesizer call,
+// produced either by in-process speculation or by decoding a cross-run
+// cache entry (cache.go).
 type synthRecord struct {
 	f   expr.Expr
 	err error
+	// seed marks a cache record whose producing run answered this call
+	// from its seed pool: replay must re-decide it against the live
+	// pool (synthesising afresh on a miss), never reuse a value.
+	seed bool
+	// name is the recorded variable for cache records; replay poisons
+	// the job on a mismatch. Empty (speculation records) skips the
+	// check.
+	name string
 }
 
 // specJob is one unique window content awaiting speculation.
@@ -63,6 +74,17 @@ type specJob struct {
 	recs []synthRecord
 	work int64         // candidate expressions enumerated speculatively
 	done chan struct{} // closed when recs is populated
+
+	// Cross-run cache state (cache.go); all zero when no cache is
+	// attached. dig/hasDig/fromCache/cachedExpr are written by
+	// cacheLookup before done closes; pub/poison by the replaying
+	// consumer.
+	dig        synthcache.Digest
+	hasDig     bool
+	fromCache  bool
+	cachedExpr int // ExprCalls of the loaded entry
+	pub        []synthcache.Call
+	poison     bool
 }
 
 // sequenceParallel is Sequence's fan-out path. Callers validated the
@@ -116,7 +138,9 @@ func (g *Generator) sequenceParallel(tr *trace.Trace, workers int) ([]*Predicate
 					return
 				}
 				job := jobs[i]
-				g.speculate(ctx, job)
+				if !g.cacheLookup(job) {
+					g.speculate(ctx, job)
+				}
 				close(job.done)
 			}
 		}()
@@ -155,6 +179,7 @@ func (g *Generator) sequenceParallel(tr *trace.Trace, workers int) ([]*Predicate
 			cancel()
 			return nil, fmt.Errorf("predicate: window at observation %d: %w", i, err)
 		}
+		g.cachePublish(job)
 		out = append(out, p)
 	}
 	return out, nil
@@ -219,34 +244,55 @@ func (g *Generator) replayTraced(job *specJob) (*Predicate, error) {
 }
 
 // replay re-runs one window's build with the serial decision rule,
-// consuming the speculation record. Callers hold g.mu.
+// consuming the speculation (or cache) record. Callers hold g.mu.
 func (g *Generator) replay(job *specJob) (*Predicate, error) {
-	cur := 0
-	next := func(name string, examples []synth.Example) (expr.Expr, error) {
-		var rec *synthRecord
-		if cur < len(job.recs) {
-			rec = &job.recs[cur]
-			cur++
-		}
-		return g.replayNext(name, examples, rec)
-	}
-	e, err := g.buildExpr(job.win, next)
+	e, err := g.buildExpr(job.win, g.replayNexter(job))
 	if err != nil {
 		return nil, err
 	}
 	return g.intern(e), nil
 }
 
+// replayNexter returns the nextFunc replay drives: positional record
+// consumption over job.recs. The serial cached build (cache.go) uses
+// the same closure over a job with cache-decoded records.
+func (g *Generator) replayNexter(job *specJob) nextFunc {
+	cur := 0
+	return func(name string, examples []synth.Example) (expr.Expr, error) {
+		var rec *synthRecord
+		if cur < len(job.recs) {
+			rec = &job.recs[cur]
+			cur++
+		}
+		return g.replayNext(name, examples, rec, job)
+	}
+}
+
 // replayNext reproduces exactly what synthesizeNext would have
 // returned at this point of the seed-pool evolution, substituting the
-// speculative record for the enumeration. rec is nil when speculation
-// aborted before reaching this call. Callers hold g.mu.
-func (g *Generator) replayNext(name string, examples []synth.Example, rec *synthRecord) (expr.Expr, error) {
+// speculative or cached record for the enumeration. rec is nil when
+// speculation aborted before reaching this call. With a cross-run
+// cache attached, every outcome is also recorded on the job for
+// publication (pubCall). Callers hold g.mu.
+func (g *Generator) replayNext(name string, examples []synth.Example, rec *synthRecord, job *specJob) (expr.Expr, error) {
 	g.stats.SynthCalls++
 	// Serial order inside synth.Synthesize: consistency check, then
 	// seed pass, then search.
 	if err := synth.CheckExamples(examples); err != nil {
+		g.pubCall(job, name, nil, false, err)
 		return nil, err
+	}
+	if rec != nil && rec.name != "" && rec.name != name {
+		// A cache record for a different call sequence than this build
+		// ran: fall back to serial synthesis for the rest of the
+		// window and never publish it.
+		job.poison = true
+		rec = nil
+	}
+	if rec != nil && rec.seed {
+		// The producing run's pool answered this call; ours decides
+		// afresh below, exactly like a missing record.
+		rec = nil
 	}
 	var f expr.Expr
 	if !g.opts.NoReuse {
@@ -257,25 +303,29 @@ func (g *Generator) replayNext(name string, examples []synth.Example, rec *synth
 			}
 		}
 	}
+	seedHit := f != nil
 	if f == nil {
 		switch {
 		case rec == nil:
-			// Speculation aborted before this call: synthesise
-			// serially (seed pass inside misses again; only the
-			// CEGIS search runs).
+			// Speculation aborted before this call (or the record is
+			// pool-dependent): synthesise serially (seed pass inside
+			// misses again; only the CEGIS search runs).
 			var err error
 			f, err = g.searchNext(name, examples)
 			if err != nil {
+				g.pubCall(job, name, nil, false, err)
 				return nil, err
 			}
 		case rec.err != nil:
 			// The seed pool could not rescue the speculative
 			// failure, so the serial path fails identically.
+			g.pubCall(job, name, nil, false, rec.err)
 			return nil, rec.err
 		default:
 			f = rec.f
 		}
 	}
 	g.noteResult(name, f)
+	g.pubCall(job, name, f, seedHit, nil)
 	return f, nil
 }

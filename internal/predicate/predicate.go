@@ -38,6 +38,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/pipeline"
 	"repro/internal/synth"
+	"repro/internal/synthcache"
 	"repro/internal/trace"
 )
 
@@ -71,6 +72,12 @@ type Options struct {
 	// runtime.GOMAXPROCS(0); 1 forces the serial path. Every worker
 	// count produces identical output (see parallel.go).
 	Workers int
+	// Cache attaches a cross-run synthesis cache (see
+	// internal/synthcache and cache.go): unique-window builds consult
+	// it before enumerating and publish after. Nil disables caching.
+	// Models are byte-identical with the cache cold, warm, shared,
+	// corrupted or disabled.
+	Cache *synthcache.Cache
 	// Context cancels in-flight synthesis (signal handling). Nil
 	// means never cancelled. Cancellation surfaces as an error from
 	// the Sequence/FromWindow call; it never produces a partial
@@ -108,6 +115,13 @@ type Generator struct {
 	cMemoHits   *pipeline.Counter64
 	cCandidates *pipeline.Counter64
 	hSynthNS    *pipeline.Histogram
+
+	// Cross-run synthesis cache (cache.go); all three are immutable
+	// while a sequence runs, so the parallel paths read them without
+	// g.mu. Nil cache means every cache hook is a no-op.
+	cache       *synthcache.Cache
+	cachePrefix []byte
+	cacheTypes  map[string]expr.Type
 
 	mu       sync.Mutex
 	memo     map[trace.WindowKey]*Predicate
@@ -179,6 +193,9 @@ func NewGenerator(schema *trace.Schema, opts Options) (*Generator, error) {
 		v := schema.Var(i)
 		g.synthVars = append(g.synthVars, synth.Var{Name: v.Name, Type: v.Type})
 	}
+	if opts.Cache != nil {
+		g.SetSynthCache(opts.Cache)
+	}
 	return g, nil
 }
 
@@ -225,6 +242,9 @@ func (g *Generator) SetTelemetry(tel *pipeline.Telemetry, stage pipeline.SpanID)
 	g.cCandidates = tel.Count("synth_candidates_total")
 	g.hSynthNS = tel.Hist("predicate_window_synth_ns", "ns")
 	g.opts.Synth.Work = g.cCandidates.Raw()
+	if g.cache != nil {
+		g.cache.SetTelemetry(tel)
+	}
 }
 
 // Sequence computes the predicate sequence P = p1 … pk for the trace,
@@ -305,7 +325,10 @@ func (g *Generator) fromWindow(win *trace.Trace, key trace.WindowKey) (*Predicat
 
 // buildUnique runs the serial unique-window build with its telemetry:
 // the window-synthesis latency histogram and, when tracing, a unit span
-// recording the build's synthesis-call and seed-hit deltas. Callers
+// recording the build's synthesis-call and seed-hit deltas. With a
+// cross-run cache attached the build goes through the cache's
+// lookup/replay/publish path instead of direct synthesis (cache.go);
+// the result and the generator-state evolution are identical. Callers
 // hold g.mu and have already counted the window as unique.
 func (g *Generator) buildUnique(win *trace.Trace, mode string) (expr.Expr, error) {
 	tr := g.tel.Trace()
@@ -315,7 +338,13 @@ func (g *Generator) buildUnique(win *trace.Trace, mode string) (expr.Expr, error
 	}
 	before := g.stats
 	t0 := time.Now()
-	e, err := g.buildExpr(win, g.synthesizeNext)
+	var e expr.Expr
+	var err error
+	if g.cache != nil {
+		e, err = g.buildCached(win)
+	} else {
+		e, err = g.buildExpr(win, g.synthesizeNext)
+	}
 	g.hSynthNS.Since(t0)
 	if tr.Enabled() {
 		d := g.stats.Minus(before)

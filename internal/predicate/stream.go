@@ -269,7 +269,9 @@ func (g *Generator) sequenceSourceParallel(src trace.Source, emit func(Run) erro
 					close(job.done)
 					continue
 				}
-				g.speculate(ctx, job)
+				if !g.cacheLookup(job) {
+					g.speculate(ctx, job)
+				}
 				close(job.done)
 			}
 		}()
@@ -312,6 +314,7 @@ func (g *Generator) sequenceSourceParallel(src trace.Source, emit func(Run) erro
 			cancel()
 			return fmt.Errorf("predicate: window at observation %d: %w", rec.idx, err)
 		}
+		g.cachePublish(job)
 		if err := em.add(p); err != nil {
 			return err
 		}

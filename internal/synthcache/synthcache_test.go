@@ -1,0 +1,319 @@
+package synthcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func testDigest(s string) Digest {
+	return Digest(sha256.Sum256([]byte(s)))
+}
+
+func testEntry() *Entry {
+	return &Entry{Calls: []Call{
+		{Op: OpExpr, Var: "count", Expr: "(+ count 1)"},
+		{Op: OpSeed, Var: "count"},
+		{Op: OpInconsistent, Var: "level"},
+		{Op: OpNoSolution, Var: "mode"},
+	}}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDigest("window-1")
+
+	if _, ok := c.Load(d); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	want := testEntry()
+	if err := c.Store(d, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Load(d)
+	if !ok {
+		t.Fatal("miss after store")
+	}
+	if got.Version != Version {
+		t.Errorf("loaded version = %d, want %d", got.Version, Version)
+	}
+	if len(got.Calls) != len(want.Calls) {
+		t.Fatalf("loaded %d calls, want %d", len(got.Calls), len(want.Calls))
+	}
+	for i := range want.Calls {
+		if got.Calls[i] != want.Calls[i] {
+			t.Errorf("call %d = %+v, want %+v", i, got.Calls[i], want.Calls[i])
+		}
+	}
+	st := c.Stats()
+	if st != (Stats{Hits: 1, Misses: 1, Stores: 1}) {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 store", st)
+	}
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d, %v; want 1 entry", n, err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("Open(\"\") succeeded")
+	}
+	// A file where the directory should be.
+	path := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(path, []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("Open over a regular file succeeded")
+	}
+}
+
+func TestShardedLayout(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDigest("sharded")
+	if err := c.Store(d, testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	hex := d.String()
+	want := filepath.Join(c.Dir(), hex[:2], hex[2:]+".sce")
+	if _, err := os.Stat(want); err != nil {
+		t.Errorf("entry not at sharded path %s: %v", want, err)
+	}
+}
+
+// TestCorruptionDetected injects every corruption class the format must
+// catch; each one must read as a miss, bump Corrupt, and never return a
+// partial entry.
+func TestCorruptionDetected(t *testing.T) {
+	valid, err := Encode(testEntry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := bytes.IndexByte(valid, '\n')
+
+	bitFlip := append([]byte(nil), valid...)
+	bitFlip[len(bitFlip)-3] ^= 0x40 // inside the JSON payload
+
+	headerFlip := append([]byte(nil), valid...)
+	headerFlip[0] = 'x'
+
+	wrongVersion := bytes.Replace(append([]byte(nil), valid...), []byte(" v1 "), []byte(" v9 "), 1)
+
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"zero-length", nil},
+		{"no-newline", []byte("t2m-synthcache v1")},
+		{"truncated-payload", valid[:nl+5]},
+		{"truncated-header-only", valid[:nl+1]},
+		{"bit-flipped-payload", bitFlip},
+		{"bad-magic", headerFlip},
+		{"wrong-version", wrongVersion},
+		{"garbage", []byte("not a cache entry at all\njunk")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(tc.raw); err == nil {
+				t.Fatal("Decode accepted corrupt bytes")
+			}
+			c, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := testDigest(tc.name)
+			path := filepath.Join(c.Dir(), d.String()[:2], d.String()[2:]+".sce")
+			if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.raw, 0o666); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c.Load(d); ok {
+				t.Error("corrupt entry loaded as a hit")
+			}
+			st := c.Stats()
+			if st.Corrupt != 1 || st.Misses != 1 || st.Hits != 0 {
+				t.Errorf("stats = %+v, want 1 corrupt + 1 miss", st)
+			}
+			// The overwrite path: a store must repair the slot.
+			if err := c.Store(d, testEntry()); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c.Load(d); !ok {
+				t.Error("store did not repair the corrupt slot")
+			}
+		})
+	}
+}
+
+// TestPayloadSemanticChecks covers corruption that survives the
+// checksum because it was "validly" written: version echoes and op
+// vocabulary are still enforced.
+func TestPayloadSemanticChecks(t *testing.T) {
+	reencode := func(payload []byte) []byte {
+		sum := sha256.Sum256(payload)
+		return append(fmt.Appendf(nil, "t2m-synthcache v1 sha256=%x bytes=%d\n", sum, len(payload)), payload...)
+	}
+	if _, err := Decode(reencode([]byte(`{"version":2,"calls":[]}`))); err == nil {
+		t.Error("payload version mismatch accepted")
+	}
+	if _, err := Decode(reencode([]byte(`{"version":1,"calls":[{"op":"bogus"}]}`))); err == nil {
+		t.Error("unknown call op accepted")
+	}
+	if _, err := Decode(reencode([]byte(`{"version":1`))); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestDistinctDigestsDistinctFiles(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		e := &Entry{Calls: []Call{{Op: OpExpr, Var: "v", Expr: fmt.Sprintf("(+ v %d)", i)}}}
+		if err := c.Store(testDigest(fmt.Sprintf("w%d", i)), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, err := c.Len(); err != nil || got != n {
+		t.Fatalf("Len = %d, %v; want %d distinct entries", got, err, n)
+	}
+	for i := 0; i < n; i++ {
+		e, ok := c.Load(testDigest(fmt.Sprintf("w%d", i)))
+		if !ok {
+			t.Fatalf("entry %d missing", i)
+		}
+		if want := fmt.Sprintf("(+ v %d)", i); e.Calls[0].Expr != want {
+			t.Fatalf("entry %d holds %q, want %q (collision?)", i, e.Calls[0].Expr, want)
+		}
+	}
+}
+
+// TestConcurrentAccess hammers one directory from many goroutines
+// through two independent handles (the in-process analogue of two
+// processes sharing a cache dir): no torn reads, every load is either
+// a clean miss or a complete entry.
+func TestConcurrentAccess(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys, iters = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*keys*iters)
+	for g := 0; g < 4; g++ {
+		c := a
+		if g%2 == 1 {
+			c = b
+		}
+		wg.Add(1)
+		go func(c *Cache, g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (g + i) % keys
+				d := testDigest(fmt.Sprintf("key%d", k))
+				want := fmt.Sprintf("(+ v %d)", k)
+				if g < 2 {
+					e := &Entry{Calls: []Call{{Op: OpExpr, Var: "v", Expr: want}}}
+					if err := c.Store(d, e); err != nil {
+						errs <- err
+					}
+					continue
+				}
+				if e, ok := c.Load(d); ok {
+					if len(e.Calls) != 1 || e.Calls[0].Expr != want {
+						errs <- fmt.Errorf("torn read for key%d: %+v", k, e.Calls)
+					}
+				}
+			}
+		}(c, g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := a.Stats(); st.Corrupt != 0 {
+		t.Errorf("writer handle observed %d corrupt entries", st.Corrupt)
+	}
+	if st := b.Stats(); st.Corrupt != 0 {
+		t.Errorf("reader handle observed %d corrupt entries", st.Corrupt)
+	}
+}
+
+func TestTelemetryMirrors(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := pipeline.NewRegistry()
+	c.SetTelemetry(&pipeline.Telemetry{Registry: reg})
+
+	d := testDigest("telemetry")
+	c.Load(d) // miss
+	c.Store(d, testEntry())
+	c.Load(d) // hit
+	// Inject corruption for the fourth counter.
+	path := filepath.Join(c.Dir(), d.String()[:2], d.String()[2:]+".sce")
+	if err := os.WriteFile(path, []byte("torn"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	c.Load(d) // corrupt
+
+	for name, want := range map[string]int64{
+		"synthcache_hit_total":     1,
+		"synthcache_miss_total":    2,
+		"synthcache_store_total":   1,
+		"synthcache_corrupt_total": 1,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Histogram("synthcache_lookup_ns", "ns").Summary().Count; got != 3 {
+		t.Errorf("lookup histogram count = %d, want 3", got)
+	}
+}
+
+func TestExprCalls(t *testing.T) {
+	if got := testEntry().ExprCalls(); got != 1 {
+		t.Errorf("ExprCalls = %d, want 1", got)
+	}
+	if got := (&Entry{}).ExprCalls(); got != 0 {
+		t.Errorf("empty ExprCalls = %d, want 0", got)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, err := Encode(testEntry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(testEntry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("Encode is not deterministic for equal entries")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -242,15 +243,17 @@ func runActive(o *options) (int, error) {
 
 // openSource opens the input as a streaming source for -stream mode.
 func openSource(in, informat, task string) (repro.Source, func(), error) {
-	f := os.Stdin
+	var f io.Reader = os.Stdin
 	closer := func() {}
 	if in != "-" {
-		var err error
-		f, err = os.Open(in)
+		// OpenBytes mmaps the file when the platform allows, so the
+		// line decoders run zero-copy over the page cache.
+		b, err := trace.OpenBytes(in)
 		if err != nil {
 			return nil, nil, err
 		}
-		closer = func() { f.Close() }
+		closer = func() { b.Close() }
+		f = b
 	}
 	switch resolveFormat(in, informat) {
 	case "csv":
@@ -285,14 +288,14 @@ func resolveFormat(in, informat string) string {
 }
 
 func readTrace(in, informat, task string) (*trace.Trace, error) {
-	f := os.Stdin
+	var f io.Reader = os.Stdin
 	if in != "-" {
-		var err error
-		f, err = os.Open(in)
+		b, err := trace.OpenBytes(in)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		defer b.Close()
+		f = b
 	}
 	switch resolveFormat(in, informat) {
 	case "csv":

@@ -36,8 +36,9 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: all, figures, fig1b, fig2, fig3, fig4, fig5, fig6, fig7, table1, table2, ablation-w, ablation-l, synth-styles, coverage, ingest, active, memo")
+		exp          = flag.String("exp", "all", "experiment: all, figures, fig1b, fig2, fig3, fig4, fig5, fig6, fig7, table1, table2, ablation-w, ablation-l, synth-styles, coverage, ingest, solve, active, memo")
 		activeOut    = flag.String("active-out", "", "with -exp active: also write the results as a BENCH_active.json document to this file")
+		solveOut     = flag.String("solve-out", "", "with -exp solve: also write the results as a BENCH_solve.json document to this file")
 		memoOut      = flag.String("memo-out", "", "with -exp memo: also write the results as a BENCH_memo.json document to this file")
 		dotDir       = flag.String("dotdir", "", "write learned automata as DOT files into this directory")
 		fullTimeout  = flag.Duration("full-timeout", 60*time.Second, "timeout for non-segmented runs (Table I, Fig 7)")
@@ -77,7 +78,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "repro: metrics listening on %s\n", srv.URL())
 	}
-	if err := run(*exp, *dotDir, *activeOut, *memoOut, *fullTimeout, *mergeTimeout, *maxExp); err != nil {
+	if err := run(*exp, *dotDir, *activeOut, *memoOut, *solveOut, *fullTimeout, *mergeTimeout, *maxExp); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
@@ -88,11 +89,11 @@ var figureCase = map[string]string{
 	"fig4": "Integrator", "fig5": "Counter", "fig6": "Linux Kernel",
 }
 
-func run(exp, dotDir, activeOut, memoOut string, fullTimeout, mergeTimeout time.Duration, maxExp int) error {
+func run(exp, dotDir, activeOut, memoOut, solveOut string, fullTimeout, mergeTimeout time.Duration, maxExp int) error {
 	switch {
 	case exp == "all":
-		for _, e := range []string{"figures", "table1", "table2", "fig7", "ablation-w", "ablation-l", "ablation-sym", "synth-styles", "coverage", "invariants", "properties", "active", "memo"} {
-			if err := run(e, dotDir, activeOut, memoOut, fullTimeout, mergeTimeout, maxExp); err != nil {
+		for _, e := range []string{"figures", "table1", "table2", "fig7", "ablation-w", "ablation-l", "ablation-sym", "synth-styles", "coverage", "invariants", "properties", "solve", "active", "memo"} {
+			if err := run(e, dotDir, activeOut, memoOut, solveOut, fullTimeout, mergeTimeout, maxExp); err != nil {
 				return err
 			}
 			fmt.Println()
@@ -126,6 +127,8 @@ func run(exp, dotDir, activeOut, memoOut string, fullTimeout, mergeTimeout time.
 		return runCoverage()
 	case exp == "ingest":
 		return runIngest()
+	case exp == "solve":
+		return runSolve(solveOut)
 	case exp == "active":
 		return runActive(activeOut)
 	case exp == "memo":
@@ -361,6 +364,33 @@ func runIngest() error {
 			r.BatchWall.Round(time.Millisecond), r.StreamWall.Round(time.Millisecond),
 			float64(r.BatchPeak)/1e6, float64(r.StreamPeak)/1e6,
 			r.ObsPerSec, r.States, r.Identical)
+	}
+	return nil
+}
+
+func runSolve(solveOut string) error {
+	fmt.Println("== Solver throughput: conflicts/sec on a PHP refutation and inside learning runs")
+	rows, err := experiments.RunSolve()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %8s %10s %12s %12s %12s %14s %7s\n",
+		"workload", "status", "wall", "conflicts", "learned", "conflicts/s", "props/s", "states")
+	for _, r := range rows {
+		states := ""
+		if r.States > 0 {
+			states = fmt.Sprintf("%d", r.States)
+		}
+		fmt.Printf("%-22s %8s %8.0fms %12d %12d %12.0f %14.0f %7s\n",
+			r.Name, r.Status, r.WallMS, r.Conflicts, r.Learned, r.ConflictsPS, r.PropsPS, states)
+	}
+	if solveOut != "" {
+		if err := pipeline.AtomicWriteFile(solveOut, func(w io.Writer) error {
+			return experiments.WriteSolveBench(w, rows)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", solveOut)
 	}
 	return nil
 }

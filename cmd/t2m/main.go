@@ -334,14 +334,16 @@ func writeManifest(cfg config, model *repro.Model, tel *repro.Telemetry, input *
 }
 
 func readTrace(in, informat, task, signals string) (*trace.Trace, error) {
-	f := os.Stdin
+	var f io.Reader = os.Stdin
 	if in != "-" {
-		var err error
-		f, err = os.Open(in)
+		// OpenBytes mmaps the file when the platform allows, so the
+		// line decoders run zero-copy over the page cache.
+		b, err := trace.OpenBytes(in)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		defer b.Close()
+		f = b
 	}
 	switch detectFormat(in, informat) {
 	case "csv":
@@ -386,15 +388,19 @@ func detectFormat(in, informat string) string {
 // openSource opens the input as a streaming trace source. The returned
 // closer releases the underlying file (a no-op for stdin).
 func openSource(in, informat, task, signals string) (repro.Source, func(), error) {
-	f := os.Stdin
+	var f io.Reader = os.Stdin
 	closer := func() {}
 	if in != "-" {
-		var err error
-		f, err = os.Open(in)
+		// OpenBytes mmaps the file when the platform allows: the CSV,
+		// events and ftrace sources then decode zero-copy straight out
+		// of the page cache (and CSV additionally becomes eligible for
+		// sharded block ingestion).
+		b, err := trace.OpenBytes(in)
 		if err != nil {
 			return nil, nil, err
 		}
-		closer = func() { f.Close() }
+		closer = func() { b.Close() }
+		f = b
 	}
 	switch detectFormat(in, informat) {
 	case "csv":

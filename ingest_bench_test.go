@@ -43,8 +43,10 @@ func benchIngest(b *testing.B, steps int, streaming bool) {
 		var m *repro.Model
 		var err error
 		if streaming {
+			// NewBytes selects the zero-copy decode path — the same one
+			// OpenBytes serves for on-disk traces (mmap'd when possible).
 			var src repro.Source
-			src, err = trace.NewCSVSource(bytes.NewReader(data))
+			src, err = trace.NewCSVSource(trace.NewBytes(data))
 			if err == nil {
 				m, err = repro.LearnSource(src, repro.LearnOptions{})
 			}

@@ -80,9 +80,18 @@ func (p *Pipeline) LearnSource(src trace.Source) (*Model, error) {
 			return nil, err
 		}
 	}
+	// Predicates are interned, so their pointers are the cheap identity:
+	// cache the per-predicate symbol id and alphabet insertion to avoid
+	// hashing the (long) predicate key on every run.
+	symIDs := map[*predicate.Predicate]int{}
 	emit := func(r predicate.Run) error {
-		alphabet[r.Pred.Key] = r.Pred
-		seq.Append(r.Pred.Key, r.Count)
+		id, ok := symIDs[r.Pred]
+		if !ok {
+			alphabet[r.Pred.Key] = r.Pred
+			id = seq.InternSym(r.Pred.Key)
+			symIDs[r.Pred] = id
+		}
+		seq.AppendID(id, r.Count)
 		hRunLen.Observe(int64(r.Count))
 		return nil
 	}
@@ -181,9 +190,15 @@ func (p *Pipeline) LearnSources(srcs []trace.Source) (*Model, error) {
 	seqs := make([]*learn.Seq, len(srcs))
 	for i, src := range srcs {
 		seq := learn.NewSeq()
+		symIDs := map[*predicate.Predicate]int{}
 		emit := func(r predicate.Run) error {
-			alphabet[r.Pred.Key] = r.Pred
-			seq.Append(r.Pred.Key, r.Count)
+			id, ok := symIDs[r.Pred]
+			if !ok {
+				alphabet[r.Pred.Key] = r.Pred
+				id = seq.InternSym(r.Pred.Key)
+				symIDs[r.Pred] = id
+			}
+			seq.AppendID(id, r.Count)
 			return nil
 		}
 		var err error

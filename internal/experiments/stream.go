@@ -202,7 +202,9 @@ func RunIngest(stepsList []int) ([]IngestRow, error) {
 		runtime.GC()
 		hs = pipeline.StartHeapSampler(time.Millisecond)
 		t0 = time.Now()
-		src, err := trace.NewCSVSource(bytes.NewReader(data))
+		// NewBytes selects the zero-copy decode path — the same one
+		// OpenBytes serves for on-disk traces (mmap'd when possible).
+		src, err := trace.NewCSVSource(trace.NewBytes(data))
 		if err != nil {
 			return nil, err
 		}

@@ -23,9 +23,9 @@ package learn
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
-	"strconv"
 	"time"
 
 	"repro/internal/automaton"
@@ -78,6 +78,13 @@ type Options struct {
 	// equivalence testing and ablation benchmarks. Canonical model
 	// extraction makes the learned automaton identical either way.
 	ScratchRefinement bool
+	// NoInprocessing disables the growth-gated solver inprocessing
+	// (satisfied-clause elimination and subsumption between rounds;
+	// see sat.Solver.Simplify). Inprocessing preserves logical
+	// equivalence and canonical extraction pins the model, so the
+	// learned automaton is byte-identical either way — the knob exists
+	// for the equivalence tests and ablation benchmarks.
+	NoInprocessing bool
 	// Context cancels the search between solver rounds (signal
 	// handling; a round in flight finishes first). Nil means never
 	// cancelled.
@@ -208,23 +215,39 @@ func GenerateModelMulti(Ps [][]string, opts Options) (*Result, error) {
 // contiguous subsequences of P, as symbol-id words (S_l − P_l).
 func invalidSequences(m *automaton.NFA, validGrams map[string]bool, symID map[string]int, l int) [][]int {
 	var out [][]int
+	var buf []byte
 	for _, word := range m.SymbolSequences(l) {
 		ids := make([]int, len(word))
 		for i, s := range word {
 			ids[i] = symID[s]
 		}
-		if !validGrams[intsKey(ids)] {
+		buf = appendIntsKey(buf[:0], ids)
+		if !validGrams[string(buf)] {
 			out = append(out, ids)
 		}
 	}
 	return out
 }
 
+// intsKey encodes a symbol-id word as the little-endian concatenation
+// of its ids — a compact, fixed-width map key. The append variants
+// below feed a reused buffer so hot-loop lookups via m[string(buf)]
+// never allocate (the compiler elides the conversion); a string is
+// materialised only when a key is actually inserted.
 func intsKey(xs []int) string {
-	b := make([]byte, 0, 4*len(xs))
+	return string(appendIntsKey(make([]byte, 0, 4*len(xs)), xs))
+}
+
+func appendIntsKey(b []byte, xs []int) []byte {
 	for _, x := range xs {
-		b = strconv.AppendInt(b, int64(x), 10)
-		b = append(b, ',')
+		b = binary.LittleEndian.AppendUint32(b, uint32(x))
 	}
-	return string(b)
+	return b
+}
+
+func appendIntsKey32(b []byte, xs []int32) []byte {
+	for _, x := range xs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(x))
+	}
+	return b
 }

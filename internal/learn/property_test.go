@@ -134,6 +134,45 @@ func TestPortfolioDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestInprocessingByteIdentical: solver inprocessing between rounds
+// (the default) must learn the exact automaton the untouched solvers
+// find — Simplify preserves logical equivalence and canonical
+// extraction pins the model, so the rendered automata, state counts
+// and acceptance flags are byte-identical with the knob on or off, in
+// serial and portfolio modes alike.
+func TestInprocessingByteIdentical(t *testing.T) {
+	modes := []struct {
+		name string
+		opts Options
+	}{
+		{"serial", Options{Segmented: true, MaxStates: 32}},
+		{"portfolio", Options{Segmented: true, MaxStates: 32, Portfolio: 4, Workers: 4}},
+	}
+	for _, P := range propertySequences() {
+		for _, mode := range modes {
+			on, err := GenerateModel(P, mode.opts)
+			if err != nil {
+				t.Fatalf("%s inprocessing on (%v): %v", mode.name, P, err)
+			}
+			offOpts := mode.opts
+			offOpts.NoInprocessing = true
+			off, err := GenerateModel(P, offOpts)
+			if err != nil {
+				t.Fatalf("%s inprocessing off (%v): %v", mode.name, P, err)
+			}
+			if on.Automaton.String() != off.Automaton.String() {
+				t.Errorf("%s input %v:\ninprocessing on:\n%s\noff:\n%s",
+					mode.name, P, on.Automaton, off.Automaton)
+			}
+			if on.Stats.FinalStates != off.Stats.FinalStates || on.AcceptsInput != off.AcceptsInput {
+				t.Errorf("%s input %v: states/accepts diverged: on=(%d,%v) off=(%d,%v)",
+					mode.name, P, on.Stats.FinalStates, on.AcceptsInput,
+					off.Stats.FinalStates, off.AcceptsInput)
+			}
+		}
+	}
+}
+
 // TestPortfolioMatchesSerialSemantics: portfolio and serial modes
 // learn the identical automaton. Canonical model extraction makes this
 // exact: the lex-least transition relation is a function of the

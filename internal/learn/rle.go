@@ -43,6 +43,21 @@ func NewSeq() *Seq {
 	return &Seq{symID: map[string]int{}}
 }
 
+// InternSym returns the local id of sym, assigning the next one on
+// first sight. Callers that can cache the id by a cheaper identity
+// than the symbol string (the streaming pipeline keys on the interned
+// predicate pointer) combine it with AppendID to skip hashing long
+// predicate keys on every run.
+func (s *Seq) InternSym(sym string) int {
+	id, ok := s.symID[sym]
+	if !ok {
+		id = len(s.syms)
+		s.symID[sym] = id
+		s.syms = append(s.syms, sym)
+	}
+	return id
+}
+
 // Append appends count occurrences of sym, merging into the last run
 // when the symbol matches, so runs stay maximal regardless of how the
 // caller chunks its input. Runs longer than MaxInt32 are split; the
@@ -51,11 +66,13 @@ func (s *Seq) Append(sym string, count int) {
 	if count <= 0 {
 		return
 	}
-	id, ok := s.symID[sym]
-	if !ok {
-		id = len(s.syms)
-		s.symID[sym] = id
-		s.syms = append(s.syms, sym)
+	s.AppendID(s.InternSym(sym), count)
+}
+
+// AppendID is Append for an id InternSym already assigned.
+func (s *Seq) AppendID(id int, count int) {
+	if count <= 0 {
+		return
 	}
 	s.total += count
 	if n := len(s.ids); n > 0 && s.ids[n-1] == int32(id) && int(s.counts[n-1])+count <= math.MaxInt32 {
@@ -214,23 +231,28 @@ func GenerateModelSeqs(inSeqs []*Seq, opts Options) (*Result, error) {
 	}
 
 	// Re-intern symbols into one global table, in first-appearance
-	// order across the sequences: iterating runs in order visits each
-	// symbol's first run exactly where its first expanded occurrence
-	// lies, so the order matches the expanded scan.
+	// order across the sequences. Each sequence's local ids were
+	// themselves assigned in first-appearance order, so interning the
+	// local symbol table in id order reproduces exactly the order an
+	// expanded scan would intern in — and the per-run remap is then an
+	// O(1) array index instead of a map lookup on a long predicate key.
 	symID := map[string]int{}
 	var symbols []string
 	seqs := make([]*rleSeq, len(inSeqs))
 	for t, in := range inSeqs {
-		ids := make([]int32, len(in.ids))
-		for i, lid := range in.ids {
-			sym := in.syms[lid]
+		local := make([]int32, len(in.syms))
+		for lid, sym := range in.syms {
 			gid, ok := symID[sym]
 			if !ok {
 				gid = len(symbols)
 				symID[sym] = gid
 				symbols = append(symbols, sym)
 			}
-			ids[i] = int32(gid)
+			local[lid] = int32(gid)
+		}
+		ids := make([]int32, len(in.ids))
+		for i, lid := range in.ids {
+			ids[i] = local[lid]
 		}
 		seqs[t] = &rleSeq{ids: ids, counts: in.counts, total: in.total}
 	}
@@ -256,22 +278,27 @@ func GenerateModelSeqs(inSeqs []*Seq, opts Options) (*Result, error) {
 	var segments [][]int
 	var anchored []bool
 	segIndex := map[string]int{}
+	var segKeyBuf []byte // reused; lookups via string(segKeyBuf) don't allocate
 	recordSegment := func(win []int, anchor bool) (idx int, added, anchorUp bool) {
-		key := intsKey(win)
-		if i, ok := segIndex[key]; ok {
+		segKeyBuf = appendIntsKey(segKeyBuf[:0], win)
+		if i, ok := segIndex[string(segKeyBuf)]; ok {
 			if anchor && !anchored[i] {
 				anchored[i] = true
 				return i, false, true
 			}
 			return i, false, false
 		}
-		segIndex[key] = len(segments)
+		segIndex[string(segKeyBuf)] = len(segments)
 		segments = append(segments, append([]int(nil), win...))
 		anchored = append(anchored, anchor)
 		return len(segments) - 1, true, false
 	}
+	var seg32Buf []int // reused window-conversion scratch
 	recordSegment32 := func(win []int32, anchor bool) (int, bool, bool) {
-		w := make([]int, len(win))
+		if cap(seg32Buf) < len(win) {
+			seg32Buf = make([]int, len(win))
+		}
+		w := seg32Buf[:len(win)]
 		for i, x := range win {
 			w[i] = int(x)
 		}
@@ -327,13 +354,15 @@ func GenerateModelSeqs(inSeqs []*Seq, opts Options) (*Result, error) {
 	// so the skips are free coverage-wise.
 	l := opts.ComplianceLen
 	validGrams := map[string]bool{}
-	gram := make([]int, l)
+	gramKey := make([]byte, 0, 4*l)
 	for _, s := range seqs {
 		s.windows(l, func(pos int, win []int32) {
-			for i, x := range win {
-				gram[i] = int(x)
+			gramKey = appendIntsKey32(gramKey[:0], win)
+			if !validGrams[string(gramKey)] {
+				// Insert materialises the key string; the dominant
+				// already-seen case stays allocation-free.
+				validGrams[string(gramKey)] = true
 			}
-			validGrams[intsKey(gram)] = true
 		})
 	}
 
@@ -429,6 +458,9 @@ func GenerateModelSeqs(inSeqs []*Seq, opts Options) (*Result, error) {
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				finish()
 				return &Result{Stats: stats}, ErrTimeout
+			}
+			if !opts.NoInprocessing {
+				pf.maybeSimplify()
 			}
 			stats.SolverCalls++
 			cSolves.Add(1)

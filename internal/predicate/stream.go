@@ -104,13 +104,32 @@ func (g *Generator) materialize(ids []trace.ObsID) *trace.Trace {
 	return trace.FromObservations(g.schema, obs)
 }
 
+// nextIDFunc returns the per-observation intern step for src: the
+// IDSource fast path when the source can intern its own records (a
+// repeated raw record then skips decoding entirely), and decode-then-
+// intern otherwise. Both assign identical ids in identical order — the
+// IDSource contract.
+func (g *Generator) nextIDFunc(src trace.Source) func() (trace.ObsID, error) {
+	if is, ok := src.(trace.IDSource); ok {
+		return func() (trace.ObsID, error) { return is.NextID(g.obsIntern) }
+	}
+	return func() (trace.ObsID, error) {
+		obs, err := src.Next()
+		if err != nil {
+			return 0, err
+		}
+		return g.obsIntern.Intern(obs), nil
+	}
+}
+
 // sequenceSourceSerial is the one-worker streaming path.
 func (g *Generator) sequenceSourceSerial(src trace.Source, emit func(Run) error) error {
 	em := &runEmitter{emit: emit}
 	ids := make([]trace.ObsID, 0, g.w)
 	seen := 0
+	nextID := g.nextIDFunc(src)
 	for {
-		obs, err := src.Next()
+		id, err := nextID()
 		if err == io.EOF {
 			break
 		}
@@ -119,7 +138,7 @@ func (g *Generator) sequenceSourceSerial(src trace.Source, emit func(Run) error)
 		}
 		seen++
 		var full bool
-		ids, full = slide(ids, g.w, g.obsIntern.Intern(obs))
+		ids, full = slide(ids, g.w, id)
 		if !full {
 			continue
 		}
@@ -200,7 +219,12 @@ func (g *Generator) sequenceSourceParallel(src trace.Source, emit func(Run) erro
 	defer ww.Wait()
 	defer cancel()
 
-	// Dispatcher: read, intern, slide, dedupe, enqueue in order.
+	// Dispatcher: read, intern, slide, dedupe, enqueue in order. The
+	// intern step picks the fastest available ingest strategy — sharded
+	// block decoding when the source supports it, the raw-record id
+	// cache when it self-interns, plain decode-then-intern otherwise —
+	// all of which assign identical ids in identical order, so the
+	// window stream below is strategy-independent.
 	var srcErr error
 	var seen atomic.Int64
 	go func() {
@@ -209,20 +233,12 @@ func (g *Generator) sequenceSourceParallel(src trace.Source, emit func(Run) erro
 		jobByKey := map[trace.WindowKey]*specJob{}
 		ids := make([]trace.ObsID, 0, g.w)
 		idx := 0
-		for {
-			obs, err := src.Next()
-			if err == io.EOF {
-				return
-			}
-			if err != nil {
-				srcErr = err
-				return
-			}
+		feed := func(id trace.ObsID) bool {
 			seen.Add(1)
 			var full bool
-			ids, full = slide(ids, g.w, g.obsIntern.Intern(obs))
+			ids, full = slide(ids, g.w, id)
 			if !full {
-				continue
+				return true
 			}
 			key := trace.MakeWindowKey(ids)
 			rec := streamRec{key: key, idx: idx}
@@ -245,13 +261,34 @@ func (g *Generator) sequenceSourceParallel(src trace.Source, emit func(Run) erro
 					select {
 					case jobCh <- job:
 					case <-ctx.Done():
-						return
+						return false
 					}
 				}
 			}
 			select {
 			case recCh <- rec:
+				return true
 			case <-ctx.Done():
+				return false
+			}
+		}
+		if bs, ok := src.(trace.BlockSource); ok {
+			if next, ok := bs.Blocks(shardBlockSize); ok {
+				srcErr = g.shardStream(ctx, bs, next, workers, feed)
+				return
+			}
+		}
+		nextID := g.nextIDFunc(src)
+		for {
+			id, err := nextID()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				srcErr = err
+				return
+			}
+			if !feed(id) {
 				return
 			}
 		}
@@ -326,4 +363,130 @@ func (g *Generator) sequenceSourceParallel(src trace.Source, emit func(Run) erro
 		return fmt.Errorf("predicate: trace length %d shorter than window %d", n, g.w)
 	}
 	return em.flush()
+}
+
+// shardBlockSize is the target byte size of one ingest shard. Large
+// enough that per-block overhead (channel hops, one remap extension)
+// vanishes; small enough that a handful of blocks are always in
+// flight per worker.
+const shardBlockSize = 1 << 20
+
+// shardOut is one decoded block: the block's observations as
+// worker-local interned ids, plus the canonical entries the block
+// newly introduced to its worker's local table (the merger re-interns
+// exactly these, in block order, into the global table).
+type shardOut struct {
+	ids []trace.ObsID
+	seg []trace.Observation
+	err error
+}
+
+// shardStream decodes record-aligned blocks on parallel workers with
+// private interners and merges the results in block hand-out order.
+//
+// Determinism: the merged global id assignment is byte-identical to
+// single-stream interning. Blocks concatenated in hand-out order equal
+// the input, and the merger walks them in that order, interning each
+// block's newly-seen canonical entries first. An observation's
+// globally-first occurrence lies in some block b; within b's worker
+// that occurrence is also the local first sight (earlier local sights
+// would be in earlier blocks of the same worker, merged before b), so
+// it appears in b's canon segment in first-occurrence order — the
+// global table therefore grows in exactly single-stream first-sight
+// order, and per-record ids follow via the local→global remap.
+//
+// feed receives the global ids in record order; a false return stops
+// the stream (downstream cancellation). The returned error is the
+// source/decode error in block order, after all earlier records fed.
+func (g *Generator) shardStream(ctx context.Context, src trace.BlockSource, next func() ([]byte, error), workers int, feed func(trace.ObsID) bool) error {
+	ctx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer cancel()
+
+	ins := make([]chan []byte, workers)
+	outs := make([]chan shardOut, workers)
+	for w := 0; w < workers; w++ {
+		ins[w] = make(chan []byte, 2)
+		outs[w] = make(chan shardOut, 2)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer close(outs[w])
+			dec := src.NewBlockDecoder()
+			local := trace.NewInterner()
+			for block := range ins[w] {
+				prev := local.Len()
+				var ids []trace.ObsID
+				err := dec.Decode(block, func(obs trace.Observation) error {
+					ids = append(ids, local.Intern(obs))
+					return nil
+				})
+				out := shardOut{ids: ids, seg: local.CanonSince(prev), err: err}
+				select {
+				case outs[w] <- out:
+				case <-ctx.Done():
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Feeder: hand out blocks round-robin so per-worker block order is
+	// globally known (the merger walks workers in the same rotation).
+	srcErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			for _, ch := range ins {
+				close(ch)
+			}
+		}()
+		for w := 0; ; w = (w + 1) % workers {
+			block, err := next()
+			if err == io.EOF {
+				srcErr <- nil
+				return
+			}
+			if err != nil {
+				srcErr <- err
+				return
+			}
+			select {
+			case ins[w] <- block:
+			case <-ctx.Done():
+				srcErr <- ctx.Err()
+				return
+			}
+		}
+	}()
+
+	// Merger: walk blocks in hand-out order, grow per-worker remap
+	// tables, feed global ids downstream.
+	remaps := make([][]trace.ObsID, workers)
+	for w := 0; ; w = (w + 1) % workers {
+		out, ok := <-outs[w]
+		if !ok {
+			// The rotation hit the worker after the final block: all
+			// blocks are merged. Surface the source error, if any.
+			return <-srcErr
+		}
+		remap := remaps[w]
+		for _, obs := range out.seg {
+			remap = append(remap, g.obsIntern.Intern(obs))
+		}
+		remaps[w] = remap
+		for _, lid := range out.ids {
+			if !feed(remap[lid]) {
+				return nil
+			}
+		}
+		if out.err != nil {
+			return out.err
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package predicate
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"testing"
@@ -112,6 +113,105 @@ func TestSequenceSourceEmitError(t *testing.T) {
 		err = g.SequenceSource(trace.NewTraceSource(tr), func(Run) error { return sentinel })
 		if !errors.Is(err, sentinel) {
 			t.Fatalf("workers=%d: got %v, want sentinel emit error", workers, err)
+		}
+	}
+}
+
+// bigCSV builds a quote-free counter CSV large enough to span several
+// ingest shards (shardBlockSize-sized blocks), with an optional
+// malformed record injected at row badAt (-1 for none).
+func bigCSV(rows, badAt int) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("count:int,event:sym\n")
+	for i := 0; i < rows; i++ {
+		if i == badAt {
+			buf.WriteString("notanint,ev\n")
+			continue
+		}
+		ev := "tick"
+		if i%5 == 4 {
+			ev = "wrap"
+		}
+		fmt.Fprintf(&buf, "%d,%s\n", i%5, ev)
+	}
+	return buf.Bytes()
+}
+
+// TestShardedIngestMatchesSerial drives a multi-megabyte zero-copy CSV
+// through SequenceSource at several worker counts. Workers > 1 on a
+// quote-free byte-backed source takes the sharded block-decode path
+// (private per-worker interners, deterministic merge); the emitted run
+// sequence must be byte-identical to the serial path's.
+func TestShardedIngestMatchesSerial(t *testing.T) {
+	data := bigCSV(320_000, -1) // ~2.5 MiB: several shardBlockSize blocks
+	if len(data) < 2*shardBlockSize {
+		t.Fatalf("trace only %d bytes, want > %d to span shards", len(data), 2*shardBlockSize)
+	}
+	// Confirm the shard precondition holds, so workers>1 below really
+	// exercises shardStream rather than silently falling back.
+	probe, err := trace.NewCSVSource(trace.NewBytes(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := probe.Blocks(shardBlockSize); !ok {
+		t.Fatal("Blocks refused the shard-eligible trace")
+	}
+
+	collect := func(workers int) []Run {
+		src, err := trace.NewCSVSource(trace.NewBytes(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewGenerator(src.Schema(), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var runs []Run
+		if err := g.SequenceSource(src, func(r Run) error {
+			runs = append(runs, r)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return runs
+	}
+
+	want := collect(1)
+	if len(want) == 0 {
+		t.Fatal("serial path emitted no runs")
+	}
+	for _, workers := range []int{2, 4} {
+		got := collect(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d runs, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Pred.Key != want[i].Pred.Key || got[i].Count != want[i].Count {
+				t.Fatalf("workers=%d: run %d = {%q, %d}, want {%q, %d}",
+					workers, i, got[i].Pred.Key, got[i].Count, want[i].Pred.Key, want[i].Count)
+			}
+		}
+	}
+}
+
+// TestShardedIngestDecodeError: a malformed record deep in the trace
+// must surface as an error at every worker count — including through
+// the sharded block path, where the failing block is decoded on some
+// worker but the error is reported in block order.
+func TestShardedIngestDecodeError(t *testing.T) {
+	data := bigCSV(320_000, 250_000)
+	for _, workers := range []int{1, 4} {
+		src, err := trace.NewCSVSource(trace.NewBytes(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewGenerator(src.Schema(), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = g.SequenceSource(src, func(Run) error { return nil })
+		if err == nil {
+			t.Fatalf("workers=%d: malformed record decoded without error", workers)
 		}
 	}
 }

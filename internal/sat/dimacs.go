@@ -115,7 +115,7 @@ func WriteDIMACS(w io.Writer, s *Solver) error {
 		}
 	}
 	for _, c := range s.clauses {
-		for _, l := range c.lits {
+		for _, l := range s.ar.litsOf(c) {
 			if _, err := bw.WriteString(l.String()); err != nil {
 				return err
 			}

@@ -21,7 +21,7 @@ func solverCNF(s *Solver) [][]Lit {
 		cnf = append(cnf, []Lit{l})
 	}
 	for _, c := range s.clauses {
-		cnf = append(cnf, append([]Lit(nil), c.lits...))
+		cnf = append(cnf, append([]Lit(nil), s.ar.litsOf(c)...))
 	}
 	return cnf
 }

@@ -1,0 +1,313 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomInstance generates a random clause set with mixed widths —
+// wide enough to exercise subsumption (narrow clauses subsuming wide
+// ones occur naturally).
+func randomInstance(r *rand.Rand, nVars, nClauses int) [][]Lit {
+	clauses := make([][]Lit, nClauses)
+	for i := range clauses {
+		w := 1 + r.Intn(5)
+		c := make([]Lit, w)
+		for j := range c {
+			v := r.Intn(nVars)
+			if r.Intn(2) == 0 {
+				c[j] = Pos(v)
+			} else {
+				c[j] = Neg(v)
+			}
+		}
+		clauses[i] = c
+	}
+	return clauses
+}
+
+// lexLeastModel extracts the lexicographically least model (false
+// preferred) by assumption probing — the same canonicalisation
+// discipline internal/learn uses to pin extracted automata. It is a
+// function of the constraint set alone, so any two equivalence-
+// preserving solvers must agree on it.
+func lexLeastModel(t *testing.T, s *Solver, nVars int) []bool {
+	t.Helper()
+	fixed := make([]Lit, 0, nVars)
+	model := make([]bool, nVars)
+	for v := 0; v < nVars; v++ {
+		switch s.SolveAssuming(append(fixed, Neg(v))...) {
+		case Sat:
+			fixed = append(fixed, Neg(v))
+		case Unsat:
+			fixed = append(fixed, Pos(v))
+			model[v] = true
+		default:
+			t.Fatal("probe returned Unknown")
+		}
+	}
+	if s.SolveAssuming(fixed...) != Sat {
+		t.Fatal("lex-least assignment not a model")
+	}
+	return model
+}
+
+// TestSimplifyPreservesLexLeastModel is the inprocessing equivalence
+// property: on random instances, a solver that runs Simplify between
+// solves must agree with an untouched solver on satisfiability and on
+// the lex-least model obtained by assumption probing.
+func TestSimplifyPreservesLexLeastModel(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for round := 0; round < 150; round++ {
+		nVars := 4 + r.Intn(8)
+		clauses := randomInstance(r, nVars, 3+r.Intn(4*nVars))
+		want, _ := bruteForce(nVars, clauses)
+
+		plain := mkSolver(nVars, clauses)
+		inproc := mkSolver(nVars, clauses)
+		okSimp := inproc.Simplify()
+
+		gotP, gotI := plain.Solve(), inproc.Solve()
+		if (gotP == Sat) != want || (gotI == Sat) != want {
+			t.Fatalf("round %d: plain=%v inproc=%v brute=%v (cnf %v)",
+				round, gotP, gotI, want, clauses)
+		}
+		if !want {
+			if okSimp && inproc.Simplify() {
+				// Simplify may or may not expose top-level UNSAT
+				// itself; after an Unsat solve it must report it.
+				t.Fatalf("round %d: Simplify true after Unsat solve", round)
+			}
+			continue
+		}
+		checkModel(t, inproc, clauses)
+
+		// Simplify mid-probing too: the lex-least model is a function
+		// of the constraint set, so interleaving passes cannot move it.
+		inproc.Simplify()
+		mp := lexLeastModel(t, plain, nVars)
+		mi := lexLeastModel(t, inproc, nVars)
+		for v := range mp {
+			if mp[v] != mi[v] {
+				t.Fatalf("round %d: lex-least models differ at var %d: %v vs %v (cnf %v)",
+					round, v, mp, mi, clauses)
+			}
+		}
+	}
+}
+
+// TestSimplifyCoreSound checks that cores produced after inprocessing
+// are still sound: a subset of the assumptions, jointly inconsistent
+// with the (original) clauses.
+func TestSimplifyCoreSound(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for round := 0; round < 150; round++ {
+		nVars := 4 + r.Intn(8)
+		clauses := randomInstance(r, nVars, 3+r.Intn(4*nVars))
+		var assumptions []Lit
+		for v := 0; v < 2+r.Intn(3) && v < nVars; v++ {
+			a := Pos(r.Intn(nVars))
+			if r.Intn(2) == 0 {
+				a = a.Not()
+			}
+			assumptions = append(assumptions, a)
+		}
+		want := bruteForceAssuming(nVars, clauses, assumptions)
+
+		s := mkSolver(nVars, clauses)
+		s.Simplify()
+		got := s.SolveAssuming(assumptions...)
+		if (got == Sat) != want {
+			t.Fatalf("round %d: SolveAssuming=%v brute=%v (cnf %v assume %v)",
+				round, got, want, clauses, assumptions)
+		}
+		if got != Unsat {
+			continue
+		}
+		core := s.UnsatCore()
+		if core == nil {
+			t.Fatal("nil core after Unsat")
+		}
+		inA := map[Lit]bool{}
+		for _, a := range assumptions {
+			inA[a] = true
+		}
+		for _, l := range core {
+			if !inA[l] {
+				t.Fatalf("core literal %v not among assumptions %v", l, assumptions)
+			}
+		}
+		if bruteForceAssuming(nVars, clauses, core) {
+			t.Fatalf("core %v not inconsistent (cnf %v)", core, clauses)
+		}
+	}
+}
+
+// TestSimplifySubsumption exercises the subsumption machinery
+// directly: plain subsumption removes a superset clause, and
+// self-subsuming resolution strengthens one.
+func TestSimplifySubsumption(t *testing.T) {
+	a, b, c, d := Pos(0), Pos(1), Pos(2), Pos(3)
+	s := mkSolver(4, [][]Lit{
+		{a, b},          // subsumes the next clause
+		{a, b, c},       // removed
+		{a.Not(), b, d}, // strengthened to (b, d) by resolution with (a, b)...
+	})
+	// (a,b) vs (¬a,b,d): a flips, b matches → remove ¬a from the latter.
+	if !s.Simplify() {
+		t.Fatal("Simplify reported top-level unsat")
+	}
+	if s.Stats.Subsumed == 0 {
+		t.Errorf("no clause subsumed (stats %+v)", s.Stats)
+	}
+	if s.Stats.Strengthened == 0 {
+		t.Errorf("no literal strengthened (stats %+v)", s.Stats)
+	}
+	// The strengthened set is {(a,b), (b,d)}; forcing b false must now
+	// propagate both a and d.
+	if st := s.SolveAssuming(b.Not()); st != Sat {
+		t.Fatalf("SolveAssuming(¬b) = %v", st)
+	}
+	if !s.Value(0) || !s.Value(3) {
+		t.Errorf("strengthening lost implications: a=%v d=%v", s.Value(0), s.Value(3))
+	}
+	_ = c
+}
+
+// TestSimplifyFindsTopLevelUnsat: strengthening can cascade into a
+// top-level contradiction, which Simplify must report (and the next
+// solve must confirm).
+func TestSimplifyFindsTopLevelUnsat(t *testing.T) {
+	a, b := Pos(0), Pos(1)
+	s := mkSolver(2, [][]Lit{
+		{a, b}, {a.Not(), b}, {a, b.Not()}, {a.Not(), b.Not()},
+	})
+	if s.Simplify() {
+		// Not strictly guaranteed by the API, but this instance is
+		// fully resolved by one self-subsumption pass.
+		t.Fatal("Simplify missed the contradiction")
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("Solve after failed Simplify = %v", st)
+	}
+}
+
+// TestArenaCompaction drives the clause arena past its waste threshold
+// and checks that compaction preserves the clause set and solvability.
+func TestArenaCompaction(t *testing.T) {
+	const nVars = 50
+	s := New()
+	for i := 0; i < nVars; i++ {
+		s.NewVar()
+	}
+	r := rand.New(rand.NewSource(3))
+	var clauses [][]Lit
+	for i := 0; i < 800; i++ {
+		c := []Lit{Pos(r.Intn(nVars)), Neg(r.Intn(nVars)), Pos(r.Intn(nVars))}
+		clauses = append(clauses, c)
+		s.AddClause(c...)
+	}
+	before := solverCNF(s)
+	// Delete two thirds of the stored clauses directly (white box).
+	kept := s.clauses[:0]
+	var keptCNF [][]Lit
+	for i, c := range s.clauses {
+		if i%3 != 0 {
+			s.removeClause(c)
+			continue
+		}
+		kept = append(kept, c)
+		keptCNF = append(keptCNF, append([]Lit(nil), s.ar.litsOf(c)...))
+	}
+	s.clauses = kept
+	s.maybeCompact()
+	if s.Stats.Compactions == 0 {
+		t.Fatalf("compaction did not trigger (wasted %d, slab %d)", s.ar.wasted, len(s.ar.slab))
+	}
+	if s.ar.wasted != 0 {
+		t.Errorf("wasted = %d after compaction", s.ar.wasted)
+	}
+	for i, c := range s.clauses {
+		lits := s.ar.litsOf(c)
+		if len(lits) != len(keptCNF[i]) {
+			t.Fatalf("clause %d changed length after compaction", i)
+		}
+		for j := range lits {
+			if lits[j] != keptCNF[i][j] {
+				t.Fatalf("clause %d literal %d changed: %v vs %v", i, j, lits[j], keptCNF[i][j])
+			}
+		}
+	}
+	if st := s.Solve(); st != Sat && st != Unsat {
+		t.Fatalf("post-compaction solve = %v", st)
+	}
+	if st := s.Solve(); st == Sat {
+		checkModel(t, s, keptCNF)
+	}
+	_ = before
+}
+
+// TestSolveAllocsSteadyState is the allocation audit guard: once the
+// solver's scratch buffers have warmed up, a re-solve of an unchanged
+// satisfiable instance (phase saving walks straight back to the model,
+// so no conflicts occur) must not allocate on the hot paths.
+func TestSolveAllocsSteadyState(t *testing.T) {
+	nVars := 40
+	var s *Solver
+	for seed := int64(0); ; seed++ {
+		if seed == 64 {
+			t.Fatal("no satisfiable random instance in 64 seeds")
+		}
+		r := rand.New(rand.NewSource(seed))
+		s = mkSolver(nVars, randomInstance(r, nVars, 80))
+		if s.Solve() == Sat {
+			break
+		}
+	}
+	s.Solve() // warm every buffer at its final size
+	allocs := testing.AllocsPerRun(50, func() {
+		if s.Solve() != Sat {
+			t.Fatal("re-solve flipped status")
+		}
+	})
+	// Propagation, decisions, trail and watch updates must all reuse
+	// storage; the only tolerated allocations are incidental (e.g. a
+	// rare heap growth), hence a small bound rather than exactly 0.
+	if allocs > 2 {
+		t.Errorf("steady-state Solve allocates %.1f times per call", allocs)
+	}
+}
+
+// BenchmarkSolveConflictRate measures raw CDCL throughput — conflicts
+// per second on PHP(8,7), every solve an identical full UNSAT proof —
+// the number BENCH_solve.json pins.
+func BenchmarkSolveConflictRate(b *testing.B) {
+	nv, clauses := pigeonhole(8, 7)
+	var conflicts int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := mkSolver(nv, clauses)
+		if s.Solve() != Unsat {
+			b.Fatal("PHP(8,7) not UNSAT")
+		}
+		conflicts += s.Stats.Conflicts
+	}
+	b.ReportMetric(float64(conflicts)/b.Elapsed().Seconds(), "conflicts/s")
+}
+
+// BenchmarkSolveInprocessed is the same proof with a Simplify pass
+// after clause loading, as the learner's portfolio runs it.
+func BenchmarkSolveInprocessed(b *testing.B) {
+	nv, clauses := pigeonhole(8, 7)
+	var conflicts int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := mkSolver(nv, clauses)
+		s.Simplify()
+		if s.Solve() != Unsat {
+			b.Fatal("PHP(8,7) not UNSAT")
+		}
+		conflicts += s.Stats.Conflicts
+	}
+	b.ReportMetric(float64(conflicts)/b.Elapsed().Seconds(), "conflicts/s")
+}

@@ -11,7 +11,7 @@
 //
 // The solver is a conventional modern CDCL design:
 //
-//   - two-watched-literal unit propagation,
+//   - two-watched-literal unit propagation with watcher blockers,
 //   - first-UIP conflict analysis with recursive clause minimisation,
 //   - VSIDS variable activity with exponential decay and phase saving,
 //   - Luby-sequence restarts,
@@ -19,11 +19,21 @@
 //   - incremental use: clauses may be added between Solve calls, and
 //     SolveAssuming solves under temporary assumptions while keeping
 //     every learned clause for the next call; a failed assumption set
-//     yields an UnsatCore.
+//     yields an UnsatCore,
+//   - Simplify: deterministic level-0 inprocessing (satisfied-clause
+//     elimination, false-literal stripping, forward and self-
+//     subsumption) callable between solves.
+//
+// Clause storage is a flat arena: all literals live contiguously in
+// one slab, clauses are int32 offsets (crefs) into it, and watcher
+// lists hold crefs plus a blocker literal. Deleting a clause only
+// marks its header; a compaction pass re-packs the slab when the
+// wasted share grows past half (see DESIGN.md note 17).
 package sat
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 )
 
@@ -86,21 +96,112 @@ const (
 	lFalse
 )
 
-type clause struct {
-	lits     []Lit
-	learnt   bool
-	activity float64
+// cref is a clause reference: the slab offset of the clause header.
+type cref int32
+
+// crefUndef marks "no clause" (reason of a decision, no conflict).
+const crefUndef cref = -1
+
+// Arena clause layout, in Lit-sized words starting at the cref:
+//
+//	[0]          header: size<<hdrSizeShift | flags
+//	[1]          float32 activity bits — learnt clauses only
+//	[1|2 ...]    the literals
+//
+// A deleted clause keeps its header (so linear scans stay possible)
+// but its words count as wasted; compaction re-packs live clauses into
+// a fresh slab and rewrites every cref holder.
+const (
+	hdrLearnt    = 1 << 0
+	hdrDeleted   = 1 << 1
+	hdrSizeShift = 2
+)
+
+// arena is the flat clause store.
+type arena struct {
+	slab   []Lit
+	wasted int // words occupied by deleted clauses / stripped literals
+}
+
+func (a *arena) alloc(lits []Lit, learnt bool) cref {
+	c := cref(len(a.slab))
+	hdr := Lit(len(lits) << hdrSizeShift)
+	if learnt {
+		hdr |= hdrLearnt
+		a.slab = append(a.slab, hdr, Lit(math.Float32bits(1)))
+	} else {
+		a.slab = append(a.slab, hdr)
+	}
+	a.slab = append(a.slab, lits...)
+	return c
+}
+
+func (a *arena) size(c cref) int    { return int(a.slab[c]) >> hdrSizeShift }
+func (a *arena) learnt(c cref) bool { return a.slab[c]&hdrLearnt != 0 }
+func (a *arena) deleted(c cref) bool {
+	return a.slab[c]&hdrDeleted != 0
+}
+
+// litsOf returns the clause's literal slice, borrowed from the slab
+// (mutations — watch swaps, strengthening — write through).
+func (a *arena) litsOf(c cref) []Lit {
+	off := int(c) + 1
+	if a.slab[c]&hdrLearnt != 0 {
+		off++
+	}
+	return a.slab[off : off+a.size(c)]
+}
+
+// words returns the clause's total footprint in slab words.
+func (a *arena) words(c cref) int {
+	n := 1 + a.size(c)
+	if a.slab[c]&hdrLearnt != 0 {
+		n++
+	}
+	return n
+}
+
+func (a *arena) activity(c cref) float32 {
+	return math.Float32frombits(uint32(a.slab[c+1]))
+}
+
+func (a *arena) setActivity(c cref, f float32) {
+	a.slab[c+1] = Lit(math.Float32bits(f))
+}
+
+// del marks the clause deleted; its words become wasted.
+func (a *arena) del(c cref) {
+	a.wasted += a.words(c)
+	a.slab[c] |= hdrDeleted
+}
+
+// shrink drops the clause's literals beyond the first n; the dropped
+// words become wasted.
+func (a *arena) shrink(c cref, n int) {
+	old := a.size(c)
+	a.wasted += old - n
+	a.slab[c] = Lit(n<<hdrSizeShift) | (a.slab[c] & (hdrLearnt | hdrDeleted))
+}
+
+// watcher is one entry of a literal's watch list: the watched clause
+// and a blocker — some other literal of the clause whose truth proves
+// the clause satisfied without touching the clause memory at all (the
+// common case in hot propagation).
+type watcher struct {
+	c       cref
+	blocker Lit
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
 type Solver struct {
-	clauses []*clause // problem clauses
-	learnts []*clause // learned clauses
-	watches [][]*clause
+	ar      arena
+	clauses []cref // problem clauses
+	learnts []cref // learned clauses
+	watches [][]watcher
 
 	assign  []lbool
 	level   []int32
-	reason  []*clause
+	reason  []cref
 	phase   []bool // saved phases
 	prefPol []bool // preferred initial polarity (false by default)
 
@@ -128,9 +229,16 @@ type Solver struct {
 	// Interrupt); cleared on entry to SolveAssuming.
 	stop atomic.Bool
 
-	// analyze scratch.
-	seen      []bool
-	analyzeTS []Lit
+	// scratch buffers, reused across calls so the hot loops allocate
+	// only when a buffer grows.
+	seen       []bool
+	analyzeTS  []Lit
+	learntBuf  []Lit
+	redStack   []Lit
+	redUndo    []Lit
+	addBuf     []Lit
+	addMark    []int8 // 0 unseen, 1 positive seen, 2 negative seen
+	actScratch []float64
 
 	// statistics
 	Stats Stats
@@ -157,6 +265,10 @@ type Stats struct {
 	Restarts     int64
 	Learned      int64
 	Deleted      int64
+	Simplifies   int64 // Simplify passes run
+	Subsumed     int64 // clauses removed by subsumption or satisfaction
+	Strengthened int64 // literals removed by self-subsumption/stripping
+	Compactions  int64 // arena re-pack passes
 }
 
 // Minus returns the component-wise difference s − o: the work done
@@ -169,6 +281,10 @@ func (s Stats) Minus(o Stats) Stats {
 		Restarts:     s.Restarts - o.Restarts,
 		Learned:      s.Learned - o.Learned,
 		Deleted:      s.Deleted - o.Deleted,
+		Simplifies:   s.Simplifies - o.Simplifies,
+		Subsumed:     s.Subsumed - o.Subsumed,
+		Strengthened: s.Strengthened - o.Strengthened,
+		Compactions:  s.Compactions - o.Compactions,
 	}
 }
 
@@ -182,16 +298,21 @@ func New() *Solver {
 // NumVars returns the number of variables created so far.
 func (s *Solver) NumVars() int { return len(s.assign) }
 
+// NumClauses returns the number of stored clauses — problem plus
+// learned. Inprocessing schedules itself on the growth of this count.
+func (s *Solver) NumClauses() int { return len(s.clauses) + len(s.learnts) }
+
 // NewVar creates a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
 	v := len(s.assign)
 	s.assign = append(s.assign, lUndef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, crefUndef)
 	s.phase = append(s.phase, false)
 	s.prefPol = append(s.prefPol, false)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, false)
+	s.addMark = append(s.addMark, 0)
 	s.watches = append(s.watches, nil, nil)
 	s.heap.insert(v)
 	return v
@@ -233,53 +354,92 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		s.backtrack(0)
 	}
 	// Normalise: drop duplicate and false literals, detect
-	// tautologies and satisfied clauses.
-	norm := make([]Lit, 0, len(lits))
-	seen := map[Lit]bool{}
+	// tautologies and satisfied clauses. Var-indexed marks replace a
+	// map so the normalisation never allocates.
+	norm := s.addBuf[:0]
+	sat, taut := false, false
 	for _, l := range lits {
 		if l.Var() >= s.NumVars() || l < 0 {
 			panic(fmt.Sprintf("sat: literal %d references unknown variable", l))
 		}
+		mark := int8(1)
+		if l.Sign() {
+			mark = 2
+		}
 		switch {
-		case s.value(l) == lTrue || seen[l.Not()]:
-			return true // already satisfied / tautology
-		case s.value(l) == lFalse || seen[l]:
+		case s.value(l) == lTrue || s.addMark[l.Var()] == 3-mark:
+			sat, taut = true, true
+		case s.value(l) == lFalse || s.addMark[l.Var()] == mark:
 			// skip
 		default:
-			seen[l] = true
+			s.addMark[l.Var()] = mark
 			norm = append(norm, l)
 		}
+		if taut {
+			break
+		}
+	}
+	for _, l := range norm {
+		s.addMark[l.Var()] = 0
+	}
+	s.addBuf = norm[:0]
+	if sat {
+		return true
 	}
 	switch len(norm) {
 	case 0:
 		s.ok = false
 		return false
 	case 1:
-		if !s.enqueue(norm[0], nil) {
+		if !s.enqueue(norm[0], crefUndef) {
 			s.ok = false
 			return false
 		}
-		if s.propagate() != nil {
+		if s.propagate() != crefUndef {
 			s.ok = false
 			return false
 		}
 		return true
 	default:
-		c := &clause{lits: norm}
+		c := s.ar.alloc(norm, false)
 		s.clauses = append(s.clauses, c)
-		s.watch(c)
+		s.attach(c)
 		return true
 	}
 }
 
-func (s *Solver) watch(c *clause) {
-	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], c)
-	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+// attach installs the clause's two watchers, each blocking on the
+// other watched literal.
+func (s *Solver) attach(c cref) {
+	lits := s.ar.litsOf(c)
+	s.watches[lits[0].Not()] = append(s.watches[lits[0].Not()], watcher{c: c, blocker: lits[1]})
+	s.watches[lits[1].Not()] = append(s.watches[lits[1].Not()], watcher{c: c, blocker: lits[0]})
+}
+
+// detach removes the clause's two watchers.
+func (s *Solver) detach(c cref) {
+	lits := s.ar.litsOf(c)
+	for _, w := range [2]Lit{lits[0].Not(), lits[1].Not()} {
+		list := s.watches[w]
+		for i := range list {
+			if list[i].c == c {
+				list[i] = list[len(list)-1]
+				s.watches[w] = list[:len(list)-1]
+				break
+			}
+		}
+	}
+}
+
+// removeClause detaches and arena-deletes c.
+func (s *Solver) removeClause(c cref) {
+	s.detach(c)
+	s.ar.del(c)
 }
 
 // enqueue assigns literal l with the given reason clause. It returns
 // false when l is already false.
-func (s *Solver) enqueue(l Lit, from *clause) bool {
+func (s *Solver) enqueue(l Lit, from cref) bool {
 	switch s.value(l) {
 	case lTrue:
 		return true
@@ -299,55 +459,71 @@ func (s *Solver) enqueue(l Lit, from *clause) bool {
 }
 
 // propagate performs unit propagation; it returns a conflicting clause
-// or nil.
-func (s *Solver) propagate() *clause {
+// or crefUndef. Watch lists are compacted in place; a watcher whose
+// blocker is already true is skipped without loading the clause.
+func (s *Solver) propagate() cref {
 	for s.qhead < len(s.trail) {
 		l := s.trail[s.qhead]
 		s.qhead++
 		s.Stats.Propagations++
 		ws := s.watches[l]
-		s.watches[l] = ws[:0]
+		j := 0
+		confl := crefUndef
+	outer:
 		for i := 0; i < len(ws); i++ {
-			c := ws[i]
-			// Ensure the false literal is lits[1].
-			if c.lits[0] == l.Not() {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			w := ws[i]
+			if s.value(w.blocker) == lTrue {
+				ws[j] = w
+				j++
+				continue
 			}
+			lits := s.ar.litsOf(w.c)
+			// Ensure the false literal is lits[1].
+			if lits[0] == l.Not() {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			first := lits[0]
 			// Satisfied by the other watch?
-			if s.value(c.lits[0]) == lTrue {
-				s.watches[l] = append(s.watches[l], c)
+			if first != w.blocker && s.value(first) == lTrue {
+				ws[j] = watcher{c: w.c, blocker: first}
+				j++
 				continue
 			}
 			// Look for a new literal to watch.
-			found := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
-					found = true
-					break
+			for k := 2; k < len(lits); k++ {
+				if s.value(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					nw := lits[1].Not()
+					s.watches[nw] = append(s.watches[nw], watcher{c: w.c, blocker: first})
+					continue outer
 				}
 			}
-			if found {
-				continue
-			}
 			// Unit or conflicting.
-			s.watches[l] = append(s.watches[l], c)
-			if !s.enqueue(c.lits[0], c) {
-				// Conflict: restore remaining watches.
-				s.watches[l] = append(s.watches[l], ws[i+1:]...)
+			ws[j] = watcher{c: w.c, blocker: first}
+			j++
+			if !s.enqueue(first, w.c) {
+				confl = w.c
+				// Conflict: keep the remaining watchers.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
 				s.qhead = len(s.trail)
-				return c
 			}
 		}
+		s.watches[l] = ws[:j]
+		if confl != crefUndef {
+			return confl
+		}
 	}
-	return nil
+	return crefUndef
 }
 
 // analyze performs first-UIP conflict analysis, returning the learnt
-// clause (asserting literal first) and the backtrack level.
-func (s *Solver) analyze(confl *clause) ([]Lit, int) {
-	learnt := []Lit{0} // slot for the asserting literal
+// clause (asserting literal first) and the backtrack level. The
+// returned slice is scratch, valid until the next call.
+func (s *Solver) analyze(confl cref) ([]Lit, int) {
+	learnt := append(s.learntBuf[:0], 0) // slot for the asserting literal
 	counter := 0
 	var p Lit = -1
 	idx := len(s.trail) - 1
@@ -356,11 +532,12 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 
 	for {
 		s.bumpClause(confl)
+		clits := s.ar.litsOf(confl)
 		start := 0
 		if p != -1 {
 			start = 1 // skip the asserting literal slot of the reason
 		}
-		for _, q := range confl.lits[start:] {
+		for _, q := range clits[start:] {
 			if p != -1 && q == p {
 				continue
 			}
@@ -419,23 +596,27 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	for _, q := range s.analyzeTS {
 		s.seen[q.Var()] = false
 	}
+	s.learntBuf = learnt
 	return learnt, btLevel
 }
 
 // redundant reports whether literal q is implied by the other literals
 // of the learnt clause (its reason chain stays within seen literals).
 func (s *Solver) redundant(q Lit) bool {
-	r := s.reason[q.Var()]
-	if r == nil {
+	if s.reason[q.Var()] == crefUndef {
 		return false
 	}
-	stack := []Lit{q}
-	var undo []Lit
+	stack := append(s.redStack[:0], q)
+	undo := s.redUndo[:0]
+	defer func() {
+		s.redStack = stack[:0]
+		s.redUndo = undo[:0]
+	}()
 	for len(stack) > 0 {
 		l := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		c := s.reason[l.Var()]
-		if c == nil {
+		if c == crefUndef {
 			// Decision reached: q is not redundant; roll back
 			// marks made during this check.
 			for _, u := range undo {
@@ -443,7 +624,7 @@ func (s *Solver) redundant(q Lit) bool {
 			}
 			return false
 		}
-		for _, x := range c.lits[1:] {
+		for _, x := range s.ar.litsOf(c)[1:] {
 			v := x.Var()
 			if s.seen[v] || s.level[v] == 0 {
 				continue
@@ -468,9 +649,9 @@ func (s *Solver) bumpVar(v int) {
 	s.heap.update(v)
 }
 
-func (s *Solver) bumpClause(c *clause) {
-	if c.learnt {
-		c.activity++
+func (s *Solver) bumpClause(c cref) {
+	if s.ar.learnt(c) {
+		s.ar.setActivity(c, s.ar.activity(c)+1)
 	}
 }
 
@@ -509,7 +690,7 @@ func (s *Solver) backtrack(level int) {
 		v := s.trail[i].Var()
 		s.phase[v] = s.assign[v] == lTrue
 		s.assign[v] = lUndef
-		s.reason[v] = nil
+		s.reason[v] = crefUndef
 		s.heap.insert(v)
 	}
 	s.trail = s.trail[:bound]
@@ -552,6 +733,14 @@ func luby(i int64) int64 {
 	return int64(1) << seq
 }
 
+// locked reports whether c is the reason of a current assignment (its
+// asserting literal is lits[0]; propagation never swaps it away while
+// the assignment stands).
+func (s *Solver) locked(c cref) bool {
+	l := s.ar.litsOf(c)[0]
+	return s.value(l) == lTrue && s.reason[l.Var()] == c
+}
+
 // reduceDB removes the less active half of the learned clauses,
 // keeping reasons of current assignments.
 func (s *Solver) reduceDB() {
@@ -559,40 +748,25 @@ func (s *Solver) reduceDB() {
 		return
 	}
 	// Partial selection: simple threshold at median activity.
-	acts := make([]float64, len(s.learnts))
+	if cap(s.actScratch) < len(s.learnts) {
+		s.actScratch = make([]float64, len(s.learnts))
+	}
+	acts := s.actScratch[:len(s.learnts)]
 	for i, c := range s.learnts {
-		acts[i] = c.activity
+		acts[i] = float64(s.ar.activity(c))
 	}
 	med := quickMedian(acts)
 	kept := s.learnts[:0]
-	locked := map[*clause]bool{}
-	for _, l := range s.trail {
-		if r := s.reason[l.Var()]; r != nil {
-			locked[r] = true
-		}
-	}
 	for _, c := range s.learnts {
-		if c.activity > med || locked[c] || len(c.lits) <= 2 {
+		if float64(s.ar.activity(c)) > med || s.ar.size(c) <= 2 || s.locked(c) {
 			kept = append(kept, c)
 			continue
 		}
-		s.unwatch(c)
+		s.removeClause(c)
 		s.Stats.Deleted++
 	}
 	s.learnts = kept
-}
-
-func (s *Solver) unwatch(c *clause) {
-	for _, w := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
-		list := s.watches[w]
-		for i, x := range list {
-			if x == c {
-				list[i] = list[len(list)-1]
-				s.watches[w] = list[:len(list)-1]
-				break
-			}
-		}
-	}
+	s.maybeCompact()
 }
 
 func quickMedian(xs []float64) float64 {
@@ -629,6 +803,52 @@ func quickMedian(xs []float64) float64 {
 	return xs[k]
 }
 
+// maybeCompact re-packs the arena when deleted clauses and stripped
+// literals waste more than half of it. Compaction allocates a fresh
+// slab sized to the live data, relocates problem clauses then learnts
+// in list order (so relocation is deterministic), and rewrites every
+// cref holder: the clause lists, the watcher lists, and the reasons of
+// current assignments.
+func (s *Solver) maybeCompact() {
+	if s.ar.wasted < 1024 || 2*s.ar.wasted <= len(s.ar.slab) {
+		return
+	}
+	s.Stats.Compactions++
+	old := s.ar
+	s.ar = arena{slab: make([]Lit, 0, len(old.slab)-old.wasted)}
+	remap := make(map[cref]cref, len(s.clauses)+len(s.learnts))
+	reloc := func(list []cref) {
+		for i, c := range list {
+			nc := s.ar.alloc(old.litsOf(c), old.learnt(c))
+			if old.learnt(c) {
+				s.ar.setActivity(nc, old.activity(c))
+			}
+			remap[c] = nc
+			list[i] = nc
+		}
+	}
+	reloc(s.clauses)
+	reloc(s.learnts)
+	for i := range s.watches {
+		for j := range s.watches[i] {
+			s.watches[i][j].c = remap[s.watches[i][j].c]
+		}
+	}
+	for _, l := range s.trail {
+		v := l.Var()
+		if r := s.reason[v]; r != crefUndef {
+			if nc, ok := remap[r]; ok {
+				s.reason[v] = nc
+			} else {
+				// A level-0 reason whose clause was removed by
+				// inprocessing; level-0 assignments are permanent, so
+				// the reason is never consulted again.
+				s.reason[v] = crefUndef
+			}
+		}
+	}
+}
+
 // Solve searches for a satisfying assignment of all added clauses. It
 // may be called repeatedly, with clauses added in between; learned
 // clauses persist across calls.
@@ -650,7 +870,7 @@ func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
 		return Unsat
 	}
 	s.backtrack(0)
-	if c := s.propagate(); c != nil {
+	if c := s.propagate(); c != crefUndef {
 		s.ok = false
 		s.core = []Lit{}
 		return Unsat
@@ -707,7 +927,7 @@ func (s *Solver) search(budget int64, maxLearnts *int64) Status {
 			return Unknown
 		}
 		confl := s.propagate()
-		if confl != nil {
+		if confl != crefUndef {
 			s.Stats.Conflicts++
 			conflicts++
 			if len(s.trailLim) == 0 {
@@ -718,16 +938,16 @@ func (s *Solver) search(budget int64, maxLearnts *int64) Status {
 			learnt, btLevel := s.analyze(confl)
 			s.backtrack(btLevel)
 			if len(learnt) == 1 {
-				if !s.enqueue(learnt[0], nil) {
+				if !s.enqueue(learnt[0], crefUndef) {
 					s.ok = false
 					s.core = []Lit{}
 					return Unsat
 				}
 			} else {
-				c := &clause{lits: learnt, learnt: true, activity: 1}
+				c := s.ar.alloc(learnt, true)
 				s.learnts = append(s.learnts, c)
 				s.Stats.Learned++
-				s.watch(c)
+				s.attach(c)
 				if !s.enqueue(learnt[0], c) {
 					s.ok = false
 					s.core = []Lit{}
@@ -762,7 +982,7 @@ func (s *Solver) search(budget int64, maxLearnts *int64) Status {
 				s.trailLim = append(s.trailLim, len(s.trail))
 			default:
 				s.trailLim = append(s.trailLim, len(s.trail))
-				s.enqueue(p, nil)
+				s.enqueue(p, crefUndef)
 				placed = true
 			}
 			if placed {
@@ -778,7 +998,7 @@ func (s *Solver) search(budget int64, maxLearnts *int64) Status {
 		}
 		s.Stats.Decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.enqueue(l, nil)
+		s.enqueue(l, crefUndef)
 	}
 }
 
@@ -799,10 +1019,10 @@ func (s *Solver) analyzeFinal(p Lit) {
 		if !s.seen[v] {
 			continue
 		}
-		if r := s.reason[v]; r == nil {
+		if r := s.reason[v]; r == crefUndef {
 			s.core = append(s.core, s.trail[i])
 		} else {
-			for _, q := range r.lits[1:] {
+			for _, q := range s.ar.litsOf(r)[1:] {
 				if s.level[q.Var()] > 0 {
 					s.seen[q.Var()] = true
 				}
@@ -816,6 +1036,213 @@ func (s *Solver) analyzeFinal(p Lit) {
 // ResetForNextSolve backtracks to level 0 so further clauses can be
 // added after a Sat result. Model values become invalid.
 func (s *Solver) ResetForNextSolve() { s.backtrack(0) }
+
+// subsumeBudget caps the literal comparisons one Simplify pass spends
+// on subsumption, so inprocessing stays a bounded, deterministic slice
+// of the solve time regardless of formula size.
+const subsumeBudget = 4_000_000
+
+// Simplify performs deterministic level-0 inprocessing between
+// solves: satisfied-clause elimination, false-literal stripping, and
+// forward plus self-subsumption over the problem clauses. It preserves
+// logical equivalence of the formula (every model before is a model
+// after, restricted to the same clauses), so callers may interleave it
+// freely with Solve/SolveAssuming. Returns false when the formula is
+// found unsatisfiable at the top level.
+func (s *Solver) Simplify() bool {
+	if !s.ok {
+		return false
+	}
+	s.backtrack(0)
+	if s.propagate() != crefUndef {
+		s.ok = false
+		return false
+	}
+	s.Stats.Simplifies++
+	// Level-0 assignments are permanent and conflict analysis skips
+	// level-0 variables, so their reasons are never consulted again.
+	// Clearing them now lets elimination drop those clauses without
+	// leaving dangling crefs behind.
+	for _, l := range s.trail {
+		s.reason[l.Var()] = crefUndef
+	}
+	s.clauses = s.simplifyList(s.clauses)
+	s.learnts = s.simplifyList(s.learnts)
+	if s.ok {
+		s.subsume()
+	}
+	s.maybeCompact()
+	return s.ok
+}
+
+// simplifyList drops clauses satisfied at level 0 and strips false
+// literals from the rest. Watched literals are never false here: after
+// full level-0 propagation a clause with a false watch is either
+// satisfied or would have propagated, so stripping only touches
+// positions ≥ 2 and the watchers stay valid.
+func (s *Solver) simplifyList(list []cref) []cref {
+	kept := list[:0]
+	for _, c := range list {
+		lits := s.ar.litsOf(c)
+		satisfied := false
+		for _, l := range lits {
+			if s.value(l) == lTrue {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			s.removeClause(c)
+			s.Stats.Subsumed++
+			continue
+		}
+		j := 0
+		for _, l := range lits {
+			if s.value(l) != lFalse {
+				lits[j] = l
+				j++
+			}
+		}
+		if j < len(lits) {
+			s.Stats.Strengthened += int64(len(lits) - j)
+			s.ar.shrink(c, j)
+		}
+		kept = append(kept, c)
+	}
+	return kept
+}
+
+// subsume runs forward and self-subsumption over the problem clauses:
+// a clause C subsumes D when C ⊆ D (D is removed); when C becomes a
+// subset of D after flipping exactly one literal p, resolution on p
+// strengthens D by removing ¬p. Candidate pairs come from occurrence
+// lists on the least-frequent variable of C, pre-filtered by 64-bit
+// variable signatures; iteration order is list order throughout, so
+// the pass is deterministic.
+func (s *Solver) subsume() {
+	nv := s.NumVars()
+	occ := make([][]cref, nv)
+	sigs := make(map[cref]uint64, len(s.clauses))
+	for _, c := range s.clauses {
+		var sig uint64
+		for _, l := range s.ar.litsOf(c) {
+			occ[l.Var()] = append(occ[l.Var()], c)
+			sig |= 1 << (uint(l.Var()) & 63)
+		}
+		sigs[c] = sig
+	}
+	budget := subsumeBudget
+	for _, c := range s.clauses {
+		if s.ar.deleted(c) {
+			continue
+		}
+		clits := s.ar.litsOf(c)
+		// Scan the occurrence list of c's least-frequent variable:
+		// every clause containing all of c's literals is in it.
+		mv := clits[0].Var()
+		var csig uint64
+		for _, l := range clits {
+			if len(occ[l.Var()]) < len(occ[mv]) {
+				mv = l.Var()
+			}
+			csig |= 1 << (uint(l.Var()) & 63)
+		}
+		for _, d := range occ[mv] {
+			if d == c || s.ar.deleted(d) || s.ar.deleted(c) {
+				continue
+			}
+			if budget <= 0 {
+				return
+			}
+			dlits := s.ar.litsOf(d)
+			if len(dlits) < len(clits) || csig&^sigs[d] != 0 {
+				continue
+			}
+			budget -= len(dlits)
+			flip, ok := subsumes(clits, dlits)
+			if !ok {
+				continue
+			}
+			if flip == -1 {
+				s.removeClause(d)
+				s.Stats.Subsumed++
+				continue
+			}
+			if !s.strengthen(d, flip) {
+				return
+			}
+			// c's own literals may have changed if d's strengthening
+			// propagated a unit that falsified one of them; re-read.
+			if s.ar.deleted(c) {
+				break
+			}
+			clits = s.ar.litsOf(c)
+		}
+	}
+	kept := s.clauses[:0]
+	for _, c := range s.clauses {
+		if !s.ar.deleted(c) {
+			kept = append(kept, c)
+		}
+	}
+	s.clauses = kept
+}
+
+// subsumes checks C ⊆ D modulo at most one flipped literal. It returns
+// (-1, true) for plain subsumption, (q, true) when exactly one literal
+// of C appears in D as its negation q (strengthen D by removing q),
+// and (_, false) otherwise.
+func subsumes(c, d []Lit) (Lit, bool) {
+	var flip Lit = -1
+	for _, p := range c {
+		exact, neg := false, false
+		for _, q := range d {
+			if q == p {
+				exact = true
+				break
+			}
+			if q == p.Not() {
+				neg = true
+			}
+		}
+		if exact {
+			continue
+		}
+		if neg && flip == -1 {
+			flip = p.Not()
+			continue
+		}
+		return -1, false
+	}
+	return flip, true
+}
+
+// strengthen removes literal q from clause d at level 0, re-watching
+// or — when d becomes unit — propagating. Returns false when the
+// propagation exposes top-level unsatisfiability.
+func (s *Solver) strengthen(d cref, q Lit) bool {
+	s.detach(d)
+	lits := s.ar.litsOf(d)
+	j := 0
+	for _, l := range lits {
+		if l != q {
+			lits[j] = l
+			j++
+		}
+	}
+	s.ar.shrink(d, j)
+	s.Stats.Strengthened++
+	if j == 1 {
+		s.ar.del(d)
+		if !s.enqueue(lits[0], crefUndef) || s.propagate() != crefUndef {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	s.attach(d)
+	return true
+}
 
 // varHeap is a max-heap of variables ordered by activity.
 type varHeap struct {

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"io"
+	"os"
+)
+
+// Bytes is a read-only byte buffer behind the zero-copy ingestion
+// path: decoders built over a *Bytes scan borrowed slices of the
+// underlying data instead of copying through bufio. The buffer is
+// either an mmap'd file (OpenBytes on platforms that support it) or a
+// plain in-memory slice (NewBytes, and the portable read fallback).
+//
+// Ownership: the *Bytes owns the mapping. Close releases it; every
+// slice borrowed from Data — including observations still held by a
+// decoder — is invalid afterwards, so callers must close only after
+// the consuming source is done. Decoders wrap the *Bytes in their
+// sourceCloser, so the usual Collect/defer-Close discipline releases
+// the mapping exactly once.
+type Bytes struct {
+	data    []byte
+	off     int
+	release func() error
+}
+
+// NewBytes wraps an in-memory slice. The slice is borrowed, not
+// copied; the caller must not mutate it while the Bytes is in use.
+func NewBytes(data []byte) *Bytes { return &Bytes{data: data} }
+
+// OpenBytes maps the named file read-only. On platforms with mmap the
+// file contents are mapped (no read-time copies at all); elsewhere —
+// and for files that cannot be mapped, such as pipes — it falls back
+// to reading the whole file into memory. Either way the result serves
+// the zero-copy decode path.
+func OpenBytes(path string) (*Bytes, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if b, err := mapFile(f); err == nil {
+		return b, nil
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Bytes{data: data}, nil
+}
+
+// Data returns the full underlying buffer. The slice is borrowed from
+// the mapping and must not be retained past Close.
+func (b *Bytes) Data() []byte { return b.data }
+
+// Len returns the buffer length.
+func (b *Bytes) Len() int { return len(b.data) }
+
+// Read implements io.Reader so a *Bytes can feed any decoder that has
+// no zero-copy path (the VCD tokenizer, external consumers).
+func (b *Bytes) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+// Close releases the mapping (a no-op for plain slices). Idempotent.
+func (b *Bytes) Close() error {
+	rel := b.release
+	b.release = nil
+	b.data = nil
+	if rel != nil {
+		return rel()
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package trace
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile always fails on platforms without mmap support; OpenBytes
+// falls back to reading the file into memory.
+func mapFile(*os.File) (*Bytes, error) {
+	return nil, errors.New("trace: mmap not supported on this platform")
+}

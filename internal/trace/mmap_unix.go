@@ -1,0 +1,28 @@
+//go:build unix
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only. Empty and irregular files (pipes, sockets)
+// report an error so OpenBytes falls back to plain reads. The returned
+// Bytes carries the munmap as its release hook; lifetime rules are
+// documented on Bytes.
+func mapFile(f *os.File) (*Bytes, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if !st.Mode().IsRegular() || size <= 0 || int64(int(size)) != size {
+		return nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &Bytes{data: data, release: func() error { return syscall.Munmap(data) }}, nil
+}

@@ -72,6 +72,8 @@ type vcdParser struct {
 	byID   map[string][]int // id code → watch positions
 	byName map[string]int
 	schema *Schema
+
+	tok []byte // scratch for tokenBytes
 }
 
 // parseHeader consumes declarations through $enddefinitions.
@@ -267,6 +269,7 @@ type VCDSource struct {
 	p       *vcdParser
 	bytes   *countingReader
 	cur     Observation
+	bits    []byte // scratch for a change's value bits
 	dirty   bool
 	started bool
 	done    bool
@@ -306,10 +309,10 @@ func (s *VCDSource) Schema() *Schema { return s.p.schema }
 func (s *VCDSource) BytesRead() int64 { return s.bytes.BytesRead() }
 
 // apply folds one value change into the current observation.
-func (s *VCDSource) apply(positions []int, bits string) error {
+func (s *VCDSource) apply(positions []int, bits []byte) error {
 	for _, pos := range positions {
 		if s.p.schema.Var(pos).Type == expr.Bool {
-			s.cur[pos] = expr.BoolVal(bits == "1")
+			s.cur[pos] = expr.BoolVal(len(bits) == 1 && bits[0] == '1')
 		} else {
 			v, err := parseVCDBits(bits)
 			if err != nil {
@@ -330,7 +333,7 @@ func (s *VCDSource) Next() (Observation, error) {
 	}
 	p := s.p
 	for {
-		tok, err := p.token()
+		tok, err := p.tokenBytes()
 		if err == io.EOF {
 			s.done = true
 			if s.started && s.dirty {
@@ -343,41 +346,45 @@ func (s *VCDSource) Next() (Observation, error) {
 			return nil, err
 		}
 		switch {
-		case strings.HasPrefix(tok, "#"):
+		case tok[0] == '#':
 			emit := s.started && s.dirty
 			s.started = true
 			if emit {
 				s.dirty = false
 				return s.cur, nil
 			}
-		case tok == "$dumpvars" || tok == "$dumpall" || tok == "$dumpon" || tok == "$dumpoff":
+		case isDumpSection(tok):
 			s.started = true // initial snapshot counts as a timestamp
-		case tok == "$end":
+		case string(tok) == "$end":
 			// end of a dump section
-		case strings.HasPrefix(tok, "$"):
-			// Skip unknown sections.
+		case tok[0] == '$':
+			// Skip unknown sections. The scratch token is reused, so the
+			// section keyword need not survive the scan.
 			for {
-				t, err := p.token()
+				t, err := p.tokenBytes()
 				if err != nil {
 					return nil, fmt.Errorf("vcd: %w", err)
 				}
-				if t == "$end" {
+				if string(t) == "$end" {
 					break
 				}
 			}
 		case tok[0] == 'b' || tok[0] == 'B':
-			id, err := p.token()
+			// The bus bits live in the scratch buffer the id token will
+			// overwrite; stash them first.
+			s.bits = append(s.bits[:0], tok[1:]...)
+			id, err := p.tokenBytes()
 			if err != nil {
 				return nil, fmt.Errorf("vcd: bus change missing id: %w", err)
 			}
-			if positions, ok := p.byID[id]; ok {
-				if err := s.apply(positions, tok[1:]); err != nil {
+			if positions, ok := p.byID[string(id)]; ok {
+				if err := s.apply(positions, s.bits); err != nil {
 					return nil, err
 				}
 			}
 		case tok[0] == 'r' || tok[0] == 'R':
 			// Real change: consume the id, unsupported as a variable.
-			if _, err := p.token(); err != nil {
+			if _, err := p.tokenBytes(); err != nil {
 				return nil, fmt.Errorf("vcd: real change missing id: %w", err)
 			}
 		case tok[0] == '0' || tok[0] == '1' || tok[0] == 'x' || tok[0] == 'X' || tok[0] == 'z' || tok[0] == 'Z':
@@ -385,8 +392,9 @@ func (s *VCDSource) Next() (Observation, error) {
 			if len(tok) < 2 {
 				return nil, fmt.Errorf("vcd: malformed scalar change %q", tok)
 			}
-			if positions, ok := p.byID[tok[1:]]; ok {
-				if err := s.apply(positions, strings.ToLower(tok[:1])); err != nil {
+			if positions, ok := p.byID[string(tok[1:])]; ok {
+				s.bits = append(s.bits[:0], lowerBit(tok[0]))
+				if err := s.apply(positions, s.bits); err != nil {
 					return nil, err
 				}
 			}
@@ -396,9 +404,27 @@ func (s *VCDSource) Next() (Observation, error) {
 	}
 }
 
+// isDumpSection matches the dump-control keywords that open an
+// observation snapshot.
+func isDumpSection(tok []byte) bool {
+	switch string(tok) {
+	case "$dumpvars", "$dumpall", "$dumpon", "$dumpoff":
+		return true
+	}
+	return false
+}
+
+// lowerBit lower-cases a scalar value character (X→x, Z→z).
+func lowerBit(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + ('a' - 'A')
+	}
+	return c
+}
+
 // parseVCDBits parses a binary bus value; x and z bits collapse to 0.
-func parseVCDBits(bits string) (int64, error) {
-	if bits == "" {
+func parseVCDBits(bits []byte) (int64, error) {
+	if len(bits) == 0 {
 		return 0, fmt.Errorf("vcd: empty bus value")
 	}
 	if len(bits) > 63 {
@@ -418,31 +444,44 @@ func parseVCDBits(bits string) (int64, error) {
 	return v, nil
 }
 
-// token returns the next whitespace-delimited token.
+// token returns the next whitespace-delimited token as a string (used
+// by the header parser, where tokens are retained).
 func (p *vcdParser) token() (string, error) {
-	var b strings.Builder
+	b, err := p.tokenBytes()
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// tokenBytes returns the next whitespace-delimited token borrowed from
+// the parser's scratch buffer: valid only until the following call.
+// The change-section decoder runs on these, so steady-state decoding
+// allocates no per-token strings.
+func (p *vcdParser) tokenBytes() ([]byte, error) {
+	p.tok = p.tok[:0]
 	// Skip whitespace.
 	for {
 		c, err := p.br.ReadByte()
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
-			b.WriteByte(c)
+			p.tok = append(p.tok, c)
 			break
 		}
 	}
 	for {
 		c, err := p.br.ReadByte()
 		if err == io.EOF {
-			return b.String(), nil
+			return p.tok, nil
 		}
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
-			return b.String(), nil
+			return p.tok, nil
 		}
-		b.WriteByte(c)
+		p.tok = append(p.tok, c)
 	}
 }

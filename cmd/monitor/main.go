@@ -38,9 +38,11 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro"
 	"repro/internal/active"
+	"repro/internal/runlog"
 	"repro/internal/systems"
 	"repro/internal/trace"
 )
@@ -50,9 +52,10 @@ import (
 // hand-maintained synopsis did.
 const usage = `usage: monitor -model system.t2m -in trace.csv [-informat csv|events|ftrace]
                [-task comm-pid] [-j N] [-stream] [-q] [-metrics-addr HOST:PORT]
-               [-synth-cache DIR]
+               [-stall-after D] [-synth-cache DIR] [-run-log DIR]
        monitor -model system.t2m -active -system counter|fifo|serial|usbslot
-               [-probe N] [-seed N] [-j N] [-q] [-synth-cache DIR]
+               [-probe N] [-seed N] [-j N] [-q] [-metrics-addr HOST:PORT]
+               [-stall-after D] [-synth-cache DIR] [-run-log DIR]
 
 `
 
@@ -67,6 +70,8 @@ type options struct {
 	probe                         int
 	seed                          int64
 	synthCacheDir                 string
+	runLog                        string
+	stallAfter                    time.Duration
 }
 
 // declareFlags registers all flags on fs; split out so the usage smoke
@@ -86,6 +91,8 @@ func declareFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.probe, "probe", 0, "with -active: probe length in observations (0 = the system's canonical trace length)")
 	fs.Int64Var(&o.seed, "seed", 0, "with -active: workload schedule seed (0 = the system's default)")
 	fs.StringVar(&o.synthCacheDir, "synth-cache", "", "share synthesized window predicates across runs via this cache directory (identical verdicts)")
+	fs.StringVar(&o.runLog, "run-log", "", "append this run's record to the run archive at this directory (see cmd/runstats)")
+	fs.DurationVar(&o.stallAfter, "stall-after", 0, "with -metrics-addr: /healthz reports stalled once no progress counter moved for this long (0 = 2m)")
 	return o
 }
 
@@ -154,15 +161,16 @@ func run(o *options) (int, error) {
 	context.AfterFunc(ctx, stop)
 	model.SetContext(ctx)
 
-	if o.metricsAddr != "" {
-		tel := &repro.Telemetry{Registry: repro.NewRegistry()}
-		model.SetTelemetry(tel)
-		srv, err := repro.ServeMetrics(o.metricsAddr, tel.Registry)
-		if err != nil {
-			return 2, err
-		}
+	start := time.Now()
+	tel, srv, err := observability(o)
+	if err != nil {
+		return 2, err
+	}
+	if srv != nil {
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "monitor: metrics listening on %s\n", srv.URL())
+	}
+	if tel != nil {
+		model.SetTelemetry(tel)
 	}
 
 	var violation *repro.Violation
@@ -180,7 +188,7 @@ func run(o *options) (int, error) {
 			if !o.quiet {
 				fmt.Println("ok: model explains the whole trace")
 			}
-			return 0, nil
+			return 0, writeRunRecord(o, tel, runlog.VerdictOK, time.Since(start))
 		}
 	} else {
 		tr, err := readTrace(o.in, o.informat, o.task)
@@ -195,11 +203,81 @@ func run(o *options) (int, error) {
 			if !o.quiet {
 				fmt.Printf("ok: model explains all %d observations\n", tr.Len())
 			}
-			return 0, nil
+			return 0, writeRunRecord(o, tel, runlog.VerdictOK, time.Since(start))
 		}
 	}
+	tel.Count("monitor_divergences_total").Add(1)
 	fmt.Println(violation)
-	return 1, nil
+	return 1, writeRunRecord(o, tel, runlog.VerdictViolation, time.Since(start))
+}
+
+// observability assembles the optional telemetry of a checking run: a
+// registry whenever the metrics endpoint or the run archive needs one,
+// and — with -metrics-addr — the live endpoint with /healthz backed by
+// a Health watching the abstraction's progress counter and the
+// divergence counter, so a supervisor can detect a wedged or diverging
+// monitor without parsing its output.
+func observability(o *options) (*repro.Telemetry, *repro.MetricsServer, error) {
+	if o.metricsAddr == "" && o.runLog == "" {
+		return nil, nil, nil
+	}
+	tel := &repro.Telemetry{Registry: repro.NewRegistry()}
+	if o.metricsAddr == "" {
+		return tel, nil, nil
+	}
+	health := repro.NewHealth(o.stallAfter)
+	progress := tel.Registry.Counter("predicate_windows_total")
+	health.WatchProgress("predicate_windows_total", func() float64 { return float64(progress.Value()) })
+	div := tel.Registry.Counter("monitor_divergences_total")
+	health.WatchDivergence(func() float64 { return float64(div.Value()) })
+	health.Register(tel.Registry)
+	srv, err := repro.ServeMetrics(o.metricsAddr, tel.Registry)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv.SetHealth(health)
+	fmt.Fprintf(os.Stderr, "monitor: metrics listening on %s\n", srv.URL())
+	return tel, srv, nil
+}
+
+// writeRunRecord archives the check's outcome; a no-op without
+// -run-log. The record's inputs (model file, trace file) give re-runs
+// against the same artifacts a shared workload identity in runstats.
+func writeRunRecord(o *options, tel *repro.Telemetry, verdict string, elapsed time.Duration) error {
+	if o.runLog == "" {
+		return nil
+	}
+	store, err := runlog.Open(o.runLog)
+	if err != nil {
+		return err
+	}
+	rec := &runlog.Record{
+		Version:   runlog.RecordVersion,
+		Tool:      "monitor",
+		CreatedAt: time.Now().UTC().Format(time.RFC3339Nano),
+		Config: map[string]any{
+			"informat": o.informat,
+			"task":     o.task,
+			"workers":  o.workers,
+			"stream":   o.stream,
+			"active":   o.active,
+			"system":   o.system,
+			"probe":    o.probe,
+			"seed":     o.seed,
+		},
+		WallMS:  float64(elapsed.Microseconds()) / 1e3,
+		Verdict: verdict,
+	}
+	rec.Inputs = append(rec.Inputs, repro.FileDigest(o.modelPath))
+	if !o.active && o.in != "" && o.in != "-" {
+		rec.Inputs = append(rec.Inputs, repro.FileDigest(o.in))
+	}
+	if tel != nil && tel.Registry != nil {
+		rec.Counters = tel.Registry.CounterValues()
+		rec.Histograms = tel.Registry.Summaries()
+	}
+	_, err = store.Put(rec)
+	return err
 }
 
 // runActive drives a simulated system along its canonical schedule and
@@ -219,6 +297,17 @@ func runActive(o *options) (int, error) {
 		return 2, err
 	}
 	model.SetWorkers(o.workers)
+	start := time.Now()
+	tel, srv, err := observability(o)
+	if err != nil {
+		return 2, err
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
+	if tel != nil {
+		model.SetTelemetry(tel)
+	}
 	n := o.probe
 	if n <= 0 {
 		n = systems.CanonicalObservations(o.system)
@@ -235,10 +324,11 @@ func runActive(o *options) (int, error) {
 		if !o.quiet {
 			fmt.Printf("ok: model explains all %d probed observations\n", probe.Len())
 		}
-		return 0, nil
+		return 0, writeRunRecord(o, tel, runlog.VerdictOK, time.Since(start))
 	}
+	tel.Count("monitor_divergences_total").Add(1)
 	fmt.Println(verdict)
-	return 1, nil
+	return 1, writeRunRecord(o, tel, runlog.VerdictDivergence, time.Since(start))
 }
 
 // openSource opens the input as a streaming source for -stream mode.

@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/active"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/learn"
 	"repro/internal/pipeline"
 	"repro/internal/predicate"
+	"repro/internal/runlog"
 	"repro/internal/systems"
 	"repro/internal/trace"
 )
@@ -43,7 +45,8 @@ import (
 // it names every registered flag.
 const usage = `usage: probe -system counter|fifo|serial|usbslot [-seed N] [-truncate N]
              [-probe-cap N] [-depth D] [-rounds R] [-j N] [-portfolio N]
-             [-synth-cache DIR] [-save model.t2m] [-bench-out FILE] [-q]
+             [-synth-cache DIR] [-save model.t2m] [-bench-out FILE]
+             [-run-log DIR] [-q]
 
 `
 
@@ -59,6 +62,7 @@ type options struct {
 	portfolio int
 	save      string
 	benchOut  string
+	runLog    string
 	quiet     bool
 
 	synthCacheDir string
@@ -79,6 +83,7 @@ func declareFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.portfolio, "portfolio", 0, "race this many SAT solver configurations per solve (0/1 = serial; results identical)")
 	fs.StringVar(&o.save, "save", "", "save the stabilized model to this file (t2m format)")
 	fs.StringVar(&o.benchOut, "bench-out", "", "write the run as a BENCH_active.json document to this file")
+	fs.StringVar(&o.runLog, "run-log", "", "append this run's record to the run archive at this directory (see cmd/runstats)")
 	fs.BoolVar(&o.quiet, "q", false, "suppress per-round output")
 	fs.StringVar(&o.synthCacheDir, "synth-cache", "", "share synthesized window predicates across runs and rounds via this cache directory (identical models)")
 	return o
@@ -131,7 +136,14 @@ func run(o *options) (int, error) {
 		Predicate: predicate.Options{Workers: o.workers, Cache: o.scache},
 		Learn:     learn.Options{Portfolio: o.portfolio, Workers: o.workers},
 	}
+	// The refinement loop's counters land in the run record, so a probe
+	// run's residue (rounds, divergences, probe volume) is queryable
+	// from the archive.
+	if o.runLog != "" {
+		copts.Telemetry = &pipeline.Telemetry{Registry: pipeline.NewRegistry()}
+	}
 	fmt.Printf("probe: %s: seed %d observations, probe budget %d\n", o.system, seed.Len(), o.probeCap)
+	start := time.Now()
 	res, err := active.Refine(sys, seed, copts, active.Options{
 		Depth:     o.depth,
 		MaxRounds: o.rounds,
@@ -139,6 +151,9 @@ func run(o *options) (int, error) {
 		Seed:      o.seed,
 	})
 	if err != nil {
+		return 2, err
+	}
+	if err := writeRunRecord(o, copts.Telemetry, seed.Len(), res, time.Since(start)); err != nil {
 		return 2, err
 	}
 	if !o.quiet {
@@ -164,6 +179,58 @@ func run(o *options) (int, error) {
 	fmt.Printf("stabilized after %d rounds: %d states, final probe %d observations\n",
 		len(res.Rounds), res.Model.States, res.FinalProbeLen)
 	return 0, nil
+}
+
+// writeRunRecord archives the refinement run's outcome and loop
+// counters; a no-op without -run-log.
+func writeRunRecord(o *options, tel *pipeline.Telemetry, seedObs int, res *active.Result, elapsed time.Duration) error {
+	if o.runLog == "" {
+		return nil
+	}
+	store, err := runlog.Open(o.runLog)
+	if err != nil {
+		return err
+	}
+	verdict := runlog.VerdictOK
+	if !res.Stabilized {
+		verdict = runlog.VerdictDivergence
+	}
+	divergences := 0
+	for _, r := range res.Rounds {
+		if !r.Verdict.Conforms {
+			divergences++
+		}
+	}
+	rec := &runlog.Record{
+		Version:   runlog.RecordVersion,
+		Tool:      "probe",
+		CreatedAt: time.Now().UTC().Format(time.RFC3339Nano),
+		Config: map[string]any{
+			"system":    o.system,
+			"seed":      o.seed,
+			"truncate":  o.truncate,
+			"probe_cap": o.probeCap,
+			"depth":     o.depth,
+			"rounds":    o.rounds,
+			"workers":   o.workers,
+			"portfolio": o.portfolio,
+		},
+		WallMS:  float64(elapsed.Microseconds()) / 1e3,
+		Verdict: verdict,
+		Model:   &pipeline.ModelManifest{States: res.Model.States},
+		Metrics: map[string]float64{
+			"rounds":          float64(len(res.Rounds)),
+			"divergences":     float64(divergences),
+			"seed_obs":        float64(seedObs),
+			"final_probe_len": float64(res.FinalProbeLen),
+		},
+	}
+	if tel != nil && tel.Registry != nil {
+		rec.Counters = tel.Registry.CounterValues()
+		rec.Histograms = tel.Registry.Summaries()
+	}
+	_, err = store.Put(rec)
+	return err
 }
 
 // printRounds renders one line per probe round.

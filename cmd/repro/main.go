@@ -32,6 +32,7 @@ import (
 	"repro"
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
+	"repro/internal/runlog"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func main() {
 		portfolio    = flag.Int("portfolio", 0, "race this many SAT solver configurations per solve (0/1 = serial; results identical)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address; counters accumulate across experiment runs")
 		synthCache   = flag.String("synth-cache", "", "share synthesized window predicates across experiment runs via this cache directory (identical results, warm runs faster)")
+		runLog       = flag.String("run-log", "", "append this evaluation's record to the run archive at this directory (see cmd/runstats)")
 	)
 	flag.Parse()
 	experiments.Workers = *workers
@@ -78,10 +80,50 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "repro: metrics listening on %s\n", srv.URL())
 	}
+	if *runLog != "" && experiments.Telemetry == nil {
+		// Without a metrics endpoint the record still wants the
+		// accumulated counters, so attach a registry either way.
+		experiments.Telemetry = &repro.Telemetry{Registry: repro.NewRegistry()}
+	}
+	start := time.Now()
 	if err := run(*exp, *dotDir, *activeOut, *memoOut, *solveOut, *fullTimeout, *mergeTimeout, *maxExp); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
+	if *runLog != "" {
+		if err := writeRunRecord(*runLog, *exp, *workers, *portfolio, time.Since(start)); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeRunRecord archives one evaluation invocation: which experiment
+// ran, with what parallelism, how long it took, and the telemetry
+// counters accumulated across its runs.
+func writeRunRecord(dir, exp string, workers, portfolio int, elapsed time.Duration) error {
+	store, err := runlog.Open(dir)
+	if err != nil {
+		return err
+	}
+	rec := &runlog.Record{
+		Version:   runlog.RecordVersion,
+		Tool:      "repro",
+		CreatedAt: time.Now().UTC().Format(time.RFC3339Nano),
+		Config: map[string]any{
+			"exp":       exp,
+			"workers":   workers,
+			"portfolio": portfolio,
+		},
+		WallMS:  float64(elapsed.Microseconds()) / 1e3,
+		Verdict: runlog.VerdictOK,
+	}
+	if tel := experiments.Telemetry; tel != nil && tel.Registry != nil {
+		rec.Counters = tel.Registry.CounterValues()
+		rec.Histograms = tel.Registry.Summaries()
+	}
+	_, err = store.Put(rec)
+	return err
 }
 
 var figureCase = map[string]string{

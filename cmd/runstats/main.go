@@ -1,0 +1,310 @@
+// Command runstats queries the run archive that every other command
+// appends to via -run-log (see internal/runlog): list the archived
+// runs, inspect one, diff two, import benchmark artifacts, and — the
+// CI gate — judge the newest run of each workload against the robust
+// statistics of its own history.
+//
+// Usage:
+//
+//	runstats -run-log DIR list [-tool NAME] [-n N]
+//	runstats -run-log DIR show DIGEST
+//	runstats -run-log DIR compare DIGEST_A DIGEST_B [-json]
+//	runstats -run-log DIR regress [-window N] [-threshold F]
+//	         [-min-wall MS] [-json]
+//	runstats -run-log DIR import [-stamp RFC3339] FILE...
+//
+// regress compares each workload's newest run against the median of
+// its last -window runs, allowing -threshold relative slowdown plus a
+// MAD-scaled noise envelope; it exits 1 when any workload regressed,
+// so it can gate CI directly. import accepts BENCH_*.json documents
+// and raw `go test -bench` output; -stamp backdates imported records
+// (CI stamps checked-in baselines old and fresh runs new, making
+// which-is-candidate explicit).
+//
+// Exit status: 0 ok, 1 regression detected, 2 on error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/runlog"
+)
+
+// usage is the synopsis printed by -h. TestUsageNamesEveryFlag asserts
+// it names every registered flag of every subcommand.
+const usage = `usage: runstats -run-log DIR list [-tool NAME] [-n N]
+       runstats -run-log DIR show DIGEST
+       runstats -run-log DIR compare DIGEST_A DIGEST_B [-json]
+       runstats -run-log DIR regress [-window N] [-threshold F]
+                [-min-wall MS] [-json]
+       runstats -run-log DIR import [-stamp RFC3339] FILE...
+
+`
+
+// options carries the global flags of one runstats invocation.
+type options struct {
+	runLog string
+}
+
+// declareFlags registers the global flags on fs; split out so the
+// usage smoke test can enumerate them against the synopsis above.
+func declareFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.runLog, "run-log", "", "run archive directory (required; the directory other commands' -run-log points at)")
+	return o
+}
+
+// listFlags / compareFlags / regressFlags / importFlags build each
+// subcommand's flag set. Split out for the usage smoke test.
+func listFlags(fs *flag.FlagSet) (tool *string, n *int) {
+	return fs.String("tool", "", "only list runs of this tool"),
+		fs.Int("n", 0, "only list the newest N runs (0 = all)")
+}
+
+func compareFlags(fs *flag.FlagSet) (asJSON *bool) {
+	return fs.Bool("json", false, "emit the comparison as JSON")
+}
+
+func regressFlags(fs *flag.FlagSet) (window *int, threshold, minWall *float64, asJSON *bool) {
+	return fs.Int("window", 10, "baseline runs per workload"),
+		fs.Float64("threshold", 0.25, "relative slowdown flagged as a regression"),
+		fs.Float64("min-wall", 0, "skip workloads whose baseline median wall time (ms) is below this"),
+		fs.Bool("json", false, "emit the verdicts as JSON")
+}
+
+func importFlags(fs *flag.FlagSet) (stamp *string) {
+	return fs.String("stamp", "", "created_at stamp (RFC3339) for imported records (default: now)")
+}
+
+func main() {
+	o := declareFlags(flag.CommandLine)
+	flag.Usage = func() {
+		fmt.Fprint(os.Stderr, usage)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	code, err := run(o, flag.Args(), os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "runstats:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(o *options, args []string, w io.Writer) (int, error) {
+	if o.runLog == "" {
+		return 2, fmt.Errorf("-run-log is required")
+	}
+	if len(args) == 0 {
+		return 2, fmt.Errorf("missing command (list, show, compare, regress, import)")
+	}
+	store, err := runlog.Open(o.runLog)
+	if err != nil {
+		return 2, err
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "list":
+		return runList(store, rest, w)
+	case "show":
+		return runShow(store, rest, w)
+	case "compare":
+		return runCompare(store, rest, w)
+	case "regress":
+		return runRegress(store, rest, w)
+	case "import":
+		return runImport(store, rest, w)
+	default:
+		return 2, fmt.Errorf("unknown command %q (list, show, compare, regress, import)", cmd)
+	}
+}
+
+func runList(store *runlog.Store, args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	tool, n := listFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	entries, corrupt, err := store.List()
+	if err != nil {
+		return 2, err
+	}
+	if *tool != "" {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.Record.Tool == *tool {
+				kept = append(kept, e)
+			}
+		}
+		entries = kept
+	}
+	if *n > 0 && len(entries) > *n {
+		entries = entries[len(entries)-*n:]
+	}
+	fmt.Fprintf(w, "%-12s  %-25s  %-8s  %-32s  %10s  %s\n", "DIGEST", "CREATED", "TOOL", "NAME", "WALL_MS", "VERDICT")
+	for _, e := range entries {
+		fmt.Fprintf(w, "%-12s  %-25s  %-8s  %-32s  %10.2f  %s\n",
+			e.Digest[:12], e.Record.CreatedAt, e.Record.Tool, trunc(e.Record.Name(), 32), e.Record.WallMS, e.Record.Verdict)
+	}
+	if corrupt > 0 {
+		fmt.Fprintf(w, "(%d corrupt record(s) skipped)\n", corrupt)
+	}
+	return 0, nil
+}
+
+func runShow(store *runlog.Store, args []string, w io.Writer) (int, error) {
+	if len(args) != 1 {
+		return 2, fmt.Errorf("show wants exactly one digest prefix")
+	}
+	e, err := store.Get(args[0])
+	if err != nil {
+		return 2, err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(e.Record); err != nil {
+		return 2, err
+	}
+	return 0, nil
+}
+
+func runCompare(store *runlog.Store, args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	asJSON := compareFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() != 2 {
+		return 2, fmt.Errorf("compare wants two digest prefixes")
+	}
+	a, err := store.Get(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	b, err := store.Get(fs.Arg(1))
+	if err != nil {
+		return 2, err
+	}
+	deltas := runlog.Compare(a.Record, b.Record)
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(deltas); err != nil {
+			return 2, err
+		}
+		return 0, nil
+	}
+	fmt.Fprintf(w, "A: %s  %s (%s)\nB: %s  %s (%s)\n",
+		a.Digest[:12], a.Record.Name(), a.Record.CreatedAt,
+		b.Digest[:12], b.Record.Name(), b.Record.CreatedAt)
+	fmt.Fprintf(w, "%-36s  %14s  %14s  %8s\n", "KEY", "A", "B", "DELTA")
+	for _, d := range deltas {
+		fmt.Fprintf(w, "%-36s  %14.3f  %14.3f  %+7.1f%%\n", trunc(d.Key, 36), d.A, d.B, d.Pct)
+	}
+	return 0, nil
+}
+
+func runRegress(store *runlog.Store, args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("regress", flag.ContinueOnError)
+	window, threshold, minWall, asJSON := regressFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	entries, corrupt, err := store.List()
+	if err != nil {
+		return 2, err
+	}
+	results := runlog.Regress(entries, runlog.RegressOptions{
+		Window:    *window,
+		Threshold: *threshold,
+		MinWallMS: *minWall,
+	})
+	regressed := 0
+	for _, r := range results {
+		if r.Regressed {
+			regressed++
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, r := range results {
+			switch {
+			case r.Skipped:
+				fmt.Fprintf(w, "skip  %-32s  %s\n", trunc(r.Name, 32), r.Reason)
+			case r.Regressed:
+				fmt.Fprintf(w, "FAIL  %-32s  %.2fms vs baseline median %.2fms (limit %.2fms, n=%d, mad=%.2f)\n",
+					trunc(r.Name, 32), r.CandidateWallMS, r.BaselineMedianMS, r.LimitMS, r.BaselineN, r.BaselineMADMS)
+			default:
+				fmt.Fprintf(w, "ok    %-32s  %.2fms vs baseline median %.2fms (limit %.2fms, n=%d)\n",
+					trunc(r.Name, 32), r.CandidateWallMS, r.BaselineMedianMS, r.LimitMS, r.BaselineN)
+			}
+		}
+		fmt.Fprintf(w, "%d workload(s), %d regressed", len(results), regressed)
+		if corrupt > 0 {
+			fmt.Fprintf(w, ", %d corrupt record(s) skipped", corrupt)
+		}
+		fmt.Fprintln(w)
+	}
+	if regressed > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func runImport(store *runlog.Store, args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("import", flag.ContinueOnError)
+	stampFlag := importFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() == 0 {
+		return 2, fmt.Errorf("import wants at least one benchmark file")
+	}
+	stamp := time.Now().UTC()
+	if *stampFlag != "" {
+		t, err := time.Parse(time.RFC3339, *stampFlag)
+		if err != nil {
+			return 2, fmt.Errorf("-stamp: %w", err)
+		}
+		stamp = t
+	}
+	total := 0
+	for fi, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return 2, err
+		}
+		// Offset per file so rows from different files never collide on
+		// a stamp while preserving file order.
+		recs, err := runlog.ImportBench(data, stamp.Add(time.Duration(fi)*time.Second))
+		if err != nil {
+			return 2, fmt.Errorf("%s: %w", path, err)
+		}
+		for _, r := range recs {
+			if _, err := store.Put(r); err != nil {
+				return 2, fmt.Errorf("%s: %w", path, err)
+			}
+		}
+		fmt.Fprintf(w, "%s: imported %d record(s)\n", path, len(recs))
+		total += len(recs)
+	}
+	fmt.Fprintf(w, "%d record(s) archived in %s\n", total, store.Dir())
+	return 0, nil
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

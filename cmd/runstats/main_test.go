@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/runlog"
+)
+
+// TestUsageNamesEveryFlag pins the -h synopsis to the registered flag
+// sets — global and per-subcommand — so neither can drift.
+func TestUsageNamesEveryFlag(t *testing.T) {
+	sets := map[string]func(*flag.FlagSet){
+		"global":  func(fs *flag.FlagSet) { declareFlags(fs) },
+		"list":    func(fs *flag.FlagSet) { listFlags(fs) },
+		"compare": func(fs *flag.FlagSet) { compareFlags(fs) },
+		"regress": func(fs *flag.FlagSet) { regressFlags(fs) },
+		"import":  func(fs *flag.FlagSet) { importFlags(fs) },
+	}
+	n := 0
+	for name, declare := range sets {
+		fs := flag.NewFlagSet(name, flag.ContinueOnError)
+		declare(fs)
+		fs.VisitAll(func(f *flag.Flag) {
+			n++
+			if !strings.Contains(usage, "-"+f.Name) {
+				t.Errorf("usage synopsis missing -%s (%s)", f.Name, name)
+			}
+		})
+	}
+	if n == 0 {
+		t.Fatal("no flags registered")
+	}
+	for _, cmd := range []string{"list", "show", "compare", "regress", "import"} {
+		if !strings.Contains(usage, cmd) {
+			t.Errorf("usage synopsis missing command %s", cmd)
+		}
+	}
+}
+
+// writeBench writes a small BENCH-style JSON document.
+func writeBench(t *testing.T, dir, name string, wallA, wallB float64) string {
+	t.Helper()
+	doc := map[string]any{
+		"benchmark": "test",
+		"results": []map[string]any{
+			{"name": "alpha", "wall_ms": wallA, "conflicts": 100},
+			{"name": "beta", "wall_ms": wallB},
+		},
+	}
+	data, _ := json.Marshal(doc)
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunstatsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	archive := filepath.Join(dir, "runs")
+	o := &options{runLog: archive}
+	var out strings.Builder
+
+	exec := func(args ...string) (int, string) {
+		t.Helper()
+		out.Reset()
+		code, err := run(o, args, &out)
+		if err != nil {
+			t.Fatalf("runstats %v: %v", args, err)
+		}
+		return code, out.String()
+	}
+
+	// Import a baseline (backdated), a matching fresh run, then a
+	// regressed run; the regress verdict must flip from ok to FAIL.
+	b1 := writeBench(t, dir, "base.json", 100, 200)
+	if code, _ := exec("import", "-stamp", "2026-01-01T00:00:00Z", b1); code != 0 {
+		t.Fatal("import baseline failed")
+	}
+	if code, _ := exec("import", "-stamp", "2026-01-02T00:00:00Z", b1); code != 0 {
+		t.Fatal("import second baseline failed")
+	}
+	same := writeBench(t, dir, "same.json", 101, 199)
+	if code, _ := exec("import", "-stamp", "2026-01-03T00:00:00Z", same); code != 0 {
+		t.Fatal("import candidate failed")
+	}
+	code, body := exec("regress")
+	if code != 0 {
+		t.Fatalf("clean regress exited %d:\n%s", code, body)
+	}
+	if !strings.Contains(body, "ok    alpha") || strings.Contains(body, "FAIL") {
+		t.Fatalf("clean regress output:\n%s", body)
+	}
+
+	// Deterministic: same archive, same report.
+	_, body2 := exec("regress")
+	if body != body2 {
+		t.Fatal("regress over the same archive produced different reports")
+	}
+
+	// Injected 30% regression on alpha.
+	regressed := writeBench(t, dir, "slow.json", 130, 200)
+	if code, _ := exec("import", "-stamp", "2026-01-04T00:00:00Z", regressed); code != 0 {
+		t.Fatal("import regressed failed")
+	}
+	code, body = exec("regress")
+	if code != 1 {
+		t.Fatalf("regressed archive exited %d, want 1:\n%s", code, body)
+	}
+	if !strings.Contains(body, "FAIL  alpha") {
+		t.Fatalf("regress did not flag alpha:\n%s", body)
+	}
+
+	// JSON mode parses and carries the same verdict.
+	code, body = exec("regress", "-json")
+	if code != 1 {
+		t.Fatalf("json regress exited %d", code)
+	}
+	var results []runlog.RegressResult
+	if err := json.Unmarshal([]byte(body), &results); err != nil {
+		t.Fatalf("regress -json invalid: %v\n%s", err, body)
+	}
+
+	// min-wall filtering skips everything → exit 0.
+	if code, _ = exec("regress", "-min-wall", "10000"); code != 0 {
+		t.Fatalf("all-skipped regress exited %d", code)
+	}
+
+	// list shows the archived records; -tool and -n filter.
+	_, body = exec("list")
+	if !strings.Contains(body, "alpha") || !strings.Contains(body, "bench") {
+		t.Fatalf("list output:\n%s", body)
+	}
+	lines := strings.Count(body, "\n")
+	_, bodyN := exec("list", "-n", "2")
+	if got := strings.Count(bodyN, "\n"); got >= lines {
+		t.Fatalf("list -n 2 did not shrink output (%d vs %d lines)", got, lines)
+	}
+	if _, body = exec("list", "-tool", "nosuch"); strings.Contains(body, "alpha") {
+		t.Fatalf("list -tool filter leaked rows:\n%s", body)
+	}
+
+	// show + compare round-trip through digests from the store.
+	store, err := runlog.Open(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, _, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alphas []runlog.Entry
+	for _, e := range entries {
+		if e.Record.Name() == "alpha" {
+			alphas = append(alphas, e)
+		}
+	}
+	if len(alphas) < 2 {
+		t.Fatalf("want ≥2 alpha records, got %d", len(alphas))
+	}
+	code, body = exec("show", alphas[0].Digest[:10])
+	if code != 0 {
+		t.Fatal("show failed")
+	}
+	var rec runlog.Record
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		t.Fatalf("show output not a record: %v", err)
+	}
+	code, body = exec("compare", alphas[0].Digest[:10], alphas[len(alphas)-1].Digest[:10])
+	if code != 0 || !strings.Contains(body, "wall_ms") {
+		t.Fatalf("compare output (code %d):\n%s", code, body)
+	}
+	code, body = exec("compare", "-json", alphas[0].Digest[:10], alphas[len(alphas)-1].Digest[:10])
+	var deltas []runlog.Delta
+	if code != 0 || json.Unmarshal([]byte(body), &deltas) != nil {
+		t.Fatalf("compare -json output (code %d):\n%s", code, body)
+	}
+}
+
+func TestRunstatsErrors(t *testing.T) {
+	var out strings.Builder
+	if code, err := run(&options{}, []string{"list"}, &out); err == nil || code != 2 {
+		t.Error("missing -run-log not rejected")
+	}
+	o := &options{runLog: t.TempDir()}
+	for _, args := range [][]string{
+		{},
+		{"bogus"},
+		{"show"},
+		{"show", "ffff"},
+		{"compare", "onlyone"},
+		{"import"},
+		{"import", "-stamp", "not-a-time", "x"},
+		{"import", filepath.Join(t.TempDir(), "absent.json")},
+	} {
+		if code, err := run(o, args, &out); err == nil || code != 2 {
+			t.Errorf("args %v: code %d, err %v; want error", args, code, err)
+		}
+	}
+	// go-bench text import path.
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "bench.txt")
+	os.WriteFile(txt, []byte("BenchmarkFoo-8  10  12345678 ns/op\n"), 0o644)
+	if code, err := run(o, []string{"import", "-stamp", time.Now().UTC().Format(time.RFC3339), txt}, &out); err != nil || code != 0 {
+		t.Errorf("text import: code %d err %v", code, err)
+	}
+}

@@ -39,6 +39,7 @@ import (
 
 	"repro"
 	"repro/internal/pipeline"
+	"repro/internal/runlog"
 	"repro/internal/trace"
 )
 
@@ -60,11 +61,14 @@ type config struct {
 	// Cross-run synthesis cache (see README "Synthesis cache").
 	synthCacheDir string
 
-	// Observability (see README "Observability").
+	// Observability (see README "Observability" and "Run analytics").
 	traceOut      string
+	traceFull     bool
 	metricsAddr   string
 	metricsLinger time.Duration
 	manifestOut   string
+	runLog        string
+	profileBudget time.Duration
 }
 
 func main() {
@@ -89,7 +93,10 @@ func main() {
 	flag.BoolVar(&cfg.resume, "resume", false, "resume from the newest valid checkpoint in -checkpoint instead of starting fresh")
 	flag.StringVar(&cfg.synthCacheDir, "synth-cache", "", "share synthesized window predicates across runs via this cache directory (identical model, warm runs faster)")
 	flag.BoolVar(&cfg.quiet, "q", false, "print only the automaton")
-	flag.StringVar(&cfg.traceOut, "trace-out", "", "write the run's span/event trace as NDJSON to this file")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write the run's span/event trace as NDJSON to this file (high-cardinality span kinds are sampled; see -trace-full)")
+	flag.BoolVar(&cfg.traceFull, "trace-full", false, "emit every span unsampled (trace file grows with trace length)")
+	flag.StringVar(&cfg.runLog, "run-log", "", "append this run's record to the run archive at this directory (see cmd/runstats)")
+	flag.DurationVar(&cfg.profileBudget, "profile-budget", 0, "capture pprof heap+CPU profiles when a solver round or window synthesis exceeds this latency (0 = off; profiles land in the -run-log archive)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (e.g. 127.0.0.1:0)")
 	flag.DurationVar(&cfg.metricsLinger, "metrics-linger", 0, "keep the metrics endpoint up this long after the run (for scraping short runs)")
 	flag.StringVar(&cfg.manifestOut, "manifest", "", "write the run manifest (config, metrics, model stats) as JSON to this file")
@@ -101,13 +108,17 @@ func main() {
 }
 
 // telemetry assembles the run's telemetry from the observability flags:
-// a registry whenever any consumer (endpoint, manifest, trace) needs
-// one, plus the NDJSON tracer. The returned cleanup flushes and
-// commits the trace file; it is written atomically, so an interrupted
-// run leaves either the complete flushed trace or no file — never a
-// torn one.
-func telemetry(cfg config) (*repro.Telemetry, func() error, error) {
-	if cfg.traceOut == "" && cfg.metricsAddr == "" && cfg.manifestOut == "" {
+// a registry whenever any consumer (endpoint, manifest, trace, run
+// record) needs one, the NDJSON tracer, and the latency-budget
+// profiler. The returned cleanup closes (flushing sampling rollups)
+// and commits the trace file; it is written atomically, so an
+// interrupted run leaves either the complete closed trace or no file —
+// never a torn one. The SIGTERM/SIGINT cancel path runs the same
+// cleanup via run's defer, so a killed run still leaves an inspectable
+// trace with its per-kind rollups.
+func telemetry(cfg config, store *runlog.Store) (*repro.Telemetry, func() error, error) {
+	if cfg.traceOut == "" && cfg.metricsAddr == "" && cfg.manifestOut == "" &&
+		store == nil && cfg.profileBudget <= 0 {
 		return nil, func() error { return nil }, nil
 	}
 	tel := &repro.Telemetry{Registry: repro.NewRegistry()}
@@ -118,13 +129,30 @@ func telemetry(cfg config) (*repro.Telemetry, func() error, error) {
 			return nil, nil, err
 		}
 		tel.Tracer = repro.NewTracer(af)
+		if !cfg.traceFull {
+			tel.Tracer.SetPolicy(repro.DefaultSamplePolicy())
+		}
 		cleanup = func() error {
-			if err := tel.Tracer.Flush(); err != nil {
+			if err := tel.Tracer.Close(); err != nil {
 				af.Abort()
 				return err
 			}
 			return af.Commit()
 		}
+	}
+	if cfg.profileBudget > 0 {
+		// Profiles land next to the run records they explain; without an
+		// archive they fall back to the working directory.
+		dir := "."
+		if store != nil {
+			dir = store.ProfileDir()
+		}
+		prefix := fmt.Sprintf("t2m-%d", os.Getpid())
+		tel.Profiler = pipeline.NewProfiler(dir, prefix, cfg.profileBudget)
+		hs := pipeline.StartHeapSampler(0)
+		tel.Profiler.SetHeapSampler(hs)
+		prev := cleanup
+		cleanup = func() error { hs.Stop(); return prev() }
 	}
 	return tel, cleanup, nil
 }
@@ -149,7 +177,13 @@ func run(cfg config) (err error) {
 	defer stop()
 	context.AfterFunc(ctx, stop)
 
-	tel, cleanup, err := telemetry(cfg)
+	var store *runlog.Store
+	if cfg.runLog != "" {
+		if store, err = runlog.Open(cfg.runLog); err != nil {
+			return err
+		}
+	}
+	tel, cleanup, err := telemetry(cfg, store)
 	if err != nil {
 		return err
 	}
@@ -174,7 +208,7 @@ func run(cfg config) (err error) {
 	// The input digest feeds both the manifest and the checkpoint
 	// chain; computed once, and only when some artifact records it.
 	var input *pipeline.InputDigest
-	if cfg.in != "-" && (cfg.manifestOut != "" || cfg.checkpointDir != "") {
+	if cfg.in != "-" && (cfg.manifestOut != "" || cfg.checkpointDir != "" || store != nil) {
 		d := repro.FileDigest(cfg.in)
 		d.Format = detectFormat(cfg.in, cfg.informat)
 		input = &d
@@ -217,6 +251,23 @@ func run(cfg config) (err error) {
 		nVars   int
 	)
 	start := time.Now()
+	// The run record is written on every exit path — success, error or
+	// interrupt — so the archive keeps the residue of failed runs too.
+	defer func() {
+		if store == nil {
+			return
+		}
+		verdict := runlog.VerdictOK
+		if err != nil {
+			verdict = runlog.VerdictError
+			if ctx.Err() != nil {
+				verdict = runlog.VerdictInterrupted
+			}
+		}
+		if werr := writeRunRecord(store, cfg, model, tel, input, time.Since(start), verdict); werr != nil && err == nil {
+			err = werr
+		}
+	}()
 	if cfg.stream {
 		src, closer, err := openSource(cfg.in, cfg.informat, cfg.task, cfg.signals)
 		if err != nil {
@@ -314,7 +365,19 @@ func writeManifest(cfg config, model *repro.Model, tel *repro.Telemetry, input *
 	man := model.BuildManifest(tel)
 	man.Tool = "t2m"
 	man.CreatedAt = time.Now().UTC().Format(time.RFC3339)
-	man.Config = map[string]any{
+	man.Config = configMap(cfg)
+	if input != nil {
+		man.Inputs = []pipeline.InputDigest{*input}
+	}
+	return man.WriteFile(cfg.manifestOut)
+}
+
+// configMap renders the learning-relevant flags for the manifest and
+// the run record. Observability flags (trace, metrics, archive paths)
+// are deliberately excluded: they never change what was computed, and
+// runlog groups re-runs of the same workload by this map.
+func configMap(cfg config) map[string]any {
+	return map[string]any{
 		"informat":        detectFormat(cfg.in, cfg.informat),
 		"pw":              cfg.predW,
 		"w":               cfg.segW,
@@ -327,10 +390,34 @@ func writeManifest(cfg config, model *repro.Model, tel *repro.Telemetry, input *
 		"timeout":         cfg.timeout.String(),
 		"synth_cache":     cfg.synthCacheDir,
 	}
-	if input != nil {
-		man.Inputs = []pipeline.InputDigest{*input}
+}
+
+// writeRunRecord archives the run: the manifest skeleton (stages,
+// counters, histograms, model statistics) plus the measured outcome
+// and any pprof captures the profiler committed.
+func writeRunRecord(store *runlog.Store, cfg config, model *repro.Model, tel *repro.Telemetry, input *pipeline.InputDigest, elapsed time.Duration, verdict string) error {
+	var man *pipeline.Manifest
+	if model != nil {
+		man = model.BuildManifest(tel)
 	}
-	return man.WriteFile(cfg.manifestOut)
+	rec := runlog.FromManifest(man)
+	rec.Tool = "t2m"
+	rec.CreatedAt = time.Now().UTC().Format(time.RFC3339Nano)
+	rec.Config = configMap(cfg)
+	if input != nil {
+		rec.Inputs = []pipeline.InputDigest{*input}
+	}
+	rec.WallMS = float64(elapsed.Microseconds()) / 1e3
+	rec.Verdict = verdict
+	if prof := tel.Prof(); prof != nil {
+		// Wait for the bounded forward CPU capture so the record's
+		// profile list is complete; capture errors degrade the record,
+		// not the run.
+		_ = prof.Wait()
+		rec.Profiles = prof.Files()
+	}
+	_, err := store.Put(rec)
+	return err
 }
 
 func readTrace(in, informat, task, signals string) (*trace.Trace, error) {

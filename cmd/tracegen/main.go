@@ -30,9 +30,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
+	"repro/internal/runlog"
 	"repro/internal/systems/rtlinux"
 	"repro/internal/systems/serial"
 	"repro/internal/trace"
@@ -43,6 +45,7 @@ import (
 // hand-maintained synopsis did (which was missing -steps).
 const usage = `usage: tracegen -system usbslot|usbattach|counter|serial|rtlinux|integrator|fifo
                 [-o FILE] [-n LENGTH] [-steps N] [-seed N] [-format csv|events|ftrace]
+                [-run-log DIR]
 
 `
 
@@ -51,6 +54,7 @@ type options struct {
 	system, out, format string
 	length, steps       int
 	seed                int64
+	runLog              string
 }
 
 // declareFlags registers all flags on fs; split out so the usage smoke
@@ -63,6 +67,7 @@ func declareFlags(fs *flag.FlagSet) *options {
 	fs.StringVar(&o.format, "format", "", "output format: csv, events, ftrace (default by schema)")
 	fs.IntVar(&o.steps, "steps", 0, "stream this many observations directly to the output (counter/serial: CSV, fifo: VCD); any length, O(1) memory")
 	fs.Int64Var(&o.seed, "seed", 0, "workload schedule seed for the randomised systems (0 = each system's default); identical in batch and -steps modes")
+	fs.StringVar(&o.runLog, "run-log", "", "append this generation's record (config, output digest, wall time) to the run archive at this directory (see cmd/runstats)")
 	return o
 }
 
@@ -73,10 +78,48 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	start := time.Now()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
+	if err := writeRunRecord(o, time.Since(start)); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+// writeRunRecord archives the generation: its config, wall time and
+// the digest of the produced trace, so downstream learning records can
+// be joined back to the exact artifact they consumed. A no-op without
+// -run-log.
+func writeRunRecord(o *options, elapsed time.Duration) error {
+	if o.runLog == "" {
+		return nil
+	}
+	store, err := runlog.Open(o.runLog)
+	if err != nil {
+		return err
+	}
+	rec := &runlog.Record{
+		Version:   runlog.RecordVersion,
+		Tool:      "tracegen",
+		CreatedAt: time.Now().UTC().Format(time.RFC3339Nano),
+		Config: map[string]any{
+			"system": o.system,
+			"format": o.format,
+			"n":      o.length,
+			"steps":  o.steps,
+			"seed":   o.seed,
+		},
+		WallMS:  float64(elapsed.Microseconds()) / 1e3,
+		Verdict: runlog.VerdictOK,
+	}
+	if o.out != "" && o.out != "-" {
+		rec.Inputs = []pipeline.InputDigest{pipeline.FileDigest(o.out)}
+	}
+	_, err = store.Put(rec)
+	return err
 }
 
 func run(o *options) error {

@@ -474,6 +474,7 @@ func GenerateModelSeqs(inSeqs []*Seq, opts Options) (*Result, error) {
 			t0 := time.Now()
 			status, capUnsat := pf.solve(deadline)
 			hSolveNS.Since(t0)
+			tel.Prof().Observe("solve", time.Since(t0))
 			pf.addStats(&stats)
 			if tr.Enabled() {
 				tr.End(solveSpan,

@@ -1,0 +1,172 @@
+// Service health: Health turns the registry's raw monotonic counters
+// into the two signals a supervisor needs for a long-running learner —
+// "is it still making progress?" and "how often is the stream
+// diverging from the model?" — exposed as gauges on the registry and
+// as a 200/503 verdict on the metrics endpoint's /healthz. This is the
+// supervision brick for `monitor -active` and the future learnd
+// service: point a liveness probe at /healthz and a stalled ingest or
+// wedged solver flips it without the process having to know it is
+// stuck.
+//
+// Evaluation is scrape-driven: nothing ticks in the background. Each
+// Status/gauge read re-reads the watched counters, notes when any of
+// them last changed, and appends a divergence sample to a bounded ring
+// from which the rolling rate is computed. A process nobody scrapes
+// spends nothing.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// healthRingCap bounds the divergence sample ring: at a typical 5–15s
+// scrape interval, 128 samples cover 10+ minutes of history.
+const healthRingCap = 128
+
+// healthSampleMin is the minimum spacing between divergence samples,
+// so a scrape burst does not flush the ring's history.
+const healthSampleMin = time.Second
+
+// progressWatch is one watched progress counter.
+type progressWatch struct {
+	name     string
+	fn       func() float64
+	last     float64
+	lastMove time.Time
+}
+
+// divSample is one timestamped divergence-counter reading.
+type divSample struct {
+	t time.Time
+	v float64
+}
+
+// Health evaluates liveness from watched registry counters. A nil
+// *Health is disabled (Status reports ok). Methods are safe for
+// concurrent use.
+type Health struct {
+	mu         sync.Mutex
+	stallAfter time.Duration
+	now        func() time.Time // test hook
+	progress   []progressWatch
+	div        func() float64
+	ring       []divSample
+	ringN      int
+}
+
+// NewHealth returns a Health that reports stalled once no watched
+// progress counter has moved for stallAfter (default 2 minutes when
+// ≤ 0).
+func NewHealth(stallAfter time.Duration) *Health {
+	if stallAfter <= 0 {
+		stallAfter = 2 * time.Minute
+	}
+	return &Health{stallAfter: stallAfter, now: time.Now}
+}
+
+// WatchProgress registers a progress signal: fn (typically a registry
+// counter's Value) should increase while the process is doing useful
+// work. The process counts as live while at least one watched signal
+// keeps moving.
+func (h *Health) WatchProgress(name string, fn func() float64) {
+	if h == nil || fn == nil {
+		return
+	}
+	h.mu.Lock()
+	h.progress = append(h.progress, progressWatch{name: name, fn: fn, last: fn(), lastMove: h.now()})
+	h.mu.Unlock()
+}
+
+// WatchDivergence registers the cumulative divergence counter whose
+// rolling rate the divergence_rate_per_min gauge reports.
+func (h *Health) WatchDivergence(fn func() float64) {
+	if h == nil || fn == nil {
+		return
+	}
+	h.mu.Lock()
+	h.div = fn
+	h.mu.Unlock()
+}
+
+// evaluate re-reads every watched signal. Callers hold h.mu.
+func (h *Health) evaluate() (age time.Duration, rate float64) {
+	now := h.now()
+	age = -1
+	for i := range h.progress {
+		w := &h.progress[i]
+		if v := w.fn(); v != w.last {
+			w.last = v
+			w.lastMove = now
+		}
+		if a := now.Sub(w.lastMove); age < 0 || a < age {
+			age = a
+		}
+	}
+	if age < 0 {
+		age = 0 // nothing watched: never stalled
+	}
+	if h.div != nil {
+		v := h.div()
+		if h.ringN == 0 || now.Sub(h.ring[(h.ringN-1)%healthRingCap].t) >= healthSampleMin {
+			if len(h.ring) < healthRingCap {
+				h.ring = append(h.ring, divSample{now, v})
+			} else {
+				h.ring[h.ringN%healthRingCap] = divSample{now, v}
+			}
+			h.ringN++
+		}
+		oldest := h.ring[0]
+		if h.ringN > healthRingCap {
+			oldest = h.ring[h.ringN%healthRingCap]
+		}
+		if dt := now.Sub(oldest.t); dt > 0 {
+			rate = (v - oldest.v) / dt.Minutes()
+		}
+	}
+	return age, rate
+}
+
+// Status evaluates liveness now: ok is false once every watched
+// progress signal has been flat for stallAfter. detail is a one-line
+// human/probe-readable explanation.
+func (h *Health) Status() (ok bool, detail string) {
+	if h == nil {
+		return true, "ok"
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	age, rate := h.evaluate()
+	if len(h.progress) > 0 && age >= h.stallAfter {
+		return false, fmt.Sprintf("stalled: no progress for %s (limit %s); divergence %.2f/min", age.Round(time.Second), h.stallAfter, rate)
+	}
+	return true, fmt.Sprintf("ok: last progress %s ago; divergence %.2f/min", age.Round(time.Second), rate)
+}
+
+// Register exposes the health signals as gauges on reg:
+// health_last_progress_age_seconds, health_divergence_rate_per_min and
+// health_ok (1/0). Gauges re-evaluate at scrape time.
+func (h *Health) Register(reg *Registry) {
+	if h == nil || reg == nil {
+		return
+	}
+	reg.SetGauge("health_last_progress_age_seconds", func() float64 {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		age, _ := h.evaluate()
+		return age.Seconds()
+	})
+	reg.SetGauge("health_divergence_rate_per_min", func() float64 {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		_, rate := h.evaluate()
+		return rate
+	})
+	reg.SetGauge("health_ok", func() float64 {
+		if ok, _ := h.Status(); ok {
+			return 1
+		}
+		return 0
+	})
+}

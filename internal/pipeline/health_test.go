@@ -1,0 +1,145 @@
+package pipeline
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stepClock is a manually advanced clock for health tests.
+type stepClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *stepClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *stepClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestHealthStallDetection(t *testing.T) {
+	clk := &stepClock{now: time.Unix(1000, 0)}
+	h := NewHealth(time.Minute)
+	h.now = clk.Now
+	var progress float64
+	h.WatchProgress("windows", func() float64 { return progress })
+
+	if ok, _ := h.Status(); !ok {
+		t.Fatal("fresh health not ok")
+	}
+	// Progress keeps moving: stays ok across any span of time.
+	for i := 0; i < 5; i++ {
+		clk.Advance(30 * time.Second)
+		progress++
+		if ok, detail := h.Status(); !ok {
+			t.Fatalf("moving progress reported stalled: %s", detail)
+		}
+	}
+	// Flatline past the stall limit: flips to stalled.
+	clk.Advance(2 * time.Minute)
+	ok, detail := h.Status()
+	if ok {
+		t.Fatal("flat progress past limit still ok")
+	}
+	if !strings.Contains(detail, "stalled") {
+		t.Fatalf("detail = %q", detail)
+	}
+	// Progress resumes: recovers.
+	progress++
+	if ok, _ := h.Status(); !ok {
+		t.Fatal("resumed progress still stalled")
+	}
+}
+
+func TestHealthDivergenceRate(t *testing.T) {
+	clk := &stepClock{now: time.Unix(1000, 0)}
+	h := NewHealth(time.Hour)
+	h.now = clk.Now
+	var div float64
+	h.WatchDivergence(func() float64 { return div })
+	h.Status() // first sample
+	for i := 0; i < 10; i++ {
+		clk.Advance(6 * time.Second)
+		div += 2 // 2 divergences per 6s = 20/min
+	}
+	h.mu.Lock()
+	_, rate := h.evaluate()
+	h.mu.Unlock()
+	if rate < 15 || rate > 25 {
+		t.Fatalf("rolling divergence rate = %.2f/min, want ≈20", rate)
+	}
+}
+
+func TestHealthGaugesAndNil(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHealth(time.Minute)
+	h.WatchProgress("obs", func() float64 { return 1 })
+	h.WatchDivergence(func() float64 { return 0 })
+	h.Register(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"health_ok", "health_last_progress_age_seconds", "health_divergence_rate_per_min"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("prometheus output missing %s", want)
+		}
+	}
+
+	var hn *Health
+	if ok, _ := hn.Status(); !ok {
+		t.Fatal("nil health not ok")
+	}
+	hn.WatchProgress("x", func() float64 { return 0 })
+	hn.WatchDivergence(nil)
+	hn.Register(reg)
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := ServeMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func() (int, string) {
+		resp, err := http.Get(srv.URL() + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	// No health attached: always ok.
+	if code, _ := get(); code != http.StatusOK {
+		t.Fatalf("/healthz without health = %d", code)
+	}
+
+	clk := &stepClock{now: time.Unix(1000, 0)}
+	h := NewHealth(time.Minute)
+	h.now = clk.Now
+	h.WatchProgress("obs", func() float64 { return 42 }) // constant → stalls
+	srv.SetHealth(h)
+	if code, body := get(); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz fresh = %d %q", code, body)
+	}
+	clk.Advance(5 * time.Minute)
+	if code, body := get(); code != http.StatusServiceUnavailable || !strings.Contains(body, "stalled") {
+		t.Fatalf("/healthz stalled = %d %q", code, body)
+	}
+	var snil *MetricsServer
+	snil.SetHealth(h) // nil-safe
+}

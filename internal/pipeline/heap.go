@@ -56,6 +56,18 @@ func (h *HeapSampler) sample() {
 	h.mu.Unlock()
 }
 
+// SampleNow takes one immediate sample outside the ticker schedule and
+// returns the live-heap size it observed. The Profiler calls it when a
+// latency budget trips, so the captured heap profile and the reported
+// peak agree even if the trigger falls between ticks. Nil-safe.
+func (h *HeapSampler) SampleNow() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.sample()
+	return h.Current()
+}
+
 // Peak returns the largest live-heap size sampled so far, without
 // stopping the sampler — the value behind the live heap gauge.
 func (h *HeapSampler) Peak() uint64 {

@@ -13,9 +13,19 @@ import (
 	"time"
 )
 
-// histBuckets is the fixed bucket count: bucket 0 holds values ≤ 0,
-// bucket i ≥ 1 holds values v with bits.Len64(v) == i, i.e. the range
-// [2^(i-1), 2^i). 63 value buckets cover all of int64.
+// histBuckets is the fixed bucket count. The bucket boundaries are:
+//
+//	bucket 0:        values v ≤ 0 (quantile estimate: 0)
+//	bucket i ≥ 1:    values v with bits.Len64(v) == i,
+//	                 i.e. the half-open range [2^(i-1), 2^i)
+//	bucket 63:       additionally absorbs anything ≥ 2^62 (overflow)
+//
+// So bucket 1 holds exactly {1}, bucket 2 holds {2,3}, bucket 3 holds
+// {4..7}, and so on — 63 value buckets cover all of int64. Quantiles
+// are estimated as the geometric midpoint lo+lo/2 of the rank bucket
+// [lo, 2·lo), clamped to the exactly-tracked min/max, so any estimate
+// is off by at most one bucket (a factor of 2) from the true value;
+// TestHistogramQuantileAccuracy pins that bound.
 const histBuckets = 64
 
 // Histogram is a fixed-bucket histogram of int64 observations
@@ -118,6 +128,7 @@ type HistogramSummary struct {
 	Min   int64  `json:"min"`
 	Max   int64  `json:"max"`
 	P50   int64  `json:"p50"`
+	P90   int64  `json:"p90,omitempty"`
 	P95   int64  `json:"p95"`
 	P99   int64  `json:"p99"`
 }
@@ -140,6 +151,7 @@ func (h *Histogram) Summary() HistogramSummary {
 	}
 	s.Min = h.min.Load()
 	s.P50 = h.quantile(0.50, s.Count)
+	s.P90 = h.quantile(0.90, s.Count)
 	s.P95 = h.quantile(0.95, s.Count)
 	s.P99 = h.quantile(0.99, s.Count)
 	// The bucket estimate can exceed the true extremes; clamp to the
@@ -147,7 +159,7 @@ func (h *Histogram) Summary() HistogramSummary {
 	if s.P50 < s.Min {
 		s.P50 = s.Min
 	}
-	for _, p := range []*int64{&s.P50, &s.P95, &s.P99} {
+	for _, p := range []*int64{&s.P50, &s.P90, &s.P95, &s.P99} {
 		if *p > s.Max {
 			*p = s.Max
 		}

@@ -1,0 +1,220 @@
+// Self-profiling: Profiler watches the latency of hot operations
+// (solver rounds, window synthesis) and, when one exceeds its budget,
+// captures pprof evidence — an immediate heap profile plus a bounded
+// forward-looking CPU profile — written atomically next to the run
+// record. A long run that goes slow therefore explains itself: the
+// profile of the slow region is on disk before anyone re-runs with
+// instrumentation.
+//
+// A CPU profile cannot be captured retroactively, so the trigger
+// starts one covering the time just after the slow operation — on the
+// stationary workloads this pipeline runs (the same solve/synthesis
+// loop that just went over budget keeps executing), that window is
+// representative of the regression.
+//
+// Overhead discipline mirrors the Tracer: a nil *Profiler no-ops, and
+// the non-triggered path is one duration comparison.
+package pipeline
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// defaultCPUProfileDur bounds the forward CPU capture.
+const defaultCPUProfileDur = 2 * time.Second
+
+// defaultMaxCaptures bounds how many trigger events write profiles:
+// the first few slow operations carry the signal; thousands of
+// identical captures carry cost.
+const defaultMaxCaptures = 2
+
+// Profiler captures pprof profiles when an observed operation exceeds
+// its latency budget. A nil *Profiler is disabled. Methods are safe
+// for concurrent use.
+type Profiler struct {
+	dir    string
+	prefix string
+	budget time.Duration
+	cpuDur time.Duration
+	maxCap int
+
+	mu       sync.Mutex
+	hs       *HeapSampler
+	captures int
+	cpuBusy  bool
+	files    []string
+	errs     []error
+	wg       sync.WaitGroup
+}
+
+// NewProfiler returns a profiler writing profiles into dir as
+// <prefix>-{heap,cpu}-<n>.pprof whenever an Observe exceeds budget.
+// A budget ≤ 0 disables triggering (returns nil).
+func NewProfiler(dir, prefix string, budget time.Duration) *Profiler {
+	if budget <= 0 {
+		return nil
+	}
+	return &Profiler{
+		dir:    dir,
+		prefix: prefix,
+		budget: budget,
+		cpuDur: defaultCPUProfileDur,
+		maxCap: defaultMaxCaptures,
+	}
+}
+
+// SetHeapSampler attaches the run's heap sampler, which is re-sampled
+// at trigger time so the reported peak heap and the captured heap
+// profile describe the same moment.
+func (p *Profiler) SetHeapSampler(hs *HeapSampler) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.hs = hs
+	p.mu.Unlock()
+}
+
+// SetCPUDuration overrides the forward CPU capture window (tests use a
+// short one).
+func (p *Profiler) SetCPUDuration(d time.Duration) {
+	if p == nil || d <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.cpuDur = d
+	p.mu.Unlock()
+}
+
+// Budget returns the configured latency budget (0 when disabled).
+func (p *Profiler) Budget() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.budget
+}
+
+// Observe reports one operation's latency. Within budget it costs a
+// comparison; over budget it captures a heap profile now and starts a
+// bounded CPU profile, at most maxCaptures times per run.
+func (p *Profiler) Observe(kind string, d time.Duration) {
+	if p == nil || d < p.budget {
+		return
+	}
+	p.trigger(kind)
+}
+
+// trigger is the slow path: capture under the lock so concurrent slow
+// operations produce one coherent set of files.
+func (p *Profiler) trigger(kind string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.captures >= p.maxCap {
+		return
+	}
+	p.captures++
+	n := p.captures
+	// Re-sample the heap first so gauge readers and the profile agree
+	// (the ticker-driven sampler may not have run since the slow op).
+	p.hs.SampleNow()
+	p.writeHeapLocked(kind, n)
+	p.startCPULocked(kind, n)
+}
+
+// writeHeapLocked captures the heap profile atomically. Callers hold
+// p.mu.
+func (p *Profiler) writeHeapLocked(kind string, n int) {
+	path := filepath.Join(p.dir, fmt.Sprintf("%s-%s-heap-%d.pprof", p.prefix, kind, n))
+	af, err := CreateAtomic(path)
+	if err != nil {
+		p.errs = append(p.errs, err)
+		return
+	}
+	if err := pprof.Lookup("heap").WriteTo(af, 0); err != nil {
+		af.Abort()
+		p.errs = append(p.errs, err)
+		return
+	}
+	if err := af.Commit(); err != nil {
+		p.errs = append(p.errs, err)
+		return
+	}
+	p.files = append(p.files, path)
+}
+
+// startCPULocked starts a forward CPU capture unless one is already
+// running (the runtime supports a single CPU profile at a time — this
+// also loses gracefully to an in-flight /debug/pprof/profile scrape).
+// Callers hold p.mu.
+func (p *Profiler) startCPULocked(kind string, n int) {
+	if p.cpuBusy {
+		return
+	}
+	path := filepath.Join(p.dir, fmt.Sprintf("%s-%s-cpu-%d.pprof", p.prefix, kind, n))
+	af, err := CreateAtomic(path)
+	if err != nil {
+		p.errs = append(p.errs, err)
+		return
+	}
+	if err := pprof.StartCPUProfile(af); err != nil {
+		af.Abort()
+		p.errs = append(p.errs, err)
+		return
+	}
+	p.cpuBusy = true
+	dur := p.cpuDur
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		time.Sleep(dur)
+		pprof.StopCPUProfile()
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if err := af.Commit(); err != nil {
+			p.errs = append(p.errs, err)
+		} else {
+			p.files = append(p.files, path)
+		}
+		p.cpuBusy = false
+	}()
+}
+
+// Wait blocks until any in-flight CPU capture has been committed and
+// returns the first capture error, if any. Call before writing the run
+// record so Files is complete.
+func (p *Profiler) Wait() error {
+	if p == nil {
+		return nil
+	}
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.errs) > 0 {
+		return p.errs[0]
+	}
+	return nil
+}
+
+// Files lists the committed profile paths, in capture order.
+func (p *Profiler) Files() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.files...)
+}
+
+// Captures reports how many trigger events fired (committed or not).
+func (p *Profiler) Captures() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.captures
+}

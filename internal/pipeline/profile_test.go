@@ -1,0 +1,95 @@
+package pipeline
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfilerTriggersOverBudget(t *testing.T) {
+	dir := t.TempDir()
+	p := NewProfiler(dir, "run", 10*time.Millisecond)
+	p.SetCPUDuration(50 * time.Millisecond)
+	hs := StartHeapSampler(time.Hour) // ticker never fires; only SampleNow
+	defer hs.Stop()
+	p.SetHeapSampler(hs)
+
+	p.Observe("solve", time.Millisecond) // under budget: no capture
+	if p.Captures() != 0 {
+		t.Fatalf("under-budget observe captured %d", p.Captures())
+	}
+	p.Observe("solve", 20*time.Millisecond)
+	if p.Captures() != 1 {
+		t.Fatalf("over-budget observe captured %d, want 1", p.Captures())
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	files := p.Files()
+	var heap, cpu bool
+	for _, f := range files {
+		base := filepath.Base(f)
+		if strings.Contains(base, "-heap-") {
+			heap = true
+		}
+		if strings.Contains(base, "-cpu-") {
+			cpu = true
+		}
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile %s not on disk: %v", f, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", f)
+		}
+	}
+	if !heap || !cpu {
+		t.Fatalf("files = %v, want a heap and a cpu profile", files)
+	}
+	// No stray temp files: everything went through the atomic path.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestProfilerCaptureCapAndNil(t *testing.T) {
+	dir := t.TempDir()
+	p := NewProfiler(dir, "run", time.Nanosecond)
+	p.SetCPUDuration(10 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		p.Observe("window", time.Second)
+	}
+	if got := p.Captures(); got != defaultMaxCaptures {
+		t.Fatalf("captures = %d, want cap %d", got, defaultMaxCaptures)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	var pn *Profiler
+	pn.Observe("solve", time.Hour)
+	pn.SetHeapSampler(nil)
+	if pn.Files() != nil || pn.Captures() != 0 || pn.Wait() != nil || pn.Budget() != 0 {
+		t.Fatal("nil profiler not inert")
+	}
+	if NewProfiler(dir, "x", 0) != nil {
+		t.Fatal("zero budget should disable the profiler")
+	}
+}
+
+func TestTelemetryProfAccessor(t *testing.T) {
+	var tel *Telemetry
+	if tel.Prof() != nil {
+		t.Fatal("nil telemetry Prof != nil")
+	}
+	p := NewProfiler(t.TempDir(), "r", time.Second)
+	tel = &Telemetry{Profiler: p}
+	if tel.Prof() != p {
+		t.Fatal("Prof accessor lost the profiler")
+	}
+}

@@ -272,6 +272,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 type Telemetry struct {
 	Tracer   *Tracer
 	Registry *Registry
+	Profiler *Profiler
 }
 
 // Trace returns the tracer (nil when disabled).
@@ -280,6 +281,14 @@ func (t *Telemetry) Trace() *Tracer {
 		return nil
 	}
 	return t.Tracer
+}
+
+// Prof returns the threshold-triggered profiler (nil when disabled).
+func (t *Telemetry) Prof() *Profiler {
+	if t == nil {
+		return nil
+	}
+	return t.Profiler
 }
 
 // Count returns the named registry counter (nil when disabled).

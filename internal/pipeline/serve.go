@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,8 +22,9 @@ type MetricsServer struct {
 	// the requested port was 0.
 	Addr string
 
-	srv *http.Server
-	ln  net.Listener
+	srv    *http.Server
+	ln     net.Listener
+	health atomic.Pointer[Health]
 }
 
 // ServeMetrics starts an HTTP listener on addr (host:port; port 0
@@ -42,18 +44,33 @@ func ServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = reg.WriteJSON(w)
 	})
+	s := &MetricsServer{Addr: ln.Addr().String(), ln: ln}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		ok, detail := s.health.Load().Status()
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(w, detail)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &MetricsServer{
-		Addr: ln.Addr().String(),
-		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
-		ln:   ln,
-	}
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
+}
+
+// SetHealth attaches (or replaces) the health evaluator behind
+// /healthz; until one is set, /healthz reports ok. Safe to call while
+// serving and on a nil server.
+func (s *MetricsServer) SetHealth(h *Health) {
+	if s == nil {
+		return
+	}
+	s.health.Store(h)
 }
 
 // URL returns the server's base URL (http://host:port).

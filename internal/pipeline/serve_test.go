@@ -2,10 +2,13 @@ package pipeline
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -80,4 +83,71 @@ func TestMetricsServerNilClose(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestServeMetricsConcurrentScrapes hammers /metrics, /metrics.json
+// and /healthz while writer goroutines register and mutate counters,
+// histograms and gauges: run under -race, every scrape must still
+// return well-formed output.
+func TestServeMetricsConcurrentScrapes(t *testing.T) {
+	r := NewRegistry()
+	h := NewHealth(time.Hour)
+	spin, div := r.Counter("spin_total"), r.Counter("div_total")
+	h.WatchProgress("spin", func() float64 { return float64(spin.Value()) })
+	h.WatchDivergence(func() float64 { return float64(div.Value()) })
+	h.Register(r)
+	s, err := ServeMetrics("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetHealth(h)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter(fmt.Sprintf("c_%d_%d", g, i%7)).Add(1)
+				r.Histogram(fmt.Sprintf("h_%d_%d", g, i%5), "ns").Observe(int64(i))
+				r.SetGauge(fmt.Sprintf("g_%d", g), func() float64 { return float64(i) })
+				r.Counter("spin_total").Add(1)
+			}
+		}(g)
+	}
+
+	for i := 0; i < 25; i++ {
+		code, body := get(t, s.URL()+"/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("scrape %d: /metrics status %d", i, code)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if len(strings.Fields(line)) != 2 {
+				t.Fatalf("scrape %d: malformed /metrics line %q", i, line)
+			}
+		}
+		code, body = get(t, s.URL()+"/metrics.json")
+		if code != http.StatusOK {
+			t.Fatalf("scrape %d: /metrics.json status %d", i, code)
+		}
+		var doc registryJSON
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("scrape %d: /metrics.json invalid: %v\n%.200s", i, err, body)
+		}
+		if code, _ := get(t, s.URL()+"/healthz"); code != http.StatusOK {
+			t.Fatalf("scrape %d: /healthz status %d under live progress", i, code)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

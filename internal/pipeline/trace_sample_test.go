@@ -1,0 +1,245 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fakeClock returns a deterministic µs clock advancing by step per
+// call.
+func fakeClock(step int64) func() int64 {
+	var n int64
+	return func() int64 {
+		n += step
+		return n
+	}
+}
+
+// emitSpans runs a fixed serial span workload against tr: n "unit"
+// spans under one "run" root, plus a sprinkling of events.
+func emitSpans(tr *Tracer, n int) {
+	run := tr.Start(0, "run", Str("tool", "test"))
+	for i := 0; i < n; i++ {
+		id := tr.Start(run, "unit", Int("i", int64(i)))
+		if i%10 == 0 {
+			tr.Event(id, "tick", Int("i", int64(i)))
+		}
+		tr.End(id, Int("i", int64(i)))
+	}
+	tr.End(run)
+}
+
+// linesOf splits a trace into decoded NDJSON maps.
+func linesOf(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for i, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d invalid JSON: %v\n%s", i, err, line)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestTracerSamplingBoundsSpanVolume(t *testing.T) {
+	const n = 500
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.SetClock(fakeClock(1))
+	tr.SetPolicy(SamplePolicy{"unit": {Head: 4, Tail: 3, EveryN: 2}})
+	emitSpans(tr, n)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var starts, ends, sampleLines, rollups int
+	var sample, rollup map[string]any
+	ids := map[float64]bool{}
+	for _, m := range linesOf(t, buf.Bytes()) {
+		switch m["t"] {
+		case "start":
+			if m["name"] == "unit" {
+				starts++
+				ids[m["id"].(float64)] = true
+			}
+		case "end":
+			if ids[m["id"].(float64)] {
+				ends++
+			}
+		case "sample":
+			sampleLines++
+			sample = m
+		case "rollup":
+			rollups++
+			if m["kind"] == "unit" {
+				rollup = m
+			}
+		}
+	}
+	if starts != ends {
+		t.Fatalf("unbalanced sampled spans: %d starts, %d ends", starts, ends)
+	}
+	// Head 4 + tail 3 + mid-stream O(growEvery·log n): far below n.
+	if starts >= n/5 {
+		t.Fatalf("sampling kept %d of %d spans, want far fewer", starts, n)
+	}
+	if starts < 4+3 {
+		t.Fatalf("sampling kept %d spans, want at least head+tail=7", starts)
+	}
+	if sampleLines != 1 {
+		t.Fatalf("got %d sample lines, want 1", sampleLines)
+	}
+	if sample["kind"] != "unit" || sample["seen"] != float64(n) {
+		t.Errorf("sample accounting = %v", sample)
+	}
+	if got := sample["written"].(float64) + sample["dropped"].(float64); got != n {
+		t.Errorf("written+dropped = %v, want %d", got, n)
+	}
+	if sample["written"] != float64(starts) {
+		t.Errorf("sample written = %v, file has %d", sample["written"], starts)
+	}
+	// Rollups cover every kind (run + unit) and are exact over ALL
+	// spans, not just sampled ones.
+	if rollups != 2 {
+		t.Fatalf("got %d rollup lines, want 2 (run, unit)", rollups)
+	}
+	if rollup["count"] != float64(n) {
+		t.Errorf("unit rollup count = %v, want %d (exact aggregate)", rollup["count"], n)
+	}
+}
+
+func TestTracerSamplingKeepsHeadAndTail(t *testing.T) {
+	const n = 200
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.SetClock(fakeClock(1))
+	tr.SetPolicy(SamplePolicy{"unit": {Head: 3, Tail: 2, EveryN: 100000}})
+	emitSpans(tr, n)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var kept []int
+	for _, m := range linesOf(t, buf.Bytes()) {
+		if m["t"] == "start" && m["name"] == "unit" {
+			kept = append(kept, int(m["attrs"].(map[string]any)["i"].(float64)))
+		}
+	}
+	want := []int{0, 1, 2, n - 2, n - 1} // head 3 in stream order, tail 2 drained at Close
+	if len(kept) != len(want) {
+		t.Fatalf("kept %v, want %v", kept, want)
+	}
+	for i := range want {
+		if kept[i] != want[i] {
+			t.Fatalf("kept %v, want %v", kept, want)
+		}
+	}
+}
+
+// TestTracerSampledFileDeterministic pins the tentpole guarantee: two
+// runs of the same span sequence produce byte-identical trace files
+// (under a deterministic clock; with the wall clock only timestamps
+// differ, never which spans are kept).
+func TestTracerSampledFileDeterministic(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		tr := NewTracer(&buf)
+		tr.SetClock(fakeClock(3))
+		tr.SetPolicy(DefaultSamplePolicy())
+		run := tr.Start(0, "run")
+		for i := 0; i < 900; i++ {
+			id := tr.Start(run, "window", Int("i", int64(i)))
+			tr.End(id)
+			id = tr.Start(run, "solve", Int("round", int64(i)))
+			tr.End(id, Str("status", "SAT"))
+		}
+		tr.End(run)
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical runs produced different trace files")
+	}
+}
+
+// TestTracerRollupsMatchUnsampled pins the other half: the rollup
+// epilogue of a sampled trace is byte-identical to the one an
+// unsampled tracer writes for the same span sequence — sampling drops
+// span lines, never aggregate information.
+func TestTracerRollupsMatchUnsampled(t *testing.T) {
+	run := func(policy SamplePolicy) (rollups []string, size int) {
+		var buf bytes.Buffer
+		tr := NewTracer(&buf)
+		tr.SetClock(fakeClock(7))
+		tr.SetPolicy(policy)
+		emitSpans(tr, 2000)
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+			if strings.HasPrefix(line, `{"t":"rollup"`) {
+				rollups = append(rollups, line)
+			}
+		}
+		return rollups, buf.Len()
+	}
+	sampled, sampledSize := run(SamplePolicy{"unit": {Head: 8, Tail: 4, EveryN: 4}})
+	full, fullSize := run(nil)
+	if len(sampled) == 0 {
+		t.Fatal("no rollup lines in sampled trace")
+	}
+	if len(sampled) != len(full) {
+		t.Fatalf("rollup count differs: sampled %d, full %d", len(sampled), len(full))
+	}
+	for i := range sampled {
+		if sampled[i] != full[i] {
+			t.Errorf("rollup %d differs:\nsampled: %s\nfull:    %s", i, sampled[i], full[i])
+		}
+	}
+	if sampledSize*5 > fullSize {
+		t.Errorf("sampled trace is %d bytes, full %d: want ≤ 1/5 on this workload", sampledSize, fullSize)
+	}
+}
+
+func TestTracerCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.SetPolicy(DefaultSamplePolicy())
+	id := tr.Start(0, "solve")
+	tr.End(id)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Fatalf("second Close wrote %d more bytes", buf.Len()-n)
+	}
+	var tnil *Tracer
+	if err := tnil.Close(); err != nil {
+		t.Fatalf("nil Close = %v", err)
+	}
+}
+
+func TestTracerRollupsAccessor(t *testing.T) {
+	tr := NewTracer(&bytes.Buffer{})
+	tr.SetClock(fakeClock(2))
+	id := tr.Start(0, "solve")
+	tr.End(id)
+	r := tr.Rollups()
+	if r["solve"].Count != 1 {
+		t.Fatalf("Rollups = %+v, want solve count 1", r)
+	}
+	var tnil *Tracer
+	if len(tnil.Rollups()) != 0 {
+		t.Fatal("nil Rollups not empty")
+	}
+}

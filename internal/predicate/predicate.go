@@ -346,6 +346,7 @@ func (g *Generator) buildUnique(win *trace.Trace, mode string) (expr.Expr, error
 		e, err = g.buildExpr(win, g.synthesizeNext)
 	}
 	g.hSynthNS.Since(t0)
+	g.tel.Prof().Observe("window", time.Since(t0))
 	if tr.Enabled() {
 		d := g.stats.Minus(before)
 		tr.End(id,

@@ -1,0 +1,127 @@
+// Benchmark import: converts the repo's two benchmark artifact shapes
+// — the BENCH_*.json documents written by `repro -exp ... -*-out` and
+// the text `go test -bench` emits — into one archived record per
+// benchmark row, so the regression gate runs over the same archive and
+// math whether a data point came from CI history or a fresh run.
+package runlog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchDoc is the BENCH_*.json shape: header fields plus one map per
+// result row (rows carry heterogeneous numeric fields per benchmark
+// family).
+type benchDoc struct {
+	Benchmark string           `json:"benchmark"`
+	Results   []map[string]any `json:"results"`
+}
+
+// goBenchLine matches one `go test -bench` result line, capturing the
+// name (with the -GOMAXPROCS suffix stripped) and ns/op.
+var goBenchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?)\s+ns/op`)
+
+// ImportBench parses data — a BENCH_*.json document or `go test
+// -bench` text output — into records stamped created_at = stamp plus a
+// per-row millisecond offset (preserving row order under the archive's
+// time sort). Row identity goes into Config["bench"], so re-runs of
+// the same benchmark land in the same ConfigKey group regardless of
+// which format they arrived in.
+func ImportBench(data []byte, stamp time.Time) ([]*Record, error) {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("runlog: empty benchmark input")
+	}
+	if trimmed[0] == '{' {
+		return importBenchJSON(trimmed, stamp)
+	}
+	return importBenchText(trimmed, stamp)
+}
+
+func importBenchJSON(data []byte, stamp time.Time) ([]*Record, error) {
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("runlog: benchmark json: %w", err)
+	}
+	if len(doc.Results) == 0 {
+		return nil, fmt.Errorf("runlog: benchmark json has no results")
+	}
+	var out []*Record
+	for i, row := range doc.Results {
+		name, _ := row["name"].(string)
+		if name == "" {
+			return nil, fmt.Errorf("runlog: benchmark row %d has no name", i)
+		}
+		var wallMS float64
+		switch {
+		case isNum(row["wall_ms"]):
+			wallMS = row["wall_ms"].(float64)
+		case isNum(row["ns_per_op"]):
+			wallMS = row["ns_per_op"].(float64) / 1e6
+		default:
+			return nil, fmt.Errorf("runlog: benchmark row %q has neither wall_ms nor ns_per_op", name)
+		}
+		metrics := map[string]float64{}
+		for k, v := range row {
+			if k == "name" || k == "wall_ms" {
+				continue
+			}
+			if f, ok := v.(float64); ok {
+				metrics[k] = f
+			}
+		}
+		out = append(out, benchRecord(name, wallMS, metrics, stamp, i))
+	}
+	return out, nil
+}
+
+func importBenchText(data []byte, stamp time.Time) ([]*Record, error) {
+	var out []*Record
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := goBenchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		nsPerOp, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, benchRecord(m[1], nsPerOp/1e6, map[string]float64{"ns_per_op": nsPerOp}, stamp, len(out)))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("runlog: benchmark text: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("runlog: no benchmark result lines found")
+	}
+	return out, nil
+}
+
+func benchRecord(name string, wallMS float64, metrics map[string]float64, stamp time.Time, i int) *Record {
+	r := &Record{
+		Version:   RecordVersion,
+		Tool:      "bench",
+		CreatedAt: stamp.Add(time.Duration(i) * time.Millisecond).UTC().Format(time.RFC3339Nano),
+		Config:    map[string]any{"bench": name},
+		WallMS:    wallMS,
+		Verdict:   VerdictOK,
+	}
+	if len(metrics) > 0 {
+		r.Metrics = metrics
+	}
+	return r
+}
+
+func isNum(v any) bool {
+	_, ok := v.(float64)
+	return ok
+}

@@ -1,0 +1,292 @@
+// Package runlog is the run archive: an append-only, content-addressed
+// on-disk store of run records that every command appends to via its
+// -run-log flag. One record captures what one invocation did — tool,
+// config, input digests, wall time, verdict, stage rollups,
+// counter/histogram aggregates, model statistics, captured profiles —
+// in the same schema vocabulary as the run manifest
+// (pipeline.Manifest), so a record is the durable, queryable residue
+// of a run after its process, metrics endpoint and trace file are
+// gone. cmd/runstats answers "what ran?", "what changed between A and
+// B?" and "did this configuration regress against its history?" from
+// this archive alone.
+//
+// Layout (all writes atomic via pipeline.AtomicWriteFile):
+//
+//	<dir>/records/<xx>/<digest>.json   one canonical-JSON record,
+//	                                   named by its sha256 (xx = first
+//	                                   two hex digits)
+//	<dir>/profiles/                    pprof captures, referenced by
+//	                                   records' "profiles" field
+//
+// Content addressing makes the archive append-only and idempotent:
+// re-putting an identical record is a no-op, two archives can be
+// merged with cp, and a torn or tampered file is detected by digest
+// mismatch and skipped (counted, never fatal) on read.
+package runlog
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// RecordVersion is the record schema version; List skips records from
+// a different shape rather than failing the archive.
+const RecordVersion = 1
+
+// Verdicts a record can carry.
+const (
+	VerdictOK          = "ok"
+	VerdictViolation   = "violation"
+	VerdictDivergence  = "divergence"
+	VerdictInterrupted = "interrupted"
+	VerdictError       = "error"
+)
+
+// Record is one archived run. Aggregate fields reuse the manifest
+// schema types so a record and a manifest describe a run in the same
+// vocabulary.
+type Record struct {
+	Version    int                                  `json:"version"`
+	Tool       string                               `json:"tool"`
+	CreatedAt  string                               `json:"created_at"` // RFC3339
+	Config     map[string]any                       `json:"config,omitempty"`
+	Inputs     []pipeline.InputDigest               `json:"inputs,omitempty"`
+	WallMS     float64                              `json:"wall_ms"`
+	Verdict    string                               `json:"verdict,omitempty"`
+	Stages     []pipeline.StageManifest             `json:"stages,omitempty"`
+	Counters   map[string]int64                     `json:"counters,omitempty"`
+	Histograms map[string]pipeline.HistogramSummary `json:"histograms,omitempty"`
+	Model      *pipeline.ModelManifest              `json:"model,omitempty"`
+	Profiles   []string                             `json:"profiles,omitempty"`
+	Metrics    map[string]float64                   `json:"metrics,omitempty"`
+}
+
+// Validate checks the schema-level invariants Put enforces and List
+// requires.
+func (r *Record) Validate() error {
+	if r == nil {
+		return errors.New("runlog: nil record")
+	}
+	if r.Version != RecordVersion {
+		return fmt.Errorf("runlog: record version %d, want %d", r.Version, RecordVersion)
+	}
+	if r.Tool == "" {
+		return errors.New("runlog: record missing tool")
+	}
+	if _, err := time.Parse(time.RFC3339Nano, r.CreatedAt); err != nil {
+		return fmt.Errorf("runlog: record created_at %q: %w", r.CreatedAt, err)
+	}
+	if r.WallMS < 0 {
+		return fmt.Errorf("runlog: negative wall_ms %v", r.WallMS)
+	}
+	return nil
+}
+
+// ConfigKey derives the record's workload identity: tool + canonical
+// config + input identities, excluding everything measured (times,
+// counters, verdicts). Records with equal keys are re-runs of the same
+// workload — the population regression analysis compares within.
+func (r *Record) ConfigKey() string {
+	h := sha256.New()
+	io.WriteString(h, r.Tool)
+	h.Write([]byte{0})
+	cfg, _ := json.Marshal(r.Config) // map keys marshal sorted: canonical
+	h.Write(cfg)
+	h.Write([]byte{0})
+	for _, in := range r.Inputs {
+		io.WriteString(h, in.Path)
+		h.Write([]byte{0})
+		io.WriteString(h, in.SHA256)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Name is the record's human-facing workload label: the bench row name
+// for imported benchmarks, otherwise the tool plus its first input.
+func (r *Record) Name() string {
+	if b, ok := r.Config["bench"].(string); ok && b != "" {
+		return b
+	}
+	if len(r.Inputs) > 0 {
+		return r.Tool + " " + filepath.Base(r.Inputs[0].Path)
+	}
+	return r.Tool
+}
+
+// created parses CreatedAt; records only pass Validate with a
+// parseable stamp, so the zero time only appears for hand-built
+// records.
+func (r *Record) created() time.Time {
+	t, _ := time.Parse(time.RFC3339Nano, r.CreatedAt)
+	return t
+}
+
+// FromManifest converts a run manifest into a record skeleton sharing
+// its identity and aggregate fields; the caller stamps the measured
+// outcome (WallMS, Verdict, Profiles, Metrics) before Put. Commands
+// that already assemble a manifest archive the same data this way
+// without a second schema.
+func FromManifest(man *pipeline.Manifest) *Record {
+	if man == nil {
+		return &Record{Version: RecordVersion}
+	}
+	return &Record{
+		Version:    RecordVersion,
+		Tool:       man.Tool,
+		CreatedAt:  man.CreatedAt,
+		Config:     man.Config,
+		Inputs:     man.Inputs,
+		Stages:     man.Stages,
+		Counters:   man.Counters,
+		Histograms: man.Histograms,
+		Model:      man.Model,
+	}
+}
+
+// Entry is one archived record plus its identity.
+type Entry struct {
+	Digest string
+	Record *Record
+}
+
+// Store is an open archive directory. Methods are safe for concurrent
+// use by multiple processes: writes are atomic and content-addressed,
+// reads tolerate concurrent appends.
+type Store struct {
+	dir string
+}
+
+// Open opens (creating if needed) the archive at dir.
+func Open(dir string) (*Store, error) {
+	s := &Store{dir: dir}
+	for _, d := range []string{s.recordsDir(), s.ProfileDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("runlog: open %s: %w", dir, err)
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the archive root.
+func (s *Store) Dir() string { return s.dir }
+
+// ProfileDir returns the directory run profiles are captured into.
+func (s *Store) ProfileDir() string { return filepath.Join(s.dir, "profiles") }
+
+func (s *Store) recordsDir() string { return filepath.Join(s.dir, "records") }
+
+// Put archives one record and returns its digest. Idempotent: an
+// identical record (same canonical bytes) maps to the same path and is
+// not rewritten.
+func (s *Store) Put(r *Record) (string, error) {
+	if err := r.Validate(); err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		return "", fmt.Errorf("runlog: encode record: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	digest := hex.EncodeToString(sum[:])
+	path := filepath.Join(s.recordsDir(), digest[:2], digest+".json")
+	if _, err := os.Stat(path); err == nil {
+		return digest, nil // content-addressed: already archived
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return "", err
+	}
+	err = pipeline.AtomicWriteFile(path, func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	})
+	if err != nil {
+		return "", fmt.Errorf("runlog: write record: %w", err)
+	}
+	return digest, nil
+}
+
+// List returns every readable record sorted by (created_at, digest) —
+// a deterministic total order, so any analysis over a List is
+// reproducible. Corrupt, torn or foreign files are skipped and
+// counted, never fatal: one bad byte must not take out the archive.
+func (s *Store) List() (entries []Entry, corrupt int, err error) {
+	shards, err := os.ReadDir(s.recordsDir())
+	if err != nil {
+		return nil, 0, fmt.Errorf("runlog: list: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.recordsDir(), shard.Name()))
+		if err != nil {
+			corrupt++
+			continue
+		}
+		for _, f := range files {
+			name := f.Name()
+			if !strings.HasSuffix(name, ".json") {
+				continue
+			}
+			digest := strings.TrimSuffix(name, ".json")
+			data, err := os.ReadFile(filepath.Join(s.recordsDir(), shard.Name(), name))
+			if err != nil {
+				corrupt++
+				continue
+			}
+			sum := sha256.Sum256(data)
+			if hex.EncodeToString(sum[:]) != digest {
+				corrupt++ // torn write or tampering: content no longer matches address
+				continue
+			}
+			var r Record
+			if json.Unmarshal(data, &r) != nil || r.Validate() != nil {
+				corrupt++
+				continue
+			}
+			entries = append(entries, Entry{Digest: digest, Record: &r})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		ti, tj := entries[i].Record.created(), entries[j].Record.created()
+		if !ti.Equal(tj) {
+			return ti.Before(tj)
+		}
+		return entries[i].Digest < entries[j].Digest
+	})
+	return entries, corrupt, nil
+}
+
+// Get resolves a digest prefix to its unique record.
+func (s *Store) Get(prefix string) (Entry, error) {
+	entries, _, err := s.List()
+	if err != nil {
+		return Entry{}, err
+	}
+	var found []Entry
+	for _, e := range entries {
+		if strings.HasPrefix(e.Digest, prefix) {
+			found = append(found, e)
+		}
+	}
+	switch len(found) {
+	case 0:
+		return Entry{}, fmt.Errorf("runlog: no record matches %q", prefix)
+	case 1:
+		return found[0], nil
+	default:
+		return Entry{}, fmt.Errorf("runlog: %q is ambiguous (%d matches)", prefix, len(found))
+	}
+}

@@ -1,0 +1,219 @@
+// Cross-run analytics: robust regression detection and pairwise
+// comparison over archived records. The regression rule follows the
+// standard robust-statistics recipe — compare the newest run of each
+// workload against the median of its recent history, with a noise
+// allowance scaled by the median absolute deviation (MAD) — so one
+// historic outlier cannot poison the baseline the way a mean/stddev
+// gate would, and a genuinely bimodal history widens its own
+// allowance instead of flapping.
+package runlog
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs (mean of the middle two for even
+// lengths); 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// MAD returns the median absolute deviation of xs around med.
+func MAD(xs []float64, med float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - med)
+	}
+	return Median(devs)
+}
+
+// madToSigma rescales a MAD to the standard deviation of a normal
+// distribution with the same MAD (the 1.4826 consistency constant).
+const madToSigma = 1.4826
+
+// madSigmas is how many MAD-derived sigmas of noise allowance the
+// limit grants on top of the relative threshold.
+const madSigmas = 4
+
+// RegressOptions tunes Regress. Zero values select the defaults noted
+// per field.
+type RegressOptions struct {
+	// Window is the maximum number of baseline runs per workload
+	// (newest first, excluding the candidate). Default 10.
+	Window int
+	// Threshold is the minimum relative slowdown flagged, e.g. 0.25
+	// = 25% over the baseline median. Default 0.25.
+	Threshold float64
+	// MinWallMS skips workloads whose baseline median is below this
+	// (sub-threshold rows are timer noise, not signal). Default 0.
+	MinWallMS float64
+}
+
+func (o RegressOptions) withDefaults() RegressOptions {
+	if o.Window <= 0 {
+		o.Window = 10
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = 0.25
+	}
+	return o
+}
+
+// RegressResult is the verdict for one workload (ConfigKey group).
+type RegressResult struct {
+	Key              string  `json:"key"`
+	Name             string  `json:"name"`
+	Runs             int     `json:"runs"`
+	CandidateDigest  string  `json:"candidate"`
+	CandidateWallMS  float64 `json:"candidate_wall_ms"`
+	BaselineN        int     `json:"baseline_n"`
+	BaselineMedianMS float64 `json:"baseline_median_ms"`
+	BaselineMADMS    float64 `json:"baseline_mad_ms"`
+	LimitMS          float64 `json:"limit_ms"`
+	Regressed        bool    `json:"regressed"`
+	Skipped          bool    `json:"skipped"`
+	Reason           string  `json:"reason,omitempty"`
+}
+
+// Regress analyses entries (as returned by List: sorted by created_at
+// then digest, so the analysis is a pure, deterministic function of
+// archive content). Each workload's newest run is the candidate; the
+// up-to-Window runs before it are the baseline. The candidate
+// regresses when its wall time exceeds
+//
+//	max(median·(1+Threshold), median + 4·1.4826·MAD)
+//
+// — the relative threshold catches real slowdowns on quiet baselines,
+// the MAD term absorbs workloads whose history is inherently noisy.
+// Results are sorted by (Name, Key).
+func Regress(entries []Entry, opts RegressOptions) []RegressResult {
+	opts = opts.withDefaults()
+	groups := map[string][]Entry{}
+	for _, e := range entries {
+		k := e.Record.ConfigKey()
+		groups[k] = append(groups[k], e)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	var out []RegressResult
+	for _, k := range keys {
+		g := groups[k]
+		cand := g[len(g)-1]
+		res := RegressResult{
+			Key:             k,
+			Name:            cand.Record.Name(),
+			Runs:            len(g),
+			CandidateDigest: cand.Digest,
+			CandidateWallMS: cand.Record.WallMS,
+		}
+		base := g[:len(g)-1]
+		if len(base) > opts.Window {
+			base = base[len(base)-opts.Window:]
+		}
+		res.BaselineN = len(base)
+		if len(base) == 0 {
+			res.Skipped = true
+			res.Reason = "no baseline runs"
+			out = append(out, res)
+			continue
+		}
+		walls := make([]float64, len(base))
+		for i, e := range base {
+			walls[i] = e.Record.WallMS
+		}
+		med := Median(walls)
+		mad := MAD(walls, med)
+		res.BaselineMedianMS = med
+		res.BaselineMADMS = mad
+		res.LimitMS = math.Max(med*(1+opts.Threshold), med+madSigmas*madToSigma*mad)
+		if med < opts.MinWallMS {
+			res.Skipped = true
+			res.Reason = fmt.Sprintf("baseline median %.2fms below min-wall %.2fms", med, opts.MinWallMS)
+			out = append(out, res)
+			continue
+		}
+		res.Regressed = res.CandidateWallMS > res.LimitMS
+		out = append(out, res)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Delta is one compared quantity between two records.
+type Delta struct {
+	Key string  `json:"key"`
+	A   float64 `json:"a"`
+	B   float64 `json:"b"`
+	Pct float64 `json:"pct"` // (B-A)/A·100; 0 when A is 0
+}
+
+// Compare diffs two records quantity-by-quantity: wall time, every
+// metric, every counter, and the model size statistics when both
+// records carry a model. Keys present in only one record appear with
+// the other side as 0. Sorted by key.
+func Compare(a, b *Record) []Delta {
+	vals := map[string][2]float64{}
+	add := func(key string, av, bv float64, present bool) {
+		if !present && av == 0 && bv == 0 {
+			return
+		}
+		vals[key] = [2]float64{av, bv}
+	}
+	add("wall_ms", a.WallMS, b.WallMS, true)
+	keys := map[string]bool{}
+	for k := range a.Metrics {
+		keys[k] = true
+	}
+	for k := range b.Metrics {
+		keys[k] = true
+	}
+	for k := range keys {
+		add("metric:"+k, a.Metrics[k], b.Metrics[k], true)
+	}
+	keys = map[string]bool{}
+	for k := range a.Counters {
+		keys[k] = true
+	}
+	for k := range b.Counters {
+		keys[k] = true
+	}
+	for k := range keys {
+		add("counter:"+k, float64(a.Counters[k]), float64(b.Counters[k]), true)
+	}
+	if a.Model != nil && b.Model != nil {
+		add("model:states", float64(a.Model.States), float64(b.Model.States), true)
+		add("model:transitions", float64(a.Model.Transitions), float64(b.Model.Transitions), true)
+		add("model:solver_calls", float64(a.Model.SolverCalls), float64(b.Model.SolverCalls), true)
+	}
+	out := make([]Delta, 0, len(vals))
+	for k, v := range vals {
+		d := Delta{Key: k, A: v[0], B: v[1]}
+		if v[0] != 0 {
+			d.Pct = (v[1] - v[0]) / v[0] * 100
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

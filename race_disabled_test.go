@@ -1,0 +1,7 @@
+//go:build !race
+
+package repro_test
+
+// raceEnabled reports whether the race detector is compiled in; see
+// race_enabled_test.go.
+const raceEnabled = false

@@ -74,6 +74,17 @@ type (
 	// MetricsServer is a live /metrics + /metrics.json + pprof HTTP
 	// endpoint over a Registry.
 	MetricsServer = pipeline.MetricsServer
+	// SamplePolicy bounds a Tracer's per-span-kind emission (see
+	// Tracer.SetPolicy); exact per-kind rollups are always kept.
+	SamplePolicy = pipeline.SamplePolicy
+	// SampleRule is one kind's head/tail/stride sampling budget.
+	SampleRule = pipeline.SampleRule
+	// Profiler captures pprof evidence when an observed operation
+	// exceeds its latency budget; attach via Telemetry.Profiler.
+	Profiler = pipeline.Profiler
+	// Health derives liveness (progress stall, divergence rate) from
+	// watched registry counters and backs /healthz.
+	Health = pipeline.Health
 	// Manifest is the per-run artifact written by -manifest: config,
 	// stage metrics, histogram summaries, model statistics, digests.
 	Manifest = pipeline.Manifest
@@ -99,6 +110,14 @@ var (
 	NewRegistry = pipeline.NewRegistry
 	// ServeMetrics starts the metrics/pprof HTTP listener on addr.
 	ServeMetrics = pipeline.ServeMetrics
+	// DefaultSamplePolicy is the bounded-emission policy commands apply
+	// to high-cardinality span kinds (window, solve).
+	DefaultSamplePolicy = pipeline.DefaultSamplePolicy
+	// NewProfiler returns a latency-budget-triggered pprof capturer.
+	NewProfiler = pipeline.NewProfiler
+	// NewHealth returns a Health that reports stalled after the given
+	// flat period of every watched progress counter.
+	NewHealth = pipeline.NewHealth
 	// ReadManifest parses and validates a run manifest.
 	ReadManifest = pipeline.ReadManifest
 	// FileDigest hashes an input file for a manifest's inputs section.

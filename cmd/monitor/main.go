@@ -24,12 +24,25 @@
 // sequence — is printed (the single-shot form of cmd/probe's
 // refinement loop).
 //
-// Exit status: 0 when the trace conforms, 1 on a violation or
-// divergence, 2 on error.
+// With -live no pre-learned model is needed: the monitor follows a
+// growing trace file (or stdin) indefinitely and maintains the model
+// as a live object — already-explained behaviour is checked with zero
+// solver work, new behaviour extends the solver state incrementally,
+// and a policy-driven re-minimization (-reminimize-every) keeps the
+// model canonical. Each accepted revision prints a version line; each
+// unexplained step prints a structured divergence line. The final
+// model is byte-identical to a batch relearn over the consumed stream
+// (-save persists it). -idle-exit stops following once the producer
+// goes quiet; otherwise SIGINT/SIGTERM shuts the follower down
+// cleanly.
+//
+// Exit status: 0 when the trace conforms (for -live: no divergence
+// events), 1 on a violation or divergence, 2 on error.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -56,6 +69,10 @@ const usage = `usage: monitor -model system.t2m -in trace.csv [-informat csv|eve
        monitor -model system.t2m -active -system counter|fifo|serial|usbslot
                [-probe N] [-seed N] [-j N] [-q] [-metrics-addr HOST:PORT]
                [-stall-after D] [-synth-cache DIR] [-run-log DIR]
+       monitor -live -in trace.csv [-informat csv|events|ftrace] [-task comm-pid]
+               [-j N] [-reminimize-every K] [-max-versions N] [-idle-exit D]
+               [-save model.t2m] [-q] [-metrics-addr HOST:PORT] [-stall-after D]
+               [-synth-cache DIR] [-run-log DIR]
 
 `
 
@@ -72,6 +89,11 @@ type options struct {
 	synthCacheDir                 string
 	runLog                        string
 	stallAfter                    time.Duration
+	live                          bool
+	reminimizeEvery               int
+	maxVersions                   int
+	idleExit                      time.Duration
+	savePath                      string
 }
 
 // declareFlags registers all flags on fs; split out so the usage smoke
@@ -93,6 +115,11 @@ func declareFlags(fs *flag.FlagSet) *options {
 	fs.StringVar(&o.synthCacheDir, "synth-cache", "", "share synthesized window predicates across runs via this cache directory (identical verdicts)")
 	fs.StringVar(&o.runLog, "run-log", "", "append this run's record to the run archive at this directory (see cmd/runstats)")
 	fs.DurationVar(&o.stallAfter, "stall-after", 0, "with -metrics-addr: /healthz reports stalled once no progress counter moved for this long (0 = 2m)")
+	fs.BoolVar(&o.live, "live", false, "learn and maintain a model live from a growing trace or stdin (no -model needed)")
+	fs.IntVar(&o.reminimizeEvery, "reminimize-every", 0, "with -live: force a full re-minimization every K new segments (0 = only when required)")
+	fs.IntVar(&o.maxVersions, "max-versions", 0, "with -live: retained version-history length (0 = 64)")
+	fs.DurationVar(&o.idleExit, "idle-exit", 0, "with -live: stop following once no new data arrived for this long (0 = follow until signalled)")
+	fs.StringVar(&o.savePath, "save", "", "with -live: write the final maintained model to this file on exit")
 	return o
 }
 
@@ -136,8 +163,11 @@ func main() {
 }
 
 func run(o *options) (int, error) {
+	if o.live {
+		return runLive(o)
+	}
 	if o.modelPath == "" {
-		return 2, fmt.Errorf("-model is required")
+		return 2, fmt.Errorf("-model is required (or -live to learn one from the stream)")
 	}
 	if o.active {
 		return runActive(o)
@@ -188,7 +218,7 @@ func run(o *options) (int, error) {
 			if !o.quiet {
 				fmt.Println("ok: model explains the whole trace")
 			}
-			return 0, writeRunRecord(o, tel, runlog.VerdictOK, time.Since(start))
+			return 0, writeRunRecord(o, tel, runlog.VerdictOK, time.Since(start), nil)
 		}
 	} else {
 		tr, err := readTrace(o.in, o.informat, o.task)
@@ -203,12 +233,12 @@ func run(o *options) (int, error) {
 			if !o.quiet {
 				fmt.Printf("ok: model explains all %d observations\n", tr.Len())
 			}
-			return 0, writeRunRecord(o, tel, runlog.VerdictOK, time.Since(start))
+			return 0, writeRunRecord(o, tel, runlog.VerdictOK, time.Since(start), nil)
 		}
 	}
 	tel.Count("monitor_divergences_total").Add(1)
 	fmt.Println(violation)
-	return 1, writeRunRecord(o, tel, runlog.VerdictViolation, time.Since(start))
+	return 1, writeRunRecord(o, tel, runlog.VerdictViolation, time.Since(start), nil)
 }
 
 // observability assembles the optional telemetry of a checking run: a
@@ -228,7 +258,11 @@ func observability(o *options) (*repro.Telemetry, *repro.MetricsServer, error) {
 	health := repro.NewHealth(o.stallAfter)
 	progress := tel.Registry.Counter("predicate_windows_total")
 	health.WatchProgress("predicate_windows_total", func() float64 { return float64(progress.Value()) })
-	div := tel.Registry.Counter("monitor_divergences_total")
+	divName := "monitor_divergences_total"
+	if o.live {
+		divName = "live_divergence_total"
+	}
+	div := tel.Registry.Counter(divName)
 	health.WatchDivergence(func() float64 { return float64(div.Value()) })
 	health.Register(tel.Registry)
 	srv, err := repro.ServeMetrics(o.metricsAddr, tel.Registry)
@@ -243,7 +277,7 @@ func observability(o *options) (*repro.Telemetry, *repro.MetricsServer, error) {
 // writeRunRecord archives the check's outcome; a no-op without
 // -run-log. The record's inputs (model file, trace file) give re-runs
 // against the same artifacts a shared workload identity in runstats.
-func writeRunRecord(o *options, tel *repro.Telemetry, verdict string, elapsed time.Duration) error {
+func writeRunRecord(o *options, tel *repro.Telemetry, verdict string, elapsed time.Duration, extra map[string]any) error {
 	if o.runLog == "" {
 		return nil
 	}
@@ -268,7 +302,12 @@ func writeRunRecord(o *options, tel *repro.Telemetry, verdict string, elapsed ti
 		WallMS:  float64(elapsed.Microseconds()) / 1e3,
 		Verdict: verdict,
 	}
-	rec.Inputs = append(rec.Inputs, repro.FileDigest(o.modelPath))
+	for k, v := range extra {
+		rec.Config[k] = v
+	}
+	if o.modelPath != "" {
+		rec.Inputs = append(rec.Inputs, repro.FileDigest(o.modelPath))
+	}
 	if !o.active && o.in != "" && o.in != "-" {
 		rec.Inputs = append(rec.Inputs, repro.FileDigest(o.in))
 	}
@@ -324,11 +363,154 @@ func runActive(o *options) (int, error) {
 		if !o.quiet {
 			fmt.Printf("ok: model explains all %d probed observations\n", probe.Len())
 		}
-		return 0, writeRunRecord(o, tel, runlog.VerdictOK, time.Since(start))
+		return 0, writeRunRecord(o, tel, runlog.VerdictOK, time.Since(start), nil)
 	}
 	tel.Count("monitor_divergences_total").Add(1)
 	fmt.Println(verdict)
-	return 1, writeRunRecord(o, tel, runlog.VerdictDivergence, time.Since(start))
+	return 1, writeRunRecord(o, tel, runlog.VerdictDivergence, time.Since(start), nil)
+}
+
+// runLive learns and maintains a model live from a growing trace —
+// the monitor finally running indefinitely instead of replaying a
+// finished file. The input is followed across EOF (whole lines only;
+// a torn final line is retried, never misparsed), every accepted model
+// revision prints a version line, and every step the current model
+// cannot explain prints a divergence line. The final model covers the
+// whole consumed stream and is byte-identical to a batch relearn over
+// it (-save persists it in the t2m format).
+func runLive(o *options) (int, error) {
+	if o.in == "" {
+		return 2, fmt.Errorf("-live requires -in (trace file to follow, or - for stdin)")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	start := time.Now()
+	tel, srv, err := observability(o)
+	if err != nil {
+		return 2, err
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
+
+	src, closer, err := openLiveSource(o, ctx)
+	if err != nil {
+		return 2, err
+	}
+	defer closer()
+
+	lopts := repro.LearnOptions{Workers: o.workers, Telemetry: tel, Context: ctx}
+	if o.synthCacheDir != "" {
+		if lopts.SynthCache, err = repro.OpenSynthCache(o.synthCacheDir); err != nil {
+			return 2, err
+		}
+	}
+	p, err := repro.NewPipeline(src.Schema(), lopts)
+	if err != nil {
+		return 2, err
+	}
+	mnt, err := p.NewMaintainer(repro.LiveOptions{
+		ReminimizeEvery: o.reminimizeEvery,
+		MaxVersions:     o.maxVersions,
+		Telemetry:       tel,
+		OnVersion: func(v repro.LiveVersion) {
+			if o.quiet {
+				return
+			}
+			mode := "extended"
+			if v.Reminimized {
+				mode = "reminimized"
+			}
+			fmt.Printf("live: version %d: %d states, %d transitions after %d steps (%s, digest %.12s)\n",
+				v.Version, v.States, v.Transitions, v.Steps, mode, v.Digest)
+		},
+		OnDivergence: func(d repro.LiveDivergence) {
+			fmt.Printf("live: divergence: %s\n", d)
+		},
+	})
+	if err != nil {
+		return 2, err
+	}
+
+	if err := p.MaintainSource(src, mnt); err != nil {
+		// A signal mid-stream is an orderly shutdown, not a failure:
+		// the follower drops its torn tail and the maintained model
+		// stands as of the last complete line.
+		if ctx.Err() == nil || !errors.Is(err, context.Canceled) {
+			return 2, err
+		}
+	}
+
+	divTotal, _ := mnt.Divergences()
+	if !o.quiet {
+		fmt.Printf("live: done: %d steps, model version %d, %d divergence(s)\n",
+			mnt.Steps(), mnt.Version(), divTotal)
+	}
+	if o.savePath != "" {
+		model, err := p.LiveModel(mnt)
+		if err != nil {
+			return 2, err
+		}
+		f, err := os.Create(o.savePath)
+		if err != nil {
+			return 2, err
+		}
+		if err := repro.SaveModel(f, model); err != nil {
+			f.Close()
+			return 2, err
+		}
+		if err := f.Close(); err != nil {
+			return 2, err
+		}
+	}
+	extra := map[string]any{
+		"live":             true,
+		"reminimize_every": o.reminimizeEvery,
+		"max_versions":     o.maxVersions,
+		"live_versions":    mnt.Versions(),
+		"model_version":    mnt.Version(),
+	}
+	verdict, code := runlog.VerdictOK, 0
+	if divTotal > 0 {
+		verdict, code = runlog.VerdictDivergence, 1
+	}
+	return code, writeRunRecord(o, tel, verdict, time.Since(start), extra)
+}
+
+// openLiveSource opens the input for -live: a plain file handle (or
+// stdin) behind a FollowReader, so the decoder sees an endless stream
+// of whole lines that grows with the file. No mmap here — the file is
+// still being written.
+func openLiveSource(o *options, ctx context.Context) (repro.Source, func(), error) {
+	var r io.Reader = os.Stdin
+	closer := func() {}
+	if o.in != "-" {
+		f, err := os.Open(o.in)
+		if err != nil {
+			return nil, nil, err
+		}
+		closer = func() { f.Close() }
+		r = f
+	}
+	fr := repro.NewFollowReader(r, repro.FollowOptions{IdleExit: o.idleExit, Context: ctx})
+	switch resolveFormat(o.in, o.informat) {
+	case "csv":
+		src, err := repro.NewCSVSource(fr)
+		if err != nil {
+			closer()
+			return nil, nil, err
+		}
+		return src, closer, nil
+	case "events":
+		return repro.NewEventsSource(fr), closer, nil
+	case "ftrace":
+		return repro.NewFtraceSource(fr, o.task, nil), closer, nil
+	default:
+		closer()
+		return nil, nil, fmt.Errorf("unknown input format %q", o.informat)
+	}
 }
 
 // openSource opens the input as a streaming source for -stream mode.

@@ -10,7 +10,7 @@
 //	runstats -run-log DIR show DIGEST
 //	runstats -run-log DIR compare DIGEST_A DIGEST_B [-json]
 //	runstats -run-log DIR regress [-window N] [-threshold F]
-//	         [-min-wall MS] [-json]
+//	         [-min-wall MS] [-min-runs N] [-json]
 //	runstats -run-log DIR import [-stamp RFC3339] FILE...
 //
 // regress compares each workload's newest run against the median of
@@ -41,7 +41,7 @@ const usage = `usage: runstats -run-log DIR list [-tool NAME] [-n N]
        runstats -run-log DIR show DIGEST
        runstats -run-log DIR compare DIGEST_A DIGEST_B [-json]
        runstats -run-log DIR regress [-window N] [-threshold F]
-                [-min-wall MS] [-json]
+                [-min-wall MS] [-min-runs N] [-json]
        runstats -run-log DIR import [-stamp RFC3339] FILE...
 
 `
@@ -70,8 +70,9 @@ func compareFlags(fs *flag.FlagSet) (asJSON *bool) {
 	return fs.Bool("json", false, "emit the comparison as JSON")
 }
 
-func regressFlags(fs *flag.FlagSet) (window *int, threshold, minWall *float64, asJSON *bool) {
+func regressFlags(fs *flag.FlagSet) (window, minRuns *int, threshold, minWall *float64, asJSON *bool) {
 	return fs.Int("window", 10, "baseline runs per workload"),
+		fs.Int("min-runs", 3, "minimum baseline runs before a workload is judged (shorter histories skip with an insufficient-history verdict; below 3 the MAD envelope is degenerate)"),
 		fs.Float64("threshold", 0.25, "relative slowdown flagged as a regression"),
 		fs.Float64("min-wall", 0, "skip workloads whose baseline median wall time (ms) is below this"),
 		fs.Bool("json", false, "emit the verdicts as JSON")
@@ -211,7 +212,7 @@ func runCompare(store *runlog.Store, args []string, w io.Writer) (int, error) {
 
 func runRegress(store *runlog.Store, args []string, w io.Writer) (int, error) {
 	fs := flag.NewFlagSet("regress", flag.ContinueOnError)
-	window, threshold, minWall, asJSON := regressFlags(fs)
+	window, minRuns, threshold, minWall, asJSON := regressFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -220,9 +221,10 @@ func runRegress(store *runlog.Store, args []string, w io.Writer) (int, error) {
 		return 2, err
 	}
 	results := runlog.Regress(entries, runlog.RegressOptions{
-		Window:    *window,
-		Threshold: *threshold,
-		MinWallMS: *minWall,
+		Window:      *window,
+		Threshold:   *threshold,
+		MinWallMS:   *minWall,
+		MinBaseline: *minRuns,
 	})
 	regressed := 0
 	for _, r := range results {

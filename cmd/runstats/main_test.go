@@ -90,7 +90,18 @@ func TestRunstatsEndToEnd(t *testing.T) {
 	if code, _ := exec("import", "-stamp", "2026-01-03T00:00:00Z", same); code != 0 {
 		t.Fatal("import candidate failed")
 	}
+	// Two baseline runs are below the default -min-runs 3: skipped
+	// with an insufficient-history verdict, not judged (exit 0).
 	code, body := exec("regress")
+	if code != 0 {
+		t.Fatalf("short-history regress exited %d:\n%s", code, body)
+	}
+	if !strings.Contains(body, "skip  alpha") || !strings.Contains(body, "insufficient history") {
+		t.Fatalf("short-history regress output:\n%s", body)
+	}
+
+	// -min-runs 2 opts in to the short history: judged, clean.
+	code, body = exec("regress", "-min-runs", "2")
 	if code != 0 {
 		t.Fatalf("clean regress exited %d:\n%s", code, body)
 	}
@@ -99,7 +110,7 @@ func TestRunstatsEndToEnd(t *testing.T) {
 	}
 
 	// Deterministic: same archive, same report.
-	_, body2 := exec("regress")
+	_, body2 := exec("regress", "-min-runs", "2")
 	if body != body2 {
 		t.Fatal("regress over the same archive produced different reports")
 	}

@@ -109,6 +109,25 @@ type Options struct {
 	// TraceSpan parents the per-round solve spans and refinement
 	// events when Telemetry carries a tracer.
 	TraceSpan pipeline.SpanID
+
+	// retain, when non-nil, receives the live solver state of a
+	// successful search (portfolio, level, segment/blocked tables) so
+	// the Live engine can keep extending it incrementally instead of
+	// relearning from scratch. Unexported: only live.go sets it.
+	retain *searchRetained
+}
+
+// searchRetained is the solver state GenerateModelSeqs leaves behind
+// for live extension: everything needed to continue the refinement
+// loop at the found level n when the input sequence grows.
+type searchRetained struct {
+	pf           *portfolio
+	n            int
+	acceptWindow int
+	blocked      [][]int
+	segments     [][]int
+	anchored     []bool
+	numSyms      int
 }
 
 func (o Options) withDefaults() Options {

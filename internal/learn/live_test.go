@@ -1,0 +1,280 @@
+package learn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestWinScanMatchesWindows: feeding a growing sequence through the
+// incremental scanner — with arbitrary run splits — visits exactly the
+// positions and windows a batch rleSeq.windows scan of the final
+// sequence visits, in the same order.
+func TestWinScanMatchesWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		word := make([]int32, n)
+		cur := int32(rng.Intn(3))
+		for i := range word {
+			if rng.Intn(3) == 0 {
+				cur = int32(rng.Intn(3))
+			}
+			word[i] = cur
+		}
+		s := &rleSeq{}
+		for _, x := range word {
+			if k := len(s.ids); k > 0 && s.ids[k-1] == x {
+				s.counts[k-1]++
+			} else {
+				s.ids = append(s.ids, x)
+				s.counts = append(s.counts, 1)
+			}
+			s.total++
+		}
+		for w := 1; w <= 5; w++ {
+			var wantPos []int
+			var wantWins [][]int32
+			s.windows(w, func(pos int, win []int32) {
+				wantPos = append(wantPos, pos)
+				wantWins = append(wantWins, append([]int32(nil), win...))
+			})
+			ws := newWinScan(w)
+			var gotPos []int
+			var gotWins [][]int32
+			visit := func(pos int, win []int32) {
+				gotPos = append(gotPos, pos)
+				gotWins = append(gotWins, append([]int32(nil), win...))
+			}
+			// Feed the word as randomly split runs: the scanner must
+			// be insensitive to how appends chunk a symbol run.
+			for i := 0; i < n; {
+				j := i + 1
+				for j < n && word[j] == word[i] && rng.Intn(2) == 0 {
+					j++
+				}
+				ws.feed(word[i], j-i, visit)
+				i = j
+			}
+			if !reflect.DeepEqual(gotPos, wantPos) || !reflect.DeepEqual(gotWins, wantWins) {
+				t.Fatalf("trial %d, w=%d, word %v:\n got %v %v\nwant %v %v",
+					trial, w, word, gotPos, gotWins, wantPos, wantWins)
+			}
+		}
+	}
+}
+
+// liveWorkloads are prefix-growing words with the shapes the benchmark
+// systems produce: a modular counter, a request/response protocol with
+// occasional timeouts, and a word whose suffix introduces a new symbol
+// (forcing the new-symbol re-minimization trigger).
+func liveWorkloads() map[string][]string {
+	counter := make([]string, 0, 36)
+	for i := 0; i < 36; i++ {
+		counter = append(counter, []string{"z", "p", "p"}[i%3])
+	}
+	var proto []string
+	for i := 0; i < 10; i++ {
+		proto = append(proto, "send", "ack")
+		if i%4 == 3 {
+			proto = append(proto, "timeout")
+		}
+	}
+	grow := append([]string{}, counter[:18]...)
+	grow = append(grow, "q", "z", "p", "p", "q", "z", "p", "p", "q")
+	return map[string][]string{"counter": counter, "proto": proto, "newsym": grow}
+}
+
+// TestLiveMatchesBatchEveryPrefix is the core live-maintenance
+// guarantee at the learn layer: after Revise over any prefix, the live
+// model is byte-identical to a fresh batch GenerateModelSeqs over the
+// same prefix — across workloads, serial and portfolio configurations,
+// and regardless of whether the revision extended or re-minimized.
+func TestLiveMatchesBatchEveryPrefix(t *testing.T) {
+	configs := []Options{
+		{Segmented: true, Workers: 1},
+		{Segmented: true, Workers: 4, Portfolio: 4},
+	}
+	for name, word := range liveWorkloads() {
+		for _, opts := range configs {
+			lv, err := NewLive(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, sym := range word {
+				lv.Append(sym, 1)
+				if !lv.Ready() {
+					continue
+				}
+				if _, err := lv.Revise(false); err != nil {
+					t.Fatalf("%s[:%d] workers=%d: Revise: %v", name, i+1, opts.Workers, err)
+				}
+				batch, err := GenerateModelSeqs([]*Seq{seqOf(word[:i+1])}, opts)
+				if err != nil {
+					t.Fatalf("%s[:%d] workers=%d: batch: %v", name, i+1, opts.Workers, err)
+				}
+				if lm, bm := lv.Model().String(), batch.Automaton.String(); lm != bm {
+					t.Fatalf("%s[:%d] workers=%d: live model diverges from batch:\nlive:\n%s\nbatch:\n%s",
+						name, i+1, opts.Workers, lm, bm)
+				}
+			}
+		}
+	}
+}
+
+// TestLiveFastPathZeroSolverCalls: once the model has seen every
+// window of a periodic word, replaying more periods adds no segments
+// and no grams, and Revise must not touch the solver at all.
+func TestLiveFastPathZeroSolverCalls(t *testing.T) {
+	lv, err := NewLive(Options{Segmented: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := []string{"z", "p", "p"}
+	for i := 0; i < 12; i++ {
+		lv.Append(period[i%3], 1)
+	}
+	if _, err := lv.Revise(false); err != nil {
+		t.Fatal(err)
+	}
+	calls := lv.Stats().SolverCalls
+	if calls == 0 {
+		t.Fatal("initial revision made no solver calls")
+	}
+	for rep := 0; rep < 5; rep++ {
+		for _, sym := range period {
+			if n := lv.Append(sym, 1); n != 0 {
+				t.Fatalf("replayed period produced %d new segments", n)
+			}
+		}
+		remin, err := lv.Revise(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if remin {
+			t.Fatal("replayed period forced a re-minimization")
+		}
+	}
+	if got := lv.Stats().SolverCalls; got != calls {
+		t.Fatalf("fast path made %d solver calls (total %d, was %d)", got-calls, got, calls)
+	}
+}
+
+// TestLiveStaleBlockedGramForcesRemin: when a gram blocked by the
+// retained search later occurs in the input, the retained clauses are
+// unsound and Revise must fall back to a full re-minimization — and
+// still match batch (covered by the every-prefix test; here the
+// trigger itself is asserted).
+func TestLiveStaleBlockedGramForcesRemin(t *testing.T) {
+	lv, err := NewLive(Options{Segmented: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var word []string
+	for i := 0; i < 12; i++ {
+		word = append(word, "send", "ack", "send", "ack", "timeout")
+	}
+	for _, sym := range word {
+		lv.Append(sym, 1)
+	}
+	if _, err := lv.Revise(false); err != nil {
+		t.Fatal(err)
+	}
+	if len(lv.blocked) == 0 {
+		t.Skip("workload produced no blocked grams; stale trigger not exercisable")
+	}
+	// Append an occurrence of a blocked gram: it becomes a valid gram
+	// of the grown sequence, so the stale flag must trip and the next
+	// revision must re-minimize.
+	g := lv.blocked[0]
+	for _, id := range g {
+		lv.AppendID(id, 1)
+	}
+	if !lv.stale {
+		t.Fatal("blocked gram occurred in input but stale flag not set")
+	}
+	remin, err := lv.Revise(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !remin {
+		t.Fatal("stale retained state did not force a re-minimization")
+	}
+	batch, err := GenerateModelSeqs([]*Seq{cloneSeqFromLive(t, lv)}, Options{Segmented: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm, bm := lv.Model().String(), batch.Automaton.String(); lm != bm {
+		t.Fatalf("post-stale model diverges from batch:\nlive:\n%s\nbatch:\n%s", lm, bm)
+	}
+}
+
+// cloneSeqFromLive rebuilds the live sequence as a fresh batch input.
+func cloneSeqFromLive(t *testing.T, lv *Live) *Seq {
+	t.Helper()
+	seq, err := NewSeqFromState(lv.SeqState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+// TestLiveCheckpointResumeFixpoint: resuming a batch search from a
+// live checkpoint over the same sequence is a fixpoint — it reproduces
+// the live model with a single satisfiable solver round.
+func TestLiveCheckpointResumeFixpoint(t *testing.T) {
+	lv, err := NewLive(Options{Segmented: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var word []string
+	for i := 0; i < 8; i++ {
+		word = append(word, "send", "ack", "send", "ack", "timeout")
+	}
+	for _, sym := range word {
+		lv.Append(sym, 1)
+	}
+	if _, err := lv.Revise(false); err != nil {
+		t.Fatal(err)
+	}
+	cp := lv.Checkpoint()
+	if cp == nil {
+		t.Fatal("nil checkpoint after successful revision")
+	}
+	res, err := GenerateModelSeqs([]*Seq{cloneSeqFromLive(t, lv)},
+		Options{Segmented: true, Workers: 1, Resume: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm, rm := lv.Model().String(), res.Automaton.String(); lm != rm {
+		t.Fatalf("resumed model diverges from live model:\nlive:\n%s\nresumed:\n%s", lm, rm)
+	}
+	// Resume carries the checkpointed counters forward, so the
+	// fixpoint costs exactly one additional (satisfiable) round.
+	if res.Stats.SolverCalls != cp.Stats.SolverCalls+1 {
+		t.Fatalf("resume from a live fixpoint took %d solver calls on top of %d checkpointed, want 1",
+			res.Stats.SolverCalls-cp.Stats.SolverCalls, cp.Stats.SolverCalls)
+	}
+}
+
+// TestLiveRejectsUnsupportedOptions: live maintenance is the segmented
+// algorithm; batch-only options are refused up front.
+func TestLiveRejectsUnsupportedOptions(t *testing.T) {
+	if _, err := NewLive(Options{}); err == nil {
+		t.Fatal("non-segmented options accepted")
+	}
+	if _, err := NewLive(Options{Segmented: true, Resume: &CheckpointState{}}); err == nil {
+		t.Fatal("batch resume option accepted")
+	}
+	lv, err := NewLive(Options{Segmented: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lv.Revise(false); err == nil {
+		t.Fatal("revision of an empty sequence accepted")
+	}
+	lv.Append("a", 1)
+	if _, err := lv.Revise(false); err == nil {
+		t.Fatal("revision below the segmentation window accepted")
+	}
+}

@@ -549,6 +549,19 @@ func GenerateModelSeqs(inSeqs []*Seq, opts Options) (*Result, error) {
 				stats.Segments = len(segments)
 				stats.FinalStates = n
 				finish()
+				if opts.retain != nil {
+					// Hand the live solver state to the Live engine;
+					// nothing below aliases it after this return.
+					*opts.retain = searchRetained{
+						pf:           pf,
+						n:            n,
+						acceptWindow: acceptWindow,
+						blocked:      blocked,
+						segments:     segments,
+						anchored:     anchored,
+						numSyms:      len(symbols),
+					}
+				}
 				return &Result{Automaton: m, AcceptsInput: true, Stats: stats}, nil
 			}
 			stats.AcceptRefinements++

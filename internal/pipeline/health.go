@@ -50,6 +50,7 @@ type Health struct {
 	mu         sync.Mutex
 	stallAfter time.Duration
 	now        func() time.Time // test hook
+	started    time.Time        // first evaluation; lazily set so the test clock applies
 	progress   []progressWatch
 	div        func() float64
 	ring       []divSample
@@ -93,6 +94,9 @@ func (h *Health) WatchDivergence(fn func() float64) {
 // evaluate re-reads every watched signal. Callers hold h.mu.
 func (h *Health) evaluate() (age time.Duration, rate float64) {
 	now := h.now()
+	if h.started.IsZero() {
+		h.started = now
+	}
 	age = -1
 	for i := range h.progress {
 		w := &h.progress[i]
@@ -105,7 +109,11 @@ func (h *Health) evaluate() (age time.Duration, rate float64) {
 		}
 	}
 	if age < 0 {
-		age = 0 // nothing watched: never stalled
+		// Nothing watched. That is itself a stall signal: a monitor
+		// whose progress counters were never registered must not
+		// report healthy forever, so the clock runs from startup
+		// (first evaluation) instead of sticking at zero.
+		age = now.Sub(h.started)
 	}
 	if h.div != nil {
 		v := h.div()
@@ -138,7 +146,10 @@ func (h *Health) Status() (ok bool, detail string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	age, rate := h.evaluate()
-	if len(h.progress) > 0 && age >= h.stallAfter {
+	if age >= h.stallAfter {
+		if len(h.progress) == 0 {
+			return false, fmt.Sprintf("stalled: no progress watchers registered %s after startup (limit %s); divergence %.2f/min", age.Round(time.Second), h.stallAfter, rate)
+		}
 		return false, fmt.Sprintf("stalled: no progress for %s (limit %s); divergence %.2f/min", age.Round(time.Second), h.stallAfter, rate)
 	}
 	return true, fmt.Sprintf("ok: last progress %s ago; divergence %.2f/min", age.Round(time.Second), rate)

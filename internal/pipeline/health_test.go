@@ -61,6 +61,43 @@ func TestHealthStallDetection(t *testing.T) {
 	}
 }
 
+// TestHealthZeroWatchersStall is the regression test for the
+// "nothing watched ⇒ never stalled" bug: a monitor that never
+// registered its progress counters used to report healthy forever.
+// With zero watchers, the stall clock must run from startup.
+func TestHealthZeroWatchersStall(t *testing.T) {
+	clk := &stepClock{now: time.Unix(1000, 0)}
+	h := NewHealth(time.Minute)
+	h.now = clk.Now
+
+	// Within the stall budget: still ok (startup grace).
+	if ok, detail := h.Status(); !ok {
+		t.Fatalf("fresh zero-watcher health not ok: %s", detail)
+	}
+	clk.Advance(30 * time.Second)
+	if ok, detail := h.Status(); !ok {
+		t.Fatalf("zero-watcher health stalled inside the limit: %s", detail)
+	}
+	// Past the budget with no watcher ever registered: stalled, with a
+	// detail naming the cause.
+	clk.Advance(time.Minute)
+	ok, detail := h.Status()
+	if ok {
+		t.Fatal("zero-watcher health still ok past stallAfter")
+	}
+	if !strings.Contains(detail, "stalled") || !strings.Contains(detail, "no progress watchers") {
+		t.Fatalf("detail = %q", detail)
+	}
+
+	// Registering a live watcher recovers it.
+	var progress float64
+	h.WatchProgress("windows", func() float64 { return progress })
+	progress++
+	if ok, detail := h.Status(); !ok {
+		t.Fatalf("health with fresh watcher still stalled: %s", detail)
+	}
+}
+
 func TestHealthDivergenceRate(t *testing.T) {
 	clk := &stepClock{now: time.Unix(1000, 0)}
 	h := NewHealth(time.Hour)

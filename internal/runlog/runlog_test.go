@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -292,9 +293,10 @@ func TestRegressSkipsAndWindow(t *testing.T) {
 	if !res[0].Skipped || res[0].Reason == "" {
 		t.Fatalf("single-run workload not skipped: %+v", res[0])
 	}
-	// Sub-min-wall baseline: skipped, not judged.
-	res = Regress(benchEntries(t, "tiny", 1, 1, 2), RegressOptions{MinWallMS: 50})
-	if !res[0].Skipped {
+	// Sub-min-wall baseline (history long enough to be judged):
+	// skipped, not judged.
+	res = Regress(benchEntries(t, "tiny", 1, 1, 1, 2), RegressOptions{MinWallMS: 50})
+	if !res[0].Skipped || !strings.Contains(res[0].Reason, "min-wall") {
 		t.Fatalf("sub-min-wall workload not skipped: %+v", res[0])
 	}
 	// Window: only the last N baselines count. Old slow era (1000ms)
@@ -307,6 +309,54 @@ func TestRegressSkipsAndWindow(t *testing.T) {
 	}
 	if res[0].BaselineN != 4 {
 		t.Fatalf("window not applied: baseline n = %d", res[0].BaselineN)
+	}
+}
+
+// TestRegressInsufficientHistory is the regression test for the
+// degenerate-MAD bug: with fewer than 3 baseline runs the envelope
+// collapses (1 run ⇒ median == the single measurement and MAD 0, so
+// any jitter "regresses"; 2 runs ⇒ the spread between them is pure
+// jitter). Short histories must be skipped with an "insufficient
+// history" verdict, never judged.
+func TestRegressInsufficientHistory(t *testing.T) {
+	cases := []struct {
+		name     string
+		walls    []float64 // last entry is the candidate
+		baseline int
+	}{
+		{"zero-baseline", []float64{130}, 0},
+		{"one-baseline", []float64{100, 130}, 1},
+		{"two-baseline", []float64{100, 100, 130}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := Regress(benchEntries(t, tc.name, tc.walls...), RegressOptions{})
+			if len(res) != 1 {
+				t.Fatalf("got %d results", len(res))
+			}
+			r := res[0]
+			if !r.Skipped || r.Regressed {
+				t.Fatalf("%d-run baseline judged instead of skipped: %+v", tc.baseline, r)
+			}
+			if !strings.Contains(r.Reason, "insufficient history") {
+				t.Fatalf("reason = %q, want insufficient history", r.Reason)
+			}
+			if r.BaselineN != tc.baseline {
+				t.Fatalf("BaselineN = %d, want %d", r.BaselineN, tc.baseline)
+			}
+		})
+	}
+
+	// The exact boundary: 3 baseline runs are judged (and a +30%
+	// candidate flagged); MinBaseline 1 opts back into judging a
+	// single-run history.
+	res := Regress(benchEntries(t, "at-min", 100, 101, 99, 130), RegressOptions{})
+	if res[0].Skipped || !res[0].Regressed {
+		t.Fatalf("3-run baseline not judged: %+v", res[0])
+	}
+	res = Regress(benchEntries(t, "optin", 100, 130), RegressOptions{MinBaseline: 1})
+	if res[0].Skipped || !res[0].Regressed {
+		t.Fatalf("MinBaseline=1 single-run baseline not judged: %+v", res[0])
 	}
 }
 
@@ -450,7 +500,9 @@ func TestRegressOnRealBenchTrajectory(t *testing.T) {
 	if err != nil || corrupt != 0 {
 		t.Fatalf("List: %v, %d corrupt", err, corrupt)
 	}
-	opts := RegressOptions{Threshold: 0.25, MinWallMS: 50}
+	// MinBaseline 1 mirrors the CI gate's -min-runs 1: the archived
+	// baseline is a single checked-in measurement per workload.
+	opts := RegressOptions{Threshold: 0.25, MinWallMS: 50, MinBaseline: 1}
 	res := Regress(entries, opts)
 	for _, r := range res {
 		if r.Regressed {

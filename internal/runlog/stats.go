@@ -61,6 +61,15 @@ type RegressOptions struct {
 	// MinWallMS skips workloads whose baseline median is below this
 	// (sub-threshold rows are timer noise, not signal). Default 0.
 	MinWallMS float64
+	// MinBaseline is the minimum number of baseline runs a workload
+	// needs before it is judged; shorter histories are skipped with an
+	// "insufficient history" reason. Below 3 runs the MAD is
+	// degenerate — with one run the median *is* the single
+	// measurement, with two any spread between them collapses the
+	// envelope to pure jitter — so the default is 3. Set 1 to judge
+	// against any non-empty history (the CI gate does, where the
+	// baseline is a single checked-in measurement per workload).
+	MinBaseline int
 }
 
 func (o RegressOptions) withDefaults() RegressOptions {
@@ -69,6 +78,9 @@ func (o RegressOptions) withDefaults() RegressOptions {
 	}
 	if o.Threshold <= 0 {
 		o.Threshold = 0.25
+	}
+	if o.MinBaseline <= 0 {
+		o.MinBaseline = 3
 	}
 	return o
 }
@@ -127,9 +139,9 @@ func Regress(entries []Entry, opts RegressOptions) []RegressResult {
 			base = base[len(base)-opts.Window:]
 		}
 		res.BaselineN = len(base)
-		if len(base) == 0 {
+		if len(base) < opts.MinBaseline {
 			res.Skipped = true
-			res.Reason = "no baseline runs"
+			res.Reason = fmt.Sprintf("insufficient history: %d baseline run(s), need %d", len(base), opts.MinBaseline)
 			out = append(out, res)
 			continue
 		}

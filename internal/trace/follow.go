@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"time"
+)
+
+// FollowReader turns a growing file into an endless io.Reader for the
+// live-monitoring path: on EOF it polls for appended data instead of
+// finishing, and it only ever surfaces whole lines. Bytes past the
+// last '\n' are held back until their terminator arrives, so a torn
+// final line — a record the producer is still writing when the poll
+// catches up with it — is retried on the next poll rather than handed
+// to a decoder that would misparse it as a short record (a fatal
+// decode error, or worse, a phantom divergence).
+//
+// The stream ends (io.EOF) only when the context is cancelled or no
+// new data has arrived for the idle-exit window. At idle exit a held
+// unterminated tail is surfaced as a final line (the same contract as
+// the decoders' liner: a final line without '\n' still counts); on
+// cancellation it is dropped, since the read is being aborted.
+type FollowReader struct {
+	r     io.Reader
+	poll  time.Duration
+	idle  time.Duration
+	ctx   context.Context
+	buf   []byte // complete-line bytes ready to surface
+	pos   int    // read position in buf
+	held  []byte // bytes past the last '\n', not yet surfaced
+	chunk []byte
+	err   error
+	last  time.Time // when data last arrived
+
+	now   func() time.Time    // test hooks
+	sleep func(time.Duration) // (default time.Now / interruptible sleep)
+}
+
+// FollowOptions tunes a FollowReader. The zero value polls every 200ms
+// and follows forever (until the context, when set, is cancelled).
+type FollowOptions struct {
+	// Poll is the delay between size checks once the reader has
+	// caught up with the file. Default 200ms.
+	Poll time.Duration
+	// IdleExit ends the stream after this long without new data;
+	// zero follows forever.
+	IdleExit time.Duration
+	// Context, when non-nil, ends the stream when cancelled.
+	Context context.Context
+}
+
+// NewFollowReader wraps r (typically an *os.File open on a growing
+// trace) for live following.
+func NewFollowReader(r io.Reader, opts FollowOptions) *FollowReader {
+	if opts.Poll <= 0 {
+		opts.Poll = 200 * time.Millisecond
+	}
+	f := &FollowReader{
+		r:     r,
+		poll:  opts.Poll,
+		idle:  opts.IdleExit,
+		ctx:   opts.Context,
+		chunk: make([]byte, 64*1024),
+		now:   time.Now,
+	}
+	f.sleep = f.ctxSleep
+	return f
+}
+
+// ctxSleep pauses for one poll interval, waking early on cancellation.
+func (f *FollowReader) ctxSleep(d time.Duration) {
+	if f.ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-f.ctx.Done():
+	}
+}
+
+func (f *FollowReader) cancelled() bool {
+	if f.ctx == nil {
+		return false
+	}
+	select {
+	case <-f.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// Read surfaces buffered complete lines, refilling from the underlying
+// reader — and polling across its EOF — as needed.
+func (f *FollowReader) Read(p []byte) (int, error) {
+	for {
+		if f.pos < len(f.buf) {
+			n := copy(p, f.buf[f.pos:])
+			f.pos += n
+			return n, nil
+		}
+		if f.err != nil {
+			return 0, f.err
+		}
+		if f.last.IsZero() {
+			f.last = f.now()
+		}
+		n, err := f.r.Read(f.chunk)
+		if n > 0 {
+			f.last = f.now()
+			f.held = append(f.held, f.chunk[:n]...)
+			if i := bytes.LastIndexByte(f.held, '\n'); i >= 0 {
+				f.buf = append(f.buf[:0], f.held[:i+1]...)
+				f.pos = 0
+				f.held = f.held[:copy(f.held, f.held[i+1:])]
+			}
+			continue
+		}
+		switch {
+		case err == nil:
+			// A zero-byte read without error; treat like a caught-up
+			// poll so a misbehaving reader cannot spin us.
+			f.sleep(f.poll)
+		case err == io.EOF:
+			if f.cancelled() {
+				f.err = io.EOF // aborting: drop any torn tail
+				return 0, f.err
+			}
+			if f.idle > 0 && f.now().Sub(f.last) >= f.idle {
+				// Idle exit: the producer is done. Surface a held
+				// unterminated tail as the final line, then end.
+				f.err = io.EOF
+				if len(f.held) > 0 {
+					f.buf = append(f.buf[:0], f.held...)
+					f.pos = 0
+					f.held = f.held[:0]
+					continue
+				}
+				return 0, f.err
+			}
+			f.sleep(f.poll)
+			if f.cancelled() {
+				f.err = io.EOF
+				return 0, f.err
+			}
+		default:
+			f.err = err
+			return 0, f.err
+		}
+	}
+}

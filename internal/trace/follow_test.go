@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestFollowReaderTornLine is the injection test for the end-of-stream
+// vs decode-error audit: a growing file whose final CSV record is torn
+// (the producer has written half a row when the poll catches up) must
+// not surface the partial record to the decoder — it is retried on the
+// next poll and decoded once completed, never classified as a decode
+// error.
+func TestFollowReaderTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grow.csv")
+	// Header, two complete rows, then a record torn mid-field: "3,3"
+	// is the prefix of "3,30\n".
+	if err := os.WriteFile(path, []byte("x:int,y:int\n1,10\n2,20\n3,3"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fi.Close()
+
+	fr := NewFollowReader(fi, FollowOptions{Poll: 5 * time.Millisecond, IdleExit: 500 * time.Millisecond})
+	src, err := NewCSVSource(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Complete the torn record and append one more row while the
+	// reader is following.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer f.Close()
+		if _, err := f.WriteString("0\n"); err != nil { // row 3 is now "3,30"
+			t.Error(err)
+		}
+		time.Sleep(20 * time.Millisecond)
+		if _, err := f.WriteString("4,40\n"); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	var xs, ys []int64
+	for {
+		obs, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("decode error on followed trace: %v", err)
+		}
+		xs = append(xs, obs[0].I)
+		ys = append(ys, obs[1].I)
+	}
+	wantX, wantY := []int64{1, 2, 3, 4}, []int64{10, 20, 30, 40}
+	if len(xs) != len(wantX) {
+		t.Fatalf("decoded %d rows (%v / %v), want %d", len(xs), xs, ys, len(wantX))
+	}
+	for i := range wantX {
+		if xs[i] != wantX[i] || ys[i] != wantY[i] {
+			t.Fatalf("row %d = (%d,%d), want (%d,%d)", i, xs[i], ys[i], wantX[i], wantY[i])
+		}
+	}
+}
+
+// TestFollowReaderCancelDropsTornTail: cancelling the context ends the
+// stream promptly with io.EOF and never surfaces a held torn tail.
+func TestFollowReaderCancelDropsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grow.csv")
+	if err := os.WriteFile(path, []byte("x:int\n1\n2,torn-mid-reco"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fi.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	fr := NewFollowReader(fi, FollowOptions{Poll: 5 * time.Millisecond, Context: ctx})
+
+	time.AfterFunc(30*time.Millisecond, cancel)
+	data, err := io.ReadAll(fr)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if got, want := string(data), "x:int\n1\n"; got != want {
+		t.Fatalf("surfaced %q, want only the complete lines %q", got, want)
+	}
+	// A read after the terminal EOF stays terminal.
+	if n, err := fr.Read(make([]byte, 8)); n != 0 || err != io.EOF {
+		t.Fatalf("post-EOF read = %d, %v", n, err)
+	}
+}
+
+// TestFollowReaderIdleFlushesFinalLine: at idle exit an unterminated
+// final line is surfaced (same contract as the decoders' liner), so a
+// producer that omits the trailing newline still has its last record
+// decoded.
+func TestFollowReaderIdleFlushesFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grow.csv")
+	if err := os.WriteFile(path, []byte("x:int\n1\n2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fi.Close()
+	fr := NewFollowReader(fi, FollowOptions{Poll: 2 * time.Millisecond, IdleExit: 30 * time.Millisecond})
+	data, err := io.ReadAll(fr)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if got, want := string(data), "x:int\n1\n2"; got != want {
+		t.Fatalf("surfaced %q, want %q", got, want)
+	}
+}

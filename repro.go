@@ -37,6 +37,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/learn"
+	"repro/internal/live"
 	"repro/internal/pipeline"
 	"repro/internal/predicate"
 	"repro/internal/statemerge"
@@ -274,6 +275,26 @@ type Violation = core.Violation
 // StateInvariant is a candidate per-state invariant extracted by
 // Model.StateInvariants (the paper's invariant-synthesis prospect).
 type StateInvariant = core.StateInvariant
+
+// Live model maintenance over unbounded streams (see internal/live):
+// a LiveMaintainer, built with Pipeline.NewMaintainer and driven by
+// Pipeline.MaintainSource, keeps the learned model current as a
+// followed trace grows — fast-path acceptance checks, incremental
+// solver extension, policy-driven re-minimization — with a bounded
+// version history and structured divergence events.
+type (
+	LiveMaintainer = live.Maintainer
+	LiveOptions    = live.Options
+	LiveVersion    = live.Version
+	LiveDivergence = live.Divergence
+)
+
+// NewFollowReader wraps a growing file for live monitoring: it polls
+// across EOF and only surfaces whole lines (see trace.FollowReader).
+var NewFollowReader = trace.NewFollowReader
+
+// FollowOptions tunes NewFollowReader.
+type FollowOptions = trace.FollowOptions
 
 // Sentinel errors re-exported from the pipeline stages.
 var (
